@@ -1,0 +1,79 @@
+// Command cinderella-bench regenerates the paper's evaluation artifacts
+// (Figures 4–8, Table I, and the EFFICIENCY comparison) and prints the
+// same rows/series the paper reports.
+//
+// Usage:
+//
+//	cinderella-bench [-exp all|fig4|fig5|fig6|fig7|fig8|tab1|efficiency]
+//	                 [-entities N] [-sf F] [-seed S]
+//
+// The defaults reproduce the paper's scale (100 000 DBpedia-like
+// entities); use -entities to run faster at smaller scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cinderella/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn")
+	entities := flag.Int("entities", 100000, "DBpedia-like entity count")
+	sf := flag.Float64("sf", 0.02, "TPC-H-style scale factor for tab1")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	flag.Parse()
+
+	o := experiments.Options{Entities: *entities, Seed: *seed, TPCHSF: *sf}
+
+	run := func(name string, f func()) {
+		start := time.Now()
+		f()
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	any := false
+	want := func(name string) bool {
+		if *exp == "all" || *exp == name {
+			any = true
+			return true
+		}
+		return false
+	}
+
+	if want("fig4") {
+		run("fig4", func() { experiments.Fig4(o).Print(os.Stdout) })
+	}
+	if want("fig5") {
+		run("fig5", func() { experiments.Fig5(o).Print(os.Stdout) })
+	}
+	if want("fig6") {
+		run("fig6", func() { experiments.Fig6(o).Print(os.Stdout) })
+	}
+	if want("fig7") {
+		run("fig7", func() { experiments.Fig7(o).Print(os.Stdout) })
+	}
+	if want("fig8") {
+		run("fig8", func() { experiments.Fig8(o).Print(os.Stdout) })
+	}
+	if want("tab1") {
+		run("tab1", func() { experiments.TableI(o).Print(os.Stdout) })
+	}
+	if want("efficiency") {
+		run("efficiency", func() { experiments.Efficiency(o).Print(os.Stdout) })
+	}
+	if want("churn") {
+		run("churn", func() { experiments.Churn(o).Print(os.Stdout) })
+	}
+	if want("cache") {
+		run("cache", func() { experiments.CacheLocality(o).Print(os.Stdout) })
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

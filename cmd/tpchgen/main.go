@@ -1,0 +1,68 @@
+// Command tpchgen generates the TPC-H-style data set as pipe-separated
+// .tbl files (the dbgen output format), one file per table.
+//
+// Usage:
+//
+//	tpchgen [-sf F] [-seed S] [-out DIR]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cinderella/internal/entity"
+	"cinderella/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "scale factor")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	d := tpch.Generate(*sf, *seed)
+	for _, name := range tpch.TableNames {
+		path := filepath.Join(*out, name+".tbl")
+		if err := writeTable(path, d, name); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %8d rows -> %s\n", name, len(d.Rows(name)), path)
+	}
+}
+
+func writeTable(path string, d *tpch.Data, name string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, row := range d.Rows(name) {
+		for i, v := range row {
+			if i > 0 {
+				w.WriteByte('|')
+			}
+			w.WriteString(render(v))
+		}
+		w.WriteByte('\n')
+	}
+	return w.Flush()
+}
+
+// render formats a value for .tbl output; date-typed columns stay as day
+// numbers unless converted here.
+func render(v entity.Value) string {
+	switch v.Kind() {
+	case entity.KindInt:
+		return fmt.Sprintf("%d", v.AsInt())
+	case entity.KindFloat:
+		return fmt.Sprintf("%.2f", v.AsFloat())
+	case entity.KindString:
+		return v.AsString()
+	}
+	return ""
+}

@@ -1,0 +1,222 @@
+package cinderella
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"cinderella/internal/core"
+	"cinderella/internal/entity"
+	"cinderella/internal/wal"
+)
+
+// DurableTable is a Table backed by a write-ahead log. Every mutating
+// operation is appended to the log before it is applied; OpenFile replays
+// the log on startup, and because Cinderella's placement decisions are
+// deterministic, the recovered partitioning matches the pre-crash one.
+//
+// Durability granularity: operations are buffered and made durable by
+// Sync, Checkpoint, and Close. Call Sync after operations that must
+// survive a crash, or set Config-independent sync points in the caller.
+type DurableTable struct {
+	*Table
+	mu     sync.Mutex
+	w      *wal.Writer
+	path   string
+	logged int // attribute names already logged
+}
+
+// OpenFile opens (or creates) a durable table at path. An existing log
+// is replayed first; cfg must match the configuration the log was
+// written under, otherwise the recovered partitioning will be valid but
+// different (documents and ids are still recovered exactly).
+func OpenFile(path string, cfg Config) (*DurableTable, error) {
+	t := Open(cfg)
+	d := &DurableTable{Table: t, path: path}
+
+	r, err := wal.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	for {
+		op, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cinderella: replaying %s: %w", path, err)
+		}
+		if err := d.apply(op); err != nil {
+			return nil, fmt.Errorf("cinderella: replaying %s: %w", path, err)
+		}
+	}
+	d.logged = t.dict.Len()
+
+	w, err := wal.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	d.w = w
+	return d, nil
+}
+
+// apply executes one replayed operation against the in-memory table.
+func (d *DurableTable) apply(op wal.Op) error {
+	switch op.Kind {
+	case wal.KindAttr:
+		// Attribute registration: names must resolve to the same dense
+		// ids they had when logged.
+		want := int(op.ID)
+		got := d.dict.ID(string(op.Data))
+		if got != want {
+			return fmt.Errorf("attribute %q replayed to id %d, logged as %d", op.Data, got, want)
+		}
+	case wal.KindInsert:
+		e, _, err := entity.Unmarshal(op.Data)
+		if err != nil {
+			return err
+		}
+		d.inner.InsertWithID(core.EntityID(op.ID), e)
+	case wal.KindUpdate:
+		e, _, err := entity.Unmarshal(op.Data)
+		if err != nil {
+			return err
+		}
+		if !d.inner.Update(core.EntityID(op.ID), e) {
+			return fmt.Errorf("update of unknown entity %d", op.ID)
+		}
+	case wal.KindDelete:
+		if !d.inner.Delete(core.EntityID(op.ID)) {
+			return fmt.Errorf("delete of unknown entity %d", op.ID)
+		}
+	case wal.KindCompact:
+		d.inner.Compact(math.Float64frombits(op.ID))
+	default:
+		return fmt.Errorf("unknown op kind %d", op.Kind)
+	}
+	return nil
+}
+
+// logNewAttrs appends registrations for attribute names assigned since
+// the last mutation, keeping the log self-describing.
+func (d *DurableTable) logNewAttrs() error {
+	n := d.dict.Len()
+	for ; d.logged < n; d.logged++ {
+		err := d.w.Append(wal.Op{
+			Kind: wal.KindAttr,
+			ID:   uint64(d.logged),
+			Data: []byte(d.dict.Name(d.logged)),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert stores doc durably and returns its id.
+func (d *DurableTable) Insert(doc Doc) (ID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.toEntity(doc)
+	if err := d.logNewAttrs(); err != nil {
+		return 0, err
+	}
+	// The id the table will assign is deterministic; log after applying
+	// so the id is known, then the caller syncs when durability matters.
+	id := d.inner.Insert(e)
+	if err := d.w.Append(wal.Op{Kind: wal.KindInsert, ID: uint64(id), Data: e.Marshal(nil)}); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Update replaces the document durably.
+func (d *DurableTable) Update(id ID, doc Doc) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.toEntity(doc)
+	if err := d.logNewAttrs(); err != nil {
+		return false, err
+	}
+	if !d.inner.Update(id, e) {
+		return false, nil
+	}
+	if err := d.w.Append(wal.Op{Kind: wal.KindUpdate, ID: uint64(id), Data: e.Marshal(nil)}); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Delete removes the document durably.
+func (d *DurableTable) Delete(id ID) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.inner.Delete(id) {
+		return false, nil
+	}
+	if err := d.w.Append(wal.Op{Kind: wal.KindDelete, ID: uint64(id)}); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Compact merges underfilled partitions durably: the operation is logged
+// so recovery reproduces the merged layout.
+func (d *DurableTable) Compact(threshold float64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := d.inner.Compact(threshold)
+	if n == 0 {
+		return 0, nil
+	}
+	err := d.w.Append(wal.Op{Kind: wal.KindCompact, ID: math.Float64bits(threshold)})
+	return n, err
+}
+
+// Sync makes all appended operations durable.
+func (d *DurableTable) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.w.Sync()
+}
+
+// Checkpoint compacts the log to the current live contents: attribute
+// registrations followed by one insert per live document. Ids are
+// preserved. The log shrinks to O(live data) regardless of history.
+func (d *DurableTable) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.w.Sync(); err != nil {
+		return err
+	}
+	var ops []wal.Op
+	for i := 0; i < d.dict.Len(); i++ {
+		ops = append(ops, wal.Op{Kind: wal.KindAttr, ID: uint64(i), Data: []byte(d.dict.Name(i))})
+	}
+	for _, r := range d.inner.ScanAll() {
+		ops = append(ops, wal.Op{Kind: wal.KindInsert, ID: uint64(r.ID), Data: r.Entity.Marshal(nil)})
+	}
+	if err := d.w.Close(); err != nil {
+		return err
+	}
+	if err := wal.Rewrite(d.path, ops); err != nil {
+		return err
+	}
+	w, err := wal.Create(d.path)
+	if err != nil {
+		return err
+	}
+	d.w = w
+	d.logged = d.dict.Len()
+	return nil
+}
+
+// Close syncs and closes the log. The table remains readable in memory.
+func (d *DurableTable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.w.Close()
+}

@@ -1,0 +1,229 @@
+package cinderella
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func openDurable(t *testing.T, path string, cfg Config) *DurableTable {
+	t.Helper()
+	d, err := OpenFile(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	cfg := Config{Weight: 0.3, PartitionSizeLimit: 100}
+
+	d := openDurable(t, path, cfg)
+	id1, err := d.Insert(Doc{"name": "camera", "aperture": 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := d.Insert(Doc{"name": "disk", "rotation": 7200})
+	if _, err := d.Update(id1, Doc{"name": "camera2", "aperture": 1.8, "wifi": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := d.Delete(id2); !ok {
+		t.Fatal("delete failed")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything recovered, same ids, same content.
+	d2 := openDurable(t, path, cfg)
+	defer d2.Close()
+	if d2.Len() != 1 {
+		t.Fatalf("recovered Len = %d", d2.Len())
+	}
+	doc, ok := d2.Get(id1)
+	if !ok {
+		t.Fatal("recovered Get missed")
+	}
+	if doc["name"] != "camera2" || doc["wifi"] != int64(1) {
+		t.Fatalf("recovered doc = %v", doc)
+	}
+	if _, ok := d2.Get(id2); ok {
+		t.Fatal("deleted doc recovered")
+	}
+	// New inserts continue the id sequence (no reuse).
+	id3, _ := d2.Insert(Doc{"x": 1})
+	if id3 <= id2 {
+		t.Fatalf("id3 = %d not beyond %d", id3, id2)
+	}
+}
+
+func TestDurableRecoversPartitioning(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	cfg := Config{Weight: 0.2, PartitionSizeLimit: 50}
+
+	d := openDurable(t, path, cfg)
+	for i := 0; i < 500; i++ {
+		attrs := []string{"camera_a", "camera_b"}
+		if i%2 == 1 {
+			attrs = []string{"disk_a", "disk_b"}
+		}
+		doc := Doc{"name": i}
+		for _, a := range attrs {
+			doc[a] = i
+		}
+		if _, err := d.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := partitionShape(d.Table)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := openDurable(t, path, cfg)
+	defer d2.Close()
+	after := partitionShape(d2.Table)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("partitioning changed across recovery:\nbefore %v\nafter  %v", before, after)
+	}
+	// Queries behave identically.
+	if got := len(d2.Query("camera_a")); got != 250 {
+		t.Fatalf("Query(camera_a) = %d", got)
+	}
+}
+
+// partitionShape summarizes a partitioning as sorted "records:attrs"
+// signatures.
+func partitionShape(t *Table) []string {
+	var out []string
+	for _, p := range t.Partitions() {
+		attrs := append([]string(nil), p.Attributes...)
+		sort.Strings(attrs)
+		out = append(out, fmt.Sprintf("%d:%v", p.Records, attrs))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestDurableTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	cfg := Config{}
+	d := openDurable(t, path, cfg)
+	d.Insert(Doc{"a": 1})
+	d.Insert(Doc{"b": 2})
+	d.Close()
+
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2 := openDurable(t, path, cfg)
+	defer d2.Close()
+	if d2.Len() != 1 {
+		t.Fatalf("after torn tail Len = %d, want 1 (durable prefix)", d2.Len())
+	}
+}
+
+func TestDurableCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	cfg := Config{Weight: 0.3, PartitionSizeLimit: 100}
+	d := openDurable(t, path, cfg)
+	var keep ID
+	for i := 0; i < 200; i++ {
+		id, _ := d.Insert(Doc{"attr": i})
+		if i == 117 {
+			keep = id
+		} else {
+			d.Delete(id)
+		}
+	}
+	big, _ := os.Stat(path)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	small, _ := os.Stat(path)
+	if small.Size() >= big.Size() {
+		t.Fatalf("checkpoint did not shrink log: %d -> %d", big.Size(), small.Size())
+	}
+	// Table still works and survives another recovery with the same id.
+	doc, ok := d.Get(keep)
+	if !ok || doc["attr"] != int64(117) {
+		t.Fatalf("doc after checkpoint = %v, %v", doc, ok)
+	}
+	d.Insert(Doc{"post": "checkpoint"})
+	d.Close()
+
+	d2 := openDurable(t, path, cfg)
+	defer d2.Close()
+	if d2.Len() != 2 {
+		t.Fatalf("recovered Len = %d", d2.Len())
+	}
+	if doc, ok := d2.Get(keep); !ok || doc["attr"] != int64(117) {
+		t.Fatalf("id not preserved across checkpoint: %v, %v", doc, ok)
+	}
+}
+
+func TestDurableSyncAndMiss(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	d := openDurable(t, path, Config{})
+	d.Insert(Doc{"a": 1})
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := d.Update(999, Doc{"x": 1}); ok || err != nil {
+		t.Fatalf("update miss = %v, %v", ok, err)
+	}
+	if ok, err := d.Delete(999); ok || err != nil {
+		t.Fatalf("delete miss = %v, %v", ok, err)
+	}
+	d.Close()
+}
+
+func TestDurableManyAttributesReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	cfg := Config{}
+	d := openDurable(t, path, cfg)
+	for i := 0; i < 50; i++ {
+		d.Insert(Doc{fmt.Sprintf("attr_%02d", i): i})
+	}
+	d.Close()
+	d2 := openDurable(t, path, cfg)
+	defer d2.Close()
+	for i := 0; i < 50; i++ {
+		if got := len(d2.Query(fmt.Sprintf("attr_%02d", i))); got != 1 {
+			t.Fatalf("attr_%02d query = %d", i, got)
+		}
+	}
+}
+
+func TestDurableCompactReplays(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	cfg := Config{Weight: 0.5, PartitionSizeLimit: 50}
+	d := openDurable(t, path, cfg)
+	var ids []ID
+	for i := 0; i < 200; i++ {
+		id, _ := d.Insert(Doc{"a": 1, "b": 2})
+		ids = append(ids, id)
+	}
+	for i, id := range ids {
+		if i%40 != 0 {
+			d.Delete(id)
+		}
+	}
+	if _, err := d.Compact(0.5); err != nil {
+		t.Fatal(err)
+	}
+	before := partitionShape(d.Table)
+	d.Close()
+
+	d2 := openDurable(t, path, cfg)
+	defer d2.Close()
+	after := partitionShape(d2.Table)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("compacted layout not reproduced:\nbefore %v\nafter  %v", before, after)
+	}
+}

@@ -1,0 +1,87 @@
+// Catalog: the product-catalog scenario motivating the paper. A shop
+// continuously ingests products of evolving categories into one universal
+// table; Cinderella keeps category-like partitions without anyone
+// modelling a schema, and category-style queries stay cheap as the
+// catalog grows.
+//
+// The example also demonstrates updates (a product gains attributes and
+// migrates to a better partition) and deletes (discontinued lines).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cinderella"
+)
+
+// category describes a product family by its characteristic attributes.
+type category struct {
+	name  string
+	attrs []string
+}
+
+var categories = []category{
+	{"camera", []string{"resolution", "aperture", "sensor", "screen"}},
+	{"phone", []string{"resolution", "screen", "storage", "battery", "os"}},
+	{"tv", []string{"screen", "tuner", "panel", "hdmi_ports"}},
+	{"disk", []string{"storage", "rotation", "interface", "cache"}},
+	{"gps", []string{"screen", "maps", "battery", "waterproof"}},
+}
+
+func main() {
+	tbl := cinderella.Open(cinderella.Config{
+		Weight:             0.3,
+		PartitionSizeLimit: 2000,
+	})
+	rng := rand.New(rand.NewSource(7))
+
+	// Ingest a stream of products. New models appear with slightly
+	// different attribute subsets — the irregularity of real catalogs.
+	var firstCamera cinderella.ID
+	for i := 0; i < 10000; i++ {
+		cat := categories[rng.Intn(len(categories))]
+		doc := cinderella.Doc{
+			"name":   fmt.Sprintf("%s-%04d", cat.name, i),
+			"weight": 50 + rng.Intn(10000),
+			"price":  float64(rng.Intn(300000)) / 100,
+		}
+		for _, a := range cat.attrs {
+			if rng.Float64() < 0.85 { // not every model has every attribute
+				doc[a] = rng.Intn(1000)
+			}
+		}
+		id := tbl.Insert(doc)
+		if cat.name == "camera" && firstCamera == 0 {
+			firstCamera = id
+		}
+	}
+	fmt.Printf("ingested %d products into %d partitions\n", tbl.Len(), len(tbl.Partitions()))
+
+	// Category-style queries prune everything else.
+	for _, probe := range []string{"aperture", "tuner", "rotation"} {
+		rows, rep := tbl.QueryWithReport(probe)
+		fmt.Printf("query(%-9s): %5d hits, touched %d/%d partitions\n",
+			probe, len(rows), rep.PartitionsTouched, rep.PartitionsTotal)
+	}
+
+	// A product line evolves: the camera gains connectivity attributes
+	// (the paper's "soon we will see cameras with mobile connectivity").
+	doc, _ := tbl.Get(firstCamera)
+	doc["wifi"] = 1
+	doc["mobile"] = "LTE"
+	delete(doc, "storage") // and loses its storage card slot
+	tbl.Update(firstCamera, doc)
+	got, _ := tbl.Get(firstCamera)
+	fmt.Printf("updated camera now has %d attributes\n", len(got))
+
+	// A category is discontinued: delete all GPS units.
+	removed := 0
+	for _, r := range tbl.Query("maps") {
+		if tbl.Delete(r.ID) {
+			removed++
+		}
+	}
+	fmt.Printf("discontinued %d gps units; %d products remain in %d partitions\n",
+		removed, tbl.Len(), len(tbl.Partitions()))
+}

@@ -1,0 +1,48 @@
+// Quickstart: open a table, insert a handful of irregular records, query
+// by attribute, and inspect the partitioning Cinderella built.
+package main
+
+import (
+	"fmt"
+
+	"cinderella"
+)
+
+func main() {
+	tbl := cinderella.Open(cinderella.Config{
+		Weight:             0.2,
+		PartitionSizeLimit: 1000,
+	})
+
+	// The universal table of the paper's Figure 1: electronic devices
+	// with wildly different attribute sets.
+	tbl.Insert(cinderella.Doc{"name": "Canon PowerShot S120", "resolution": 12.1, "aperture": 2.0, "screen": 3.0, "weight": 198})
+	tbl.Insert(cinderella.Doc{"name": "Sony SLT-A99", "resolution": 24.0, "screen": 3.0, "weight": 733})
+	tbl.Insert(cinderella.Doc{"name": "Samsung Galaxy S4", "resolution": 13.0, "screen": 4.3, "storage": "32GB", "weight": 133})
+	tbl.Insert(cinderella.Doc{"name": "Apple iPod touch", "resolution": 5.0, "screen": 4.0, "storage": "64GB", "weight": 88})
+	tbl.Insert(cinderella.Doc{"name": "LG 60LA7408", "resolution": 0.0, "screen": 40.0, "tuner": "DVB-T/C/S", "weight": 9800})
+	tbl.Insert(cinderella.Doc{"name": "WD4000FYYZ", "storage": "4TB", "rotation": 7200})
+	tbl.Insert(cinderella.Doc{"name": "Garmin Dakota 20", "screen": 2.6, "form_factor": "3.5\"", "weight": 150})
+
+	// Query: which devices have an aperture (cameras with built-in lens)?
+	fmt.Println("devices with aperture:")
+	for _, r := range tbl.Query("aperture") {
+		fmt.Printf("  %v (f/%v)\n", r.Doc["name"], r.Doc["aperture"])
+	}
+
+	// Query with OR semantics: anything with a tuner or a rotation speed.
+	fmt.Println("TVs and disks:")
+	for _, r := range tbl.Query("tuner", "rotation") {
+		fmt.Printf("  %v\n", r.Doc["name"])
+	}
+
+	// The pruning report shows how many partitions the query skipped.
+	_, rep := tbl.QueryWithReport("rotation")
+	fmt.Printf("query(rotation): touched %d of %d partitions (%d pruned)\n",
+		rep.PartitionsTouched, rep.PartitionsTotal, rep.PartitionsPruned)
+
+	fmt.Printf("partitions after load: %d\n", len(tbl.Partitions()))
+	for i, p := range tbl.Partitions() {
+		fmt.Printf("  partition %d: %d records, attrs %v\n", i, p.Records, p.Attributes)
+	}
+}

@@ -1,0 +1,3 @@
+module cinderella
+
+go 1.22

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cinderella/internal/synopsis"
+)
+
+// baseBook carries the bookkeeping shared by all baseline strategies.
+type baseBook struct {
+	parts  map[PartitionID]*partition
+	loc    map[EntityID]PartitionID
+	nextID PartitionID
+	moved  MoveListener
+	mode   SizeMode
+}
+
+func newBaseBook(mode SizeMode) baseBook {
+	return baseBook{
+		parts: make(map[PartitionID]*partition),
+		loc:   make(map[EntityID]PartitionID),
+		mode:  mode,
+	}
+}
+
+func (b *baseBook) entitySize(e *Entity) int64 {
+	if b.mode == SizeBytes {
+		return e.Size
+	}
+	return 1
+}
+
+func (b *baseBook) SetMoveListener(l MoveListener) { b.moved = l }
+
+func (b *baseBook) notify(pl Placement) {
+	if b.moved != nil {
+		b.moved(pl)
+	}
+}
+
+func (b *baseBook) Locate(id EntityID) (PartitionID, bool) {
+	pid, ok := b.loc[id]
+	return pid, ok
+}
+
+func (b *baseBook) Partitions() []PartitionInfo {
+	out := make([]PartitionInfo, 0, len(b.parts))
+	for _, p := range b.parts {
+		out = append(out, p.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (b *baseBook) addTo(p *partition, e *Entity, from PartitionID) PartitionID {
+	ent := *e
+	p.add(&ent, b.entitySize(&ent))
+	b.loc[e.ID] = p.id
+	b.notify(Placement{Entity: e.ID, From: from, To: p.id})
+	return p.id
+}
+
+func (b *baseBook) deleteFrom(id EntityID, dropEmpty bool) {
+	pid, ok := b.loc[id]
+	if !ok {
+		return
+	}
+	p := b.parts[pid]
+	e := p.members[id]
+	p.remove(id, b.entitySize(e))
+	delete(b.loc, id)
+	if dropEmpty && len(p.members) == 0 {
+		delete(b.parts, pid)
+		b.notify(Placement{Entity: 0, From: pid, To: NoPartition})
+	}
+}
+
+func (b *baseBook) newPartition() *partition {
+	b.nextID++
+	p := newPartition(b.nextID)
+	b.parts[p.id] = p
+	return p
+}
+
+// Single keeps every entity in one partition: the unpartitioned universal
+// table the paper uses as its baseline.
+type Single struct {
+	baseBook
+}
+
+// NewSingle returns the universal-table baseline.
+func NewSingle(mode SizeMode) *Single {
+	return &Single{baseBook: newBaseBook(mode)}
+}
+
+// Insert places e into the single partition.
+func (s *Single) Insert(e Entity) PartitionID {
+	var p *partition
+	if len(s.parts) == 0 {
+		p = s.newPartition()
+	} else {
+		p = s.parts[1]
+	}
+	return s.addTo(p, &e, NoPartition)
+}
+
+// Delete removes e; the single partition survives even when empty.
+func (s *Single) Delete(id EntityID) { s.deleteFrom(id, false) }
+
+// Update rewrites the entity in place.
+func (s *Single) Update(e Entity) PartitionID {
+	s.deleteFrom(e.ID, false)
+	return s.Insert(e)
+}
+
+// Hash spreads entities over a fixed number of partitions by entity id,
+// the load-balancing scheme of web-scale stores (Bigtable/Dynamo/
+// Cassandra in the related work). It ignores schema properties entirely,
+// so partition synopses converge to the full attribute set and pruning
+// almost never applies.
+type Hash struct {
+	baseBook
+	k    int
+	pids []PartitionID
+}
+
+// NewHash returns a hash partitioner over k partitions.
+func NewHash(k int, mode SizeMode) *Hash {
+	if k <= 0 {
+		panic(fmt.Sprintf("core: hash partitioner needs k > 0, got %d", k))
+	}
+	return &Hash{baseBook: newBaseBook(mode), k: k}
+}
+
+// Insert places e by hashing its id.
+func (h *Hash) Insert(e Entity) PartitionID {
+	if h.pids == nil {
+		h.pids = make([]PartitionID, h.k)
+		for i := 0; i < h.k; i++ {
+			h.pids[i] = h.newPartition().id
+		}
+	}
+	// Fibonacci hashing of the 64-bit id.
+	slot := int((uint64(e.ID) * 0x9E3779B97F4A7C15) % uint64(h.k))
+	return h.addTo(h.parts[h.pids[slot]], &e, NoPartition)
+}
+
+// Delete removes e; hash partitions are never dropped.
+func (h *Hash) Delete(id EntityID) { h.deleteFrom(id, false) }
+
+// Update rewrites the entity (same hash slot, so it stays put).
+func (h *Hash) Update(e Entity) PartitionID {
+	h.deleteFrom(e.ID, false)
+	return h.Insert(e)
+}
+
+// RoundRobin fills fixed-capacity partitions in arrival order: the
+// partition bound of Cinderella without any schema awareness. It isolates
+// how much of Cinderella's benefit comes from *bounding* partitions versus
+// *clustering* them.
+type RoundRobin struct {
+	baseBook
+	maxSize int64
+	current PartitionID
+}
+
+// NewRoundRobin returns an arrival-order partitioner with the given
+// capacity per partition.
+func NewRoundRobin(maxSize int64, mode SizeMode) *RoundRobin {
+	if maxSize <= 0 {
+		panic("core: round-robin partitioner needs positive capacity")
+	}
+	return &RoundRobin{baseBook: newBaseBook(mode), maxSize: maxSize}
+}
+
+// Insert appends e to the current partition, opening a new one at the
+// capacity boundary.
+func (r *RoundRobin) Insert(e Entity) PartitionID {
+	var p *partition
+	if r.current != 0 {
+		p = r.parts[r.current]
+	}
+	if p == nil || p.size+r.entitySize(&e) > r.maxSize {
+		p = r.newPartition()
+		r.current = p.id
+	}
+	return r.addTo(p, &e, NoPartition)
+}
+
+// Delete removes e, dropping emptied partitions.
+func (r *RoundRobin) Delete(id EntityID) { r.deleteFrom(id, true) }
+
+// Update rewrites the entity in its partition (arrival order is sticky).
+func (r *RoundRobin) Update(e Entity) PartitionID {
+	pid, ok := r.loc[e.ID]
+	if !ok {
+		return r.Insert(e)
+	}
+	p := r.parts[pid]
+	old := p.members[e.ID]
+	p.remove(e.ID, r.entitySize(old))
+	return r.addTo(p, &e, pid)
+}
+
+// SchemaExact groups entities by their exact attribute signature: every
+// partition is perfectly homogeneous, the w = 0 limit of Cinderella. It
+// is the strongest pruning baseline and the reference partitioning for the
+// TPC-H schema-recovery check.
+type SchemaExact struct {
+	baseBook
+	bySig   map[string]PartitionID
+	maxSize int64 // 0 = unbounded
+}
+
+// NewSchemaExact returns the exact-signature partitioner. maxSize of 0
+// disables the capacity bound; otherwise full signature groups spill into
+// fresh partitions of the same signature.
+func NewSchemaExact(maxSize int64, mode SizeMode) *SchemaExact {
+	return &SchemaExact{
+		baseBook: newBaseBook(mode),
+		bySig:    make(map[string]PartitionID),
+		maxSize:  maxSize,
+	}
+}
+
+func sigOf(s *synopsis.Set) string { return s.String() }
+
+// Insert places e with all entities sharing its exact attribute set.
+func (x *SchemaExact) Insert(e Entity) PartitionID {
+	sig := sigOf(e.Syn)
+	var p *partition
+	if pid, ok := x.bySig[sig]; ok {
+		// The mapped partition may be gone (dropped when emptied) or full.
+		if live := x.parts[pid]; live != nil &&
+			!(x.maxSize > 0 && live.size+x.entitySize(&e) > x.maxSize) {
+			p = live
+		}
+	}
+	if p == nil {
+		p = x.newPartition()
+		x.bySig[sig] = p.id
+	}
+	return x.addTo(p, &e, NoPartition)
+}
+
+// Delete removes e, dropping emptied partitions.
+func (x *SchemaExact) Delete(id EntityID) {
+	pid, ok := x.loc[id]
+	if !ok {
+		return
+	}
+	p := x.parts[pid]
+	sig := sigOf(p.members[id].Syn)
+	x.deleteFrom(id, true)
+	if _, alive := x.parts[pid]; alive {
+		return
+	}
+	// The partition was dropped; clear its signature mapping so future
+	// inserts do not resolve to a dead partition id.
+	if x.bySig[sig] == pid {
+		delete(x.bySig, sig)
+	}
+}
+
+// Update moves the entity to the partition of its new signature.
+func (x *SchemaExact) Update(e Entity) PartitionID {
+	pid, ok := x.loc[e.ID]
+	if !ok {
+		return x.Insert(e)
+	}
+	p := x.parts[pid]
+	old := p.members[e.ID]
+	if old.Syn.Equal(e.Syn) {
+		p.remove(e.ID, x.entitySize(old))
+		return x.addTo(p, &e, pid)
+	}
+	x.Delete(e.ID)
+	ne := e
+	sig := sigOf(ne.Syn)
+	var target *partition
+	if tp, ok := x.bySig[sig]; ok {
+		if live := x.parts[tp]; live != nil &&
+			!(x.maxSize > 0 && live.size+x.entitySize(&ne) > x.maxSize) {
+			target = live
+		}
+	}
+	if target == nil {
+		target = x.newPartition()
+		x.bySig[sig] = target.id
+	}
+	return x.addTo(target, &ne, pid)
+}
+
+var (
+	_ Assigner = (*Single)(nil)
+	_ Assigner = (*Hash)(nil)
+	_ Assigner = (*RoundRobin)(nil)
+	_ Assigner = (*SchemaExact)(nil)
+)

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSingleKeepsOnePartition(t *testing.T) {
+	s := NewSingle(SizeCount)
+	for i := 1; i <= 100; i++ {
+		s.Insert(ent(EntityID(i), i%10, 10+i%5))
+	}
+	ps := s.Partitions()
+	if len(ps) != 1 || ps[0].Entities != 100 {
+		t.Fatalf("partitions = %+v", ps)
+	}
+	s.Delete(1)
+	if s.Partitions()[0].Entities != 99 {
+		t.Fatal("delete failed")
+	}
+	if _, ok := s.Locate(1); ok {
+		t.Fatal("deleted entity located")
+	}
+	s.Update(ent(2, 99))
+	if !s.Partitions()[0].Synopsis.Contains(99) {
+		t.Fatal("update did not refresh synopsis")
+	}
+	if len(s.Partitions()) != 1 {
+		t.Fatal("update changed partition count")
+	}
+}
+
+func TestSingleSurvivesEmpty(t *testing.T) {
+	s := NewSingle(SizeCount)
+	s.Insert(ent(1, 1))
+	s.Delete(1)
+	if len(s.Partitions()) != 1 {
+		t.Fatal("single partition should survive emptiness")
+	}
+	s.Insert(ent(2, 2))
+	if len(s.Partitions()) != 1 {
+		t.Fatal("reinsert should reuse the partition")
+	}
+}
+
+func TestHashSpreadsEntities(t *testing.T) {
+	h := NewHash(8, SizeCount)
+	for i := 1; i <= 8000; i++ {
+		h.Insert(ent(EntityID(i), i%3))
+	}
+	ps := h.Partitions()
+	if len(ps) != 8 {
+		t.Fatalf("partitions = %d, want 8", len(ps))
+	}
+	for _, p := range ps {
+		if p.Entities < 500 || p.Entities > 1500 {
+			t.Fatalf("hash balance off: %+v", p)
+		}
+	}
+}
+
+func TestHashStablePlacement(t *testing.T) {
+	h := NewHash(4, SizeCount)
+	pid := h.Insert(ent(42, 1))
+	h.Delete(42)
+	if got := h.Insert(ent(42, 2)); got != pid {
+		t.Fatalf("hash placement not stable: %v vs %v", got, pid)
+	}
+	if got := h.Update(ent(42, 3)); got != pid {
+		t.Fatalf("update moved hash entity: %v vs %v", got, pid)
+	}
+}
+
+func TestHashBadKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHash(0) did not panic")
+		}
+	}()
+	NewHash(0, SizeCount)
+}
+
+func TestRoundRobinCapacity(t *testing.T) {
+	r := NewRoundRobin(10, SizeCount)
+	for i := 1; i <= 95; i++ {
+		r.Insert(ent(EntityID(i), i%7))
+	}
+	ps := r.Partitions()
+	if len(ps) != 10 {
+		t.Fatalf("partitions = %d, want 10", len(ps))
+	}
+	for i, p := range ps {
+		want := 10
+		if i == len(ps)-1 {
+			want = 5
+		}
+		if p.Entities != want {
+			t.Fatalf("partition %d has %d entities, want %d", i, p.Entities, want)
+		}
+	}
+}
+
+func TestRoundRobinDeleteDropsEmpty(t *testing.T) {
+	r := NewRoundRobin(2, SizeCount)
+	r.Insert(ent(1, 1))
+	r.Insert(ent(2, 1))
+	r.Insert(ent(3, 1))
+	if len(r.Partitions()) != 2 {
+		t.Fatal("setup failed")
+	}
+	r.Delete(1)
+	r.Delete(2)
+	if len(r.Partitions()) != 1 {
+		t.Fatalf("empty partition not dropped: %d", len(r.Partitions()))
+	}
+}
+
+func TestRoundRobinBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRoundRobin(0) did not panic")
+		}
+	}()
+	NewRoundRobin(0, SizeCount)
+}
+
+func TestSchemaExactGroupsBySignature(t *testing.T) {
+	x := NewSchemaExact(0, SizeCount)
+	sigs := [][]int{{1, 2}, {1, 2, 3}, {4}, {1, 2}, {4}}
+	for i, s := range sigs {
+		x.Insert(ent(EntityID(i+1), s...))
+	}
+	ps := x.Partitions()
+	if len(ps) != 3 {
+		t.Fatalf("partitions = %d, want 3", len(ps))
+	}
+	// Every partition must be perfectly homogeneous: all members share
+	// the partition synopsis.
+	p1, _ := x.Locate(1)
+	p4, _ := x.Locate(4)
+	if p1 != p4 {
+		t.Fatal("same-signature entities not co-located")
+	}
+	p3, _ := x.Locate(3)
+	p5, _ := x.Locate(5)
+	if p3 != p5 {
+		t.Fatal("signature {4} entities not co-located")
+	}
+}
+
+func TestSchemaExactCapacitySpill(t *testing.T) {
+	x := NewSchemaExact(3, SizeCount)
+	for i := 1; i <= 7; i++ {
+		x.Insert(ent(EntityID(i), 1, 2))
+	}
+	ps := x.Partitions()
+	if len(ps) != 3 {
+		t.Fatalf("partitions = %d, want 3 (3+3+1)", len(ps))
+	}
+	for _, p := range ps {
+		if p.Size > 3 {
+			t.Fatalf("partition over capacity: %+v", p)
+		}
+	}
+}
+
+func TestSchemaExactDelete(t *testing.T) {
+	x := NewSchemaExact(0, SizeCount)
+	x.Insert(ent(1, 1, 2))
+	x.Insert(ent(2, 3))
+	x.Delete(1)
+	if len(x.Partitions()) != 1 {
+		t.Fatalf("partitions = %d, want 1", len(x.Partitions()))
+	}
+	// Re-insert same signature works after its partition was dropped.
+	x.Insert(ent(3, 1, 2))
+	if len(x.Partitions()) != 2 {
+		t.Fatalf("partitions = %d, want 2", len(x.Partitions()))
+	}
+}
+
+func TestSchemaExactUpdateMovesAcrossSignatures(t *testing.T) {
+	x := NewSchemaExact(0, SizeCount)
+	x.Insert(ent(1, 1, 2))
+	x.Insert(ent(2, 1, 2))
+	x.Insert(ent(3, 9))
+	p3, _ := x.Locate(3)
+	got := x.Update(ent(1, 9))
+	if got != p3 {
+		t.Fatalf("update placed entity in %v, want %v", got, p3)
+	}
+	// Same-signature update stays put.
+	p2, _ := x.Locate(2)
+	if got := x.Update(ent(2, 1, 2)); got != p2 {
+		t.Fatal("same-signature update moved entity")
+	}
+}
+
+func TestAssignersAgreeOnMembership(t *testing.T) {
+	// Every Assigner must keep Locate consistent with Partitions under a
+	// random workload of inserts, updates, and deletes.
+	mk := func() []Assigner {
+		return []Assigner{
+			NewCinderella(Config{Weight: 0.4, MaxSize: 20}),
+			NewSingle(SizeCount),
+			NewHash(4, SizeCount),
+			NewRoundRobin(20, SizeCount),
+			NewSchemaExact(0, SizeCount),
+		}
+	}
+	for _, a := range mk() {
+		rng := rand.New(rand.NewSource(17))
+		live := make(map[EntityID]bool)
+		nextID := EntityID(1)
+		for step := 0; step < 2000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 6 || len(live) == 0:
+				a.Insert(ent(nextID, rng.Intn(5), 5+rng.Intn(5)))
+				live[nextID] = true
+				nextID++
+			case op < 8:
+				// delete a random live entity
+				for id := range live {
+					a.Delete(id)
+					delete(live, id)
+					break
+				}
+			default:
+				for id := range live {
+					a.Update(ent(id, rng.Intn(5), 5+rng.Intn(5)))
+					break
+				}
+			}
+		}
+		total := 0
+		for _, p := range a.Partitions() {
+			total += p.Entities
+		}
+		if total != len(live) {
+			t.Fatalf("%T: partitions hold %d entities, want %d", a, total, len(live))
+		}
+		for id := range live {
+			if _, ok := a.Locate(id); !ok {
+				t.Fatalf("%T: live entity %d unlocatable", a, id)
+			}
+		}
+	}
+}
+
+func TestSchemaExactStaleSignatureAfterDrop(t *testing.T) {
+	// Regression: with a capacity bound, deleting every member of a
+	// signature's partition used to leave the signature mapped to the
+	// dropped partition id; the next insert then dereferenced a missing
+	// partition.
+	x := NewSchemaExact(40, SizeCount)
+	id := EntityID(1)
+	x.Insert(ent(id, 1, 2))
+	x.Delete(id)
+	if len(x.Partitions()) != 0 {
+		t.Fatalf("partitions = %d", len(x.Partitions()))
+	}
+	// Must not panic, and must place the entity.
+	pid := x.Insert(ent(2, 1, 2))
+	if pid == NoPartition {
+		t.Fatal("reinsert failed")
+	}
+	// Same for the Update path.
+	x.Insert(ent(3, 9))
+	x.Delete(3)
+	if got := x.Update(ent(2, 9)); got == NoPartition {
+		t.Fatal("update into dropped signature failed")
+	}
+}

@@ -1,0 +1,492 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cinderella/internal/synopsis"
+)
+
+// Cinderella is the online partitioner of Algorithm 1. It is not safe for
+// concurrent use; callers (the table layer) serialize operations.
+type Cinderella struct {
+	cfg    Config
+	parts  map[PartitionID]*partition
+	loc    map[EntityID]PartitionID
+	nextID PartitionID
+	moved  MoveListener
+	rng    *rand.Rand
+
+	// attrIndex maps attribute id -> partitions whose synopsis contains it
+	// (only when cfg.UseCatalogIndex).
+	attrIndex map[int]map[PartitionID]struct{}
+
+	stats OpStats
+}
+
+// OpStats counts partitioner events for the experiments (Figure 8 reports
+// split counts: 448/100/0 for B = 500/5000/50000 on the DBpedia set).
+type OpStats struct {
+	Inserts        int64
+	Deletes        int64
+	Updates        int64
+	UpdateMoves    int64
+	Splits         int64
+	SplitCascades  int64 // splits triggered while redistributing a split
+	SplitMoves     int64 // entities relocated by splits or merges
+	Merges         int64 // partition merges performed by Compact
+	NewPartitions  int64
+	DropPartitions int64
+	RatedPairs     int64 // entity/partition ratings computed
+}
+
+// NewCinderella returns a partitioner for cfg. It panics on invalid
+// configuration (programmer error); use cfg.Validate to check first.
+func NewCinderella(cfg Config) *Cinderella {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	seed := cfg.RandSeed
+	if seed == 0 {
+		seed = 1
+	}
+	c := &Cinderella{
+		cfg:   cfg,
+		parts: make(map[PartitionID]*partition),
+		loc:   make(map[EntityID]PartitionID),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	if cfg.UseCatalogIndex {
+		c.attrIndex = make(map[int]map[PartitionID]struct{})
+	}
+	return c
+}
+
+// SetMoveListener registers the placement observer.
+func (c *Cinderella) SetMoveListener(l MoveListener) { c.moved = l }
+
+// Config returns the active configuration.
+func (c *Cinderella) Config() Config { return c.cfg }
+
+// Stats returns a copy of the operation counters.
+func (c *Cinderella) Stats() OpStats { return c.stats }
+
+// NumPartitions returns the current partition count.
+func (c *Cinderella) NumPartitions() int { return len(c.parts) }
+
+// Locate returns the partition holding id.
+func (c *Cinderella) Locate(id EntityID) (PartitionID, bool) {
+	pid, ok := c.loc[id]
+	return pid, ok
+}
+
+// Partitions snapshots all partition descriptors, ordered by id.
+func (c *Cinderella) Partitions() []PartitionInfo {
+	out := make([]PartitionInfo, 0, len(c.parts))
+	for _, p := range c.parts {
+		out = append(out, p.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Insert implements INSERTENTITY of Algorithm 1 against the full catalog.
+func (c *Cinderella) Insert(e Entity) PartitionID {
+	if e.ID == 0 {
+		panic("core: entity id 0 is reserved")
+	}
+	if _, dup := c.loc[e.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate insert of entity %d", e.ID))
+	}
+	c.stats.Inserts++
+	ent := e // private copy; synopsis is shared but treated immutably
+	return c.insert(&ent, nil, NoPartition)
+}
+
+// insert places ent. If restrict is non-nil, only those partitions are
+// candidates and no new partition may be created (the split
+// redistribution mode of Algorithm 1 line 32). prev reports where the
+// entity came from, for move notification.
+func (c *Cinderella) insert(ent *Entity, restrict []*partition, prev PartitionID) PartitionID {
+	best, bestRating := c.findBest(ent, restrict)
+
+	// Negative best rating (or empty catalog): the entity fits nowhere
+	// well; open a new partition (Algorithm 1 lines 9–13). Disabled in
+	// restricted mode, where the better of the two targets always wins.
+	if restrict == nil && (best == nil || bestRating < 0) {
+		p := c.newPartition()
+		p.add(ent, c.cfg.entitySize(ent))
+		p.starterA = ent.ID
+		c.indexAdd(p, ent.Syn)
+		c.loc[ent.ID] = p.id
+		c.notify(Placement{Entity: ent.ID, From: prev, To: p.id})
+		return p.id
+	}
+
+	// Update the split starters with the incoming entity (lines 15–24).
+	best.updateStarters(ent)
+
+	// Full partition: split (lines 26–33), then place ent among the two
+	// new partitions.
+	// The split candidate set is the partition's members plus ent, so a
+	// split is feasible whenever the partition holds at least one entity.
+	if best.size+c.cfg.entitySize(ent) > c.cfg.MaxSize && len(best.members) >= 1 {
+		return c.split(best, ent, prev)
+	}
+
+	// Normal case (line 36).
+	c.indexAdd(best, ent.Syn)
+	best.add(ent, c.cfg.entitySize(ent))
+	c.loc[ent.ID] = best.id
+	c.notify(Placement{Entity: ent.ID, From: prev, To: best.id})
+	return best.id
+}
+
+// findBest scans the catalog (or the restricted candidate set) for the
+// best-rated partition, Algorithm 1 lines 3–7.
+func (c *Cinderella) findBest(ent *Entity, restrict []*partition) (*partition, float64) {
+	var best *partition
+	bestRating := math.Inf(-1)
+	sizeE := c.cfg.entitySize(ent)
+
+	consider := func(p *partition) {
+		c.stats.RatedPairs++
+		r := rate(c.cfg.Weight, ent, p.syn, sizeE, p.size)
+		score := r.Global
+		if c.cfg.DisableNormalization {
+			score = r.Local
+		}
+		if score > bestRating || (score == bestRating && (best == nil || p.id < best.id)) {
+			bestRating = score
+			best = p
+		}
+	}
+
+	switch {
+	case restrict != nil:
+		for _, p := range restrict {
+			consider(p)
+		}
+	case c.attrIndex != nil:
+		// Candidate partitions share at least one attribute with the
+		// entity. Disjoint partitions all rate identically (pure negative
+		// evidence); one representative is enough when no overlapping
+		// partition scores non-negative — and a disjoint rating is always
+		// negative for w<1, so it can never beat a non-negative overlap
+		// score. We therefore rate overlapping candidates only; if none
+		// exists or all rate negative, a new partition is opened, which is
+		// exactly what a full scan would conclude (any disjoint partition
+		// also rates negative).
+		seen := make(map[PartitionID]struct{})
+		for _, a := range ent.Syn.Elements(nil) {
+			for pid := range c.attrIndex[a] {
+				if _, dup := seen[pid]; dup {
+					continue
+				}
+				seen[pid] = struct{}{}
+				consider(c.parts[pid])
+			}
+		}
+		if best == nil && c.cfg.Weight == 1 {
+			// w=1 ignores negative evidence; disjoint partitions rate 0 and
+			// are admissible. Fall back to a full scan for correctness.
+			for _, p := range c.sortedParts() {
+				consider(p)
+			}
+		}
+	default:
+		for _, p := range c.sortedParts() {
+			consider(p)
+		}
+	}
+	return best, bestRating
+}
+
+// sortedParts returns partitions ordered by id so that catalog scans are
+// deterministic (map iteration order is randomized in Go).
+func (c *Cinderella) sortedParts() []*partition {
+	out := make([]*partition, 0, len(c.parts))
+	for _, p := range c.parts {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// split reorganizes full partition p around its split starters and places
+// incoming entity ent into one of the two results (Algorithm 1 lines
+// 26–33 plus the documented clarification that ent participates).
+func (c *Cinderella) split(p *partition, ent *Entity, prev PartitionID) PartitionID {
+	c.stats.Splits++
+
+	starterA, starterB := c.chooseStarters(p, ent)
+
+	pa := c.newPartition()
+	pb := c.newPartition()
+
+	// Move the starters first (lines 29–30). Either starter may be the
+	// incoming entity itself (it can have claimed a starter slot in
+	// updateStarters).
+	place := func(target *partition, se *Entity) {
+		from := NoPartition
+		if se.ID != ent.ID {
+			p.remove(se.ID, c.cfg.entitySize(se))
+			from = p.id
+		}
+		target.add(se, c.cfg.entitySize(se))
+		target.starterA = se.ID
+		c.indexAdd(target, se.Syn)
+		c.loc[se.ID] = target.id
+		if from != NoPartition {
+			c.stats.SplitMoves++
+			c.notify(Placement{Entity: se.ID, From: from, To: target.id})
+		} else {
+			c.notify(Placement{Entity: se.ID, From: prev, To: target.id})
+		}
+	}
+	place(pa, starterA)
+	place(pb, starterB)
+
+	// Redistribute the remaining members through the insert procedure
+	// restricted to the two new partitions (lines 31–33). This can cascade
+	// into further splits, which the paper notes is possible but rare.
+	targets := []*partition{pa, pb}
+	rest := p.liveOrder()
+	for _, id := range rest {
+		m, ok := p.members[id]
+		if !ok {
+			continue
+		}
+		p.remove(id, c.cfg.entitySize(m))
+		c.stats.SplitMoves++
+		before := c.stats.Splits
+		c.insert(m, targets, p.id)
+		if c.stats.Splits != before {
+			c.stats.SplitCascades += c.stats.Splits - before
+			// A cascade replaced one of the targets; refresh the live set.
+			targets = c.liveTargets(targets)
+		}
+	}
+
+	// Place the incoming entity itself unless it already went in as a
+	// starter.
+	var result PartitionID
+	if pid, placed := c.loc[ent.ID]; placed {
+		result = pid
+	} else {
+		result = c.insert(ent, c.liveTargets(targets), prev)
+	}
+
+	// The old partition is empty now; drop it (its id disappears from the
+	// catalog, like the paper's DROP of the split table).
+	c.dropPartition(p)
+	return result
+}
+
+// liveTargets filters a candidate list down to partitions still in the
+// catalog (cascaded splits drop and replace targets).
+func (c *Cinderella) liveTargets(targets []*partition) []*partition {
+	out := targets[:0]
+	for _, t := range targets {
+		if _, ok := c.parts[t.id]; ok {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		// All original targets were themselves split away; fall back to a
+		// full catalog scan.
+		return nil
+	}
+	return out
+}
+
+// chooseStarters resolves the split-starter pair, honouring the configured
+// policy and repairing missing starters after deletions. The incoming
+// entity ent is a legitimate candidate (it may already hold a slot).
+func (c *Cinderella) chooseStarters(p *partition, ent *Entity) (*Entity, *Entity) {
+	resolve := func(id EntityID) *Entity {
+		if id == 0 {
+			return nil
+		}
+		if id == ent.ID {
+			return ent
+		}
+		return p.members[id]
+	}
+
+	candidates := func() []*Entity {
+		out := make([]*Entity, 0, len(p.members)+1)
+		for _, id := range p.liveOrder() {
+			out = append(out, p.members[id])
+		}
+		out = append(out, ent)
+		return out
+	}
+
+	switch c.cfg.StarterPolicy {
+	case StarterExact:
+		return mostDifferentPair(candidates())
+	case StarterRandom:
+		cs := candidates()
+		i := c.rng.Intn(len(cs))
+		j := c.rng.Intn(len(cs) - 1)
+		if j >= i {
+			j++
+		}
+		return cs[i], cs[j]
+	}
+
+	a, b := resolve(p.starterA), resolve(p.starterB)
+	if a != nil && b != nil && a.ID != b.ID {
+		return a, b
+	}
+	// Starter slots were invalidated by deletions; repair with the exact
+	// pair over current members (splits are rare, partitions bounded).
+	return mostDifferentPair(candidates())
+}
+
+// mostDifferentPair returns the pair with maximal synopsis difference
+// (quadratic; used by StarterExact and starter repair).
+func mostDifferentPair(es []*Entity) (*Entity, *Entity) {
+	if len(es) < 2 {
+		panic("core: split of partition with fewer than two entities")
+	}
+	bi, bj, bd := 0, 1, -1
+	for i := 0; i < len(es); i++ {
+		for j := i + 1; j < len(es); j++ {
+			if d := diff(es[i], es[j]); d > bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	return es[bi], es[bj]
+}
+
+// Delete removes an entity (Section III: the partitioning itself remains
+// unchanged; empty partitions are deleted).
+func (c *Cinderella) Delete(id EntityID) {
+	pid, ok := c.loc[id]
+	if !ok {
+		return
+	}
+	c.stats.Deletes++
+	p := c.parts[pid]
+	e := p.members[id]
+	p.remove(id, c.cfg.entitySize(e))
+	delete(c.loc, id)
+	c.indexRebuild(p)
+	if len(p.members) == 0 {
+		c.dropPartition(p)
+	}
+}
+
+// Update re-runs the insert rating for a changed entity; the entity moves
+// only if a different partition wins (Section III).
+func (c *Cinderella) Update(e Entity) PartitionID {
+	pid, ok := c.loc[e.ID]
+	if !ok {
+		return c.Insert(e)
+	}
+	c.stats.Updates++
+	p := c.parts[pid]
+	old := p.members[e.ID]
+
+	// Temporarily take the entity out so ratings do not count it twice.
+	p.remove(e.ID, c.cfg.entitySize(old))
+	delete(c.loc, e.ID)
+	c.indexRebuild(p)
+
+	ent := e
+	best, bestRating := c.findBest(&ent, nil)
+
+	if best != nil && best.id == pid && bestRating >= 0 {
+		// Same partition wins: update in place.
+		p.add(&ent, c.cfg.entitySize(&ent))
+		p.updateStarters(&ent)
+		c.indexAdd(p, ent.Syn)
+		c.loc[e.ID] = pid
+		return pid
+	}
+	// A different partition (or a fresh one) wins: move via insert. The
+	// vacated partition may now be empty.
+	newPID := c.insert(&ent, nil, pid)
+	c.stats.UpdateMoves++
+	if op, ok := c.parts[pid]; ok && len(op.members) == 0 {
+		c.dropPartition(op)
+	}
+	return newPID
+}
+
+func (c *Cinderella) newPartition() *partition {
+	c.nextID++
+	c.stats.NewPartitions++
+	p := newPartition(c.nextID)
+	c.parts[p.id] = p
+	return p
+}
+
+func (c *Cinderella) dropPartition(p *partition) {
+	if len(p.members) != 0 {
+		panic("core: dropping non-empty partition")
+	}
+	c.stats.DropPartitions++
+	delete(c.parts, p.id)
+	c.indexRemoveAll(p)
+	c.notify(Placement{Entity: 0, From: p.id, To: NoPartition})
+}
+
+// notify reports a placement if a listener is registered. A Placement
+// with Entity==0 signals that partition From was dropped.
+func (c *Cinderella) notify(pl Placement) {
+	if c.moved != nil {
+		c.moved(pl)
+	}
+}
+
+// --- inverted attribute index (UseCatalogIndex ablation) ---
+
+func (c *Cinderella) indexAdd(p *partition, syn *synopsis.Set) {
+	if c.attrIndex == nil {
+		return
+	}
+	for _, a := range syn.Elements(nil) {
+		m := c.attrIndex[a]
+		if m == nil {
+			m = make(map[PartitionID]struct{})
+			c.attrIndex[a] = m
+		}
+		m[p.id] = struct{}{}
+	}
+}
+
+// indexRebuild re-derives index membership for p after attribute refcounts
+// dropped (deletes/updates can shrink a partition synopsis).
+func (c *Cinderella) indexRebuild(p *partition) {
+	if c.attrIndex == nil {
+		return
+	}
+	for a, m := range c.attrIndex {
+		if _, has := m[p.id]; has && !p.syn.Contains(a) {
+			delete(m, p.id)
+			if len(m) == 0 {
+				delete(c.attrIndex, a)
+			}
+		}
+	}
+}
+
+func (c *Cinderella) indexRemoveAll(p *partition) {
+	if c.attrIndex == nil {
+		return
+	}
+	for a, m := range c.attrIndex {
+		delete(m, p.id)
+		if len(m) == 0 {
+			delete(c.attrIndex, a)
+		}
+	}
+}
+
+var _ Assigner = (*Cinderella)(nil)

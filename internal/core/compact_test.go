@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cinderella/internal/synopsis"
+)
+
+func TestCompactMergesFragments(t *testing.T) {
+	c := NewCinderella(cfg(0.5, 100))
+	// Build two partitions of the same schema by exceeding capacity, then
+	// delete most members so both become tiny fragments.
+	for i := 1; i <= 150; i++ {
+		c.Insert(ent(EntityID(i), 1, 2, 3))
+	}
+	if c.NumPartitions() < 2 {
+		t.Skipf("setup produced %d partitions", c.NumPartitions())
+	}
+	for i := 1; i <= 150; i++ {
+		if i%25 != 0 { // keep 6 entities
+			c.Delete(EntityID(i))
+		}
+	}
+	before := c.NumPartitions()
+	merges := c.Compact(0.25)
+	if merges == 0 {
+		t.Fatalf("no merges on %d fragmented partitions", before)
+	}
+	if c.NumPartitions() >= before {
+		t.Fatalf("partitions %d -> %d", before, c.NumPartitions())
+	}
+	// All survivors still placed exactly once.
+	total := 0
+	for _, p := range c.Partitions() {
+		total += p.Entities
+		if p.Size > 100 {
+			t.Fatalf("merged partition over capacity: %+v", p)
+		}
+	}
+	if total != 6 {
+		t.Fatalf("entities after compact = %d, want 6", total)
+	}
+}
+
+func TestCompactRespectsSchemaBoundaries(t *testing.T) {
+	// Disjoint schemas rate negative against each other; Compact must not
+	// merge them even when both are tiny.
+	c := NewCinderella(cfg(0.5, 100))
+	c.Insert(ent(1, 1, 2))
+	c.Insert(ent(2, 50, 51))
+	if got := c.Compact(1.0); got != 0 {
+		t.Fatalf("merged disjoint schemas: %d merges", got)
+	}
+	if c.NumPartitions() != 2 {
+		t.Fatalf("partitions = %d", c.NumPartitions())
+	}
+}
+
+func TestCompactRespectsCapacity(t *testing.T) {
+	c := NewCinderella(cfg(0.9, 10))
+	for i := 1; i <= 10; i++ {
+		c.Insert(ent(EntityID(i), 1, 2))
+	}
+	// One full partition; a second partition with same schema appears
+	// after overflow.
+	c.Insert(ent(11, 1, 2))
+	before := c.NumPartitions()
+	c.Compact(1.0)
+	// Nothing to merge: combined size would exceed B.
+	total := 0
+	for _, p := range c.Partitions() {
+		total += p.Entities
+		if p.Size > 10 {
+			t.Fatalf("over capacity after compact: %+v", p)
+		}
+	}
+	if total != 11 {
+		t.Fatalf("entities = %d", total)
+	}
+	_ = before
+}
+
+func TestCompactZeroThresholdNoop(t *testing.T) {
+	c := NewCinderella(cfg(0.5, 10))
+	c.Insert(ent(1, 1))
+	if got := c.Compact(0); got != 0 {
+		t.Fatalf("threshold 0 merged %d", got)
+	}
+}
+
+func TestCompactNotifiesMoves(t *testing.T) {
+	c := NewCinderella(cfg(0.5, 100))
+	shadow := map[EntityID]PartitionID{}
+	c.SetMoveListener(func(pl Placement) {
+		if pl.Entity != 0 {
+			shadow[pl.Entity] = pl.To
+		}
+	})
+	for i := 1; i <= 150; i++ {
+		c.Insert(ent(EntityID(i), 1, 2, 3))
+	}
+	for i := 1; i <= 150; i++ {
+		if i%50 != 0 {
+			c.Delete(EntityID(i))
+			delete(shadow, EntityID(i))
+		}
+	}
+	c.Compact(0.5)
+	for id, pid := range shadow {
+		got, ok := c.Locate(id)
+		if !ok || got != pid {
+			t.Fatalf("entity %d: listener %v, Locate %v,%v", id, pid, got, ok)
+		}
+	}
+	if c.Stats().Merges == 0 {
+		t.Log("no merges occurred (acceptable if single partition remained)")
+	}
+}
+
+func TestCompactKeepsInvariantsUnderChurn(t *testing.T) {
+	c := NewCinderella(cfg(0.4, 30))
+	rng := rand.New(rand.NewSource(12))
+	live := map[EntityID]*synopsis.Set{}
+	next := EntityID(1)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 200; i++ {
+			s := synopsis.Of(rng.Intn(6), 6+rng.Intn(6))
+			c.Insert(Entity{ID: next, Syn: s})
+			live[next] = s
+			next++
+		}
+		// Heavy deletion.
+		for id := range live {
+			if rng.Float64() < 0.7 {
+				c.Delete(id)
+				delete(live, id)
+			}
+		}
+		c.Compact(0.3)
+		checkInvariants(t, c, live)
+	}
+}

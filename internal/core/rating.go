@@ -1,0 +1,49 @@
+package core
+
+import (
+	"cinderella/internal/synopsis"
+)
+
+// Rating holds the decomposed scores of an entity/partition pair, exposed
+// so that tests, tooling, and EXPERIMENTS.md can report per-term evidence.
+type Rating struct {
+	Homogeneity     int64   // h⁺  = (SIZE(p)+SIZE(e))·|e ∧ p|
+	EntityHetero    int64   // hₑ⁻ = SIZE(e)·|¬e ∧ p|
+	PartitionHetero int64   // hₚ⁻ = SIZE(p)·|e ∧ ¬p|
+	Local           float64 // r'  = w·h⁺ − (1−w)(hₑ⁻+hₚ⁻)
+	Global          float64 // r   = r' / ((SIZE(p)+SIZE(e))·|e ∨ p|)
+}
+
+// rate computes the Section IV rating of entity e against partition p.
+// sizeE and sizeP are SIZE(e) and SIZE(p) in the configured units.
+func rate(w float64, e *Entity, pSyn *synopsis.Set, sizeE, sizeP int64) Rating {
+	and := int64(synopsis.AndCard(e.Syn, pSyn))
+	or := int64(synopsis.OrCard(e.Syn, pSyn))
+	missE := int64(synopsis.AndNotCard(pSyn, e.Syn)) // |¬e ∧ p|
+	missP := int64(synopsis.AndNotCard(e.Syn, pSyn)) // |e ∧ ¬p|
+
+	r := Rating{
+		Homogeneity:     (sizeP + sizeE) * and,
+		EntityHetero:    sizeE * missE,
+		PartitionHetero: sizeP * missP,
+	}
+	r.Local = w*float64(r.Homogeneity) - (1-w)*float64(r.EntityHetero+r.PartitionHetero)
+	denom := float64((sizeP + sizeE) * or)
+	if denom > 0 {
+		r.Global = r.Local / denom
+	} else {
+		// Both synopses empty: a perfectly (vacuously) homogeneous match.
+		r.Global = 0
+	}
+	return r
+}
+
+// Rate exposes the rating of an entity against a partition synopsis for
+// diagnostics and tests.
+func (c *Cinderella) Rate(e Entity, pid PartitionID) (Rating, bool) {
+	p, ok := c.parts[pid]
+	if !ok {
+		return Rating{}, false
+	}
+	return rate(c.cfg.Weight, &e, p.syn, c.cfg.entitySize(&e), p.size), true
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cinderella/internal/synopsis"
+)
+
+// TestRatingHandComputed checks the Section IV formulas against a fully
+// hand-computed example.
+func TestRatingHandComputed(t *testing.T) {
+	// Entity attrs {0,1,2,3}, size 4. Partition attrs {2,3,4,5,6}, size 10.
+	e := &Entity{ID: 1, Syn: synopsis.Of(0, 1, 2, 3)}
+	pSyn := synopsis.Of(2, 3, 4, 5, 6)
+	const sizeE, sizeP = 4, 10
+	const w = 0.5
+
+	r := rate(w, e, pSyn, sizeE, sizeP)
+
+	// |e∧p| = 2, |¬e∧p| = 3, |e∧¬p| = 2, |e∨p| = 7.
+	if r.Homogeneity != (sizeP+sizeE)*2 {
+		t.Errorf("h+ = %d, want %d", r.Homogeneity, (sizeP+sizeE)*2)
+	}
+	if r.EntityHetero != sizeE*3 {
+		t.Errorf("he- = %d, want %d", r.EntityHetero, sizeE*3)
+	}
+	if r.PartitionHetero != sizeP*2 {
+		t.Errorf("hp- = %d, want %d", r.PartitionHetero, sizeP*2)
+	}
+	wantLocal := w*float64(28) - (1-w)*float64(12+20)
+	if r.Local != wantLocal {
+		t.Errorf("r' = %v, want %v", r.Local, wantLocal)
+	}
+	wantGlobal := wantLocal / float64((sizeP+sizeE)*7)
+	if math.Abs(r.Global-wantGlobal) > 1e-12 {
+		t.Errorf("r = %v, want %v", r.Global, wantGlobal)
+	}
+}
+
+// TestRatingPerfectMatch: identical synopses yield pure positive evidence.
+func TestRatingPerfectMatch(t *testing.T) {
+	e := &Entity{ID: 1, Syn: synopsis.Of(1, 2, 3)}
+	r := rate(0.5, e, synopsis.Of(1, 2, 3), 1, 5)
+	if r.EntityHetero != 0 || r.PartitionHetero != 0 {
+		t.Errorf("heterogeneity nonzero for perfect match: %+v", r)
+	}
+	if r.Global <= 0 {
+		t.Errorf("perfect match should rate positive, got %v", r.Global)
+	}
+	// r = w·(sizeP+sizeE)·n / ((sizeP+sizeE)·n) = w.
+	if math.Abs(r.Global-0.5) > 1e-12 {
+		t.Errorf("perfect match global rating = %v, want w = 0.5", r.Global)
+	}
+}
+
+// TestRatingDisjoint: no shared attribute yields pure negative evidence.
+func TestRatingDisjoint(t *testing.T) {
+	e := &Entity{ID: 1, Syn: synopsis.Of(1, 2)}
+	r := rate(0.5, e, synopsis.Of(3, 4), 1, 5)
+	if r.Homogeneity != 0 {
+		t.Errorf("h+ = %d, want 0", r.Homogeneity)
+	}
+	if r.Global >= 0 {
+		t.Errorf("disjoint rating should be negative, got %v", r.Global)
+	}
+}
+
+// TestRatingWeightZero: with w = 0 any heterogeneity turns the rating
+// negative, so only perfect matches rate non-negative (paper Section IV).
+func TestRatingWeightZero(t *testing.T) {
+	e := &Entity{ID: 1, Syn: synopsis.Of(1, 2)}
+	if r := rate(0, e, synopsis.Of(1, 2), 1, 3); r.Global != 0 {
+		t.Errorf("w=0 perfect match should rate exactly 0, got %v", r.Global)
+	}
+	if r := rate(0, e, synopsis.Of(1, 2, 3), 1, 3); r.Global >= 0 {
+		t.Errorf("w=0 with heterogeneity should rate negative, got %v", r.Global)
+	}
+}
+
+// TestRatingWeightOne: with w = 1 negative evidence is ignored.
+func TestRatingWeightOne(t *testing.T) {
+	e := &Entity{ID: 1, Syn: synopsis.Of(1, 9)}
+	r := rate(1, e, synopsis.Of(1, 2, 3, 4), 1, 3)
+	if r.Global <= 0 {
+		t.Errorf("w=1 with any overlap should rate positive, got %v", r.Global)
+	}
+	r = rate(1, e, synopsis.Of(2, 3), 1, 3)
+	if r.Global != 0 {
+		t.Errorf("w=1 disjoint should rate 0, got %v", r.Global)
+	}
+}
+
+// TestRatingMonotoneInWeight: for a fixed pair, the rating grows with w.
+func TestRatingMonotoneInWeight(t *testing.T) {
+	e := &Entity{ID: 1, Syn: synopsis.Of(1, 2, 5)}
+	pSyn := synopsis.Of(1, 2, 3)
+	prev := math.Inf(-1)
+	for w := 0.0; w <= 1.0; w += 0.1 {
+		r := rate(w, e, pSyn, 2, 10)
+		if r.Global < prev {
+			t.Fatalf("rating not monotone in w at %v: %v < %v", w, r.Global, prev)
+		}
+		prev = r.Global
+	}
+}
+
+// TestRatingGlobalBounded: |r| ≤ max(w, 1-w) ≤ 1 by construction, because
+// h⁺ ≤ (SIZE(p)+SIZE(e))·|e∨p| and hₑ⁻+hₚ⁻ ≤ (SIZE(p)+SIZE(e))·|e∨p|.
+func TestRatingGlobalBounded(t *testing.T) {
+	pairs := []struct{ e, p *synopsis.Set }{
+		{synopsis.Of(1), synopsis.Of(1)},
+		{synopsis.Of(1, 2, 3), synopsis.Of(4, 5, 6)},
+		{synopsis.Of(1, 2), synopsis.Of(2, 3)},
+		{synopsis.Of(), synopsis.Of(1, 2)},
+	}
+	for _, w := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		for _, pr := range pairs {
+			e := &Entity{ID: 1, Syn: pr.e}
+			for _, sizes := range [][2]int64{{1, 1}, {3, 500}, {500, 3}} {
+				r := rate(w, e, pr.p, sizes[0], sizes[1])
+				if math.Abs(r.Global) > 1.0+1e-9 {
+					t.Errorf("w=%v sizes=%v |r|=%v > 1", w, sizes, r.Global)
+				}
+			}
+		}
+	}
+}
+
+// TestRatingEmptySynopses: rating of an attribute-less entity against an
+// attribute-less partition is defined (0), not NaN.
+func TestRatingEmptySynopses(t *testing.T) {
+	e := &Entity{ID: 1, Syn: synopsis.Of()}
+	r := rate(0.5, e, synopsis.Of(), 1, 1)
+	if math.IsNaN(r.Global) || r.Global != 0 {
+		t.Errorf("empty-vs-empty rating = %v, want 0", r.Global)
+	}
+}
+
+// TestRateMethod exposes the rating through the partitioner.
+func TestRateMethod(t *testing.T) {
+	c := NewCinderella(Config{Weight: 0.5, MaxSize: 10})
+	e := Entity{ID: 1, Syn: synopsis.Of(1, 2)}
+	pid := c.Insert(e)
+	r, ok := c.Rate(Entity{ID: 2, Syn: synopsis.Of(1, 2)}, pid)
+	if !ok {
+		t.Fatal("Rate against existing partition failed")
+	}
+	if math.Abs(r.Global-0.5) > 1e-12 {
+		t.Errorf("perfect-match rate = %v, want 0.5", r.Global)
+	}
+	if _, ok := c.Rate(e, PartitionID(999)); ok {
+		t.Error("Rate against unknown partition succeeded")
+	}
+}

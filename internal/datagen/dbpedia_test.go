@@ -1,0 +1,183 @@
+package datagen
+
+import (
+	"testing"
+
+	"cinderella/internal/metrics"
+	"cinderella/internal/synopsis"
+)
+
+func genSmall(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(Config{NumEntities: 20000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func synopses(ds *Dataset) []*synopsis.Set {
+	out := make([]*synopsis.Set, len(ds.Entities))
+	for i, e := range ds.Entities {
+		out[i] = e.Synopsis()
+	}
+	return out
+}
+
+func TestGenerateCount(t *testing.T) {
+	ds := genSmall(t)
+	if len(ds.Entities) != 20000 {
+		t.Fatalf("entities = %d", len(ds.Entities))
+	}
+	if ds.Dict.Len() != 100 {
+		t.Fatalf("attrs = %d", ds.Dict.Len())
+	}
+	for i, e := range ds.Entities {
+		if e.NumAttrs() == 0 {
+			t.Fatalf("entity %d has no attributes", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Config{NumEntities: 500, Seed: 7})
+	b, _ := Generate(Config{NumEntities: 500, Seed: 7})
+	for i := range a.Entities {
+		if !a.Entities[i].Equal(b.Entities[i]) {
+			t.Fatalf("entity %d differs between runs", i)
+		}
+	}
+	c, _ := Generate(Config{NumEntities: 500, Seed: 8})
+	same := 0
+	for i := range a.Entities {
+		if a.Entities[i].Equal(c.Entities[i]) {
+			same++
+		}
+	}
+	if same == len(a.Entities) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateValidate(t *testing.T) {
+	bad := []Config{
+		{NumAttrs: 5},
+		{NumEntities: -1},
+		{NumClasses: -2},
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestFigure4aShape verifies the attribute-frequency calibration targets
+// from Figure 4(a).
+func TestFigure4aShape(t *testing.T) {
+	ds := genSmall(t)
+	n := float64(len(ds.Entities))
+	freq := metrics.FrequencyDistribution(synopses(ds))
+
+	// "two attributes are extremely common and appear on almost every
+	// entity"
+	if float64(freq[0])/n < 0.85 || float64(freq[1])/n < 0.80 {
+		t.Errorf("top-2 attribute frequencies too low: %v %v", float64(freq[0])/n, float64(freq[1])/n)
+	}
+	// "Eleven attributes are fairly common and appear on over 30% of the
+	// entities" — allow 9–15.
+	over30 := 0
+	for _, f := range freq {
+		if float64(f)/n > 0.30 {
+			over30++
+		}
+	}
+	if over30 < 8 || over30 > 16 {
+		t.Errorf("attributes over 30%% = %d, want ≈ 13 (2 universal + 11 common)", over30)
+	}
+	// "85% of the attributes appear on less than 10% of the entities" —
+	// allow 75–95 of 100.
+	under10 := 0
+	for _, f := range freq {
+		if float64(f)/n < 0.10 {
+			under10++
+		}
+	}
+	under10 += 100 - len(freq) // attributes that never appeared
+	if under10 < 70 || under10 > 95 {
+		t.Errorf("attributes under 10%% = %d, want ≈ 85", under10)
+	}
+}
+
+// TestFigure4bShape verifies the attributes-per-entity calibration from
+// Figure 4(b): majority between 2 and 15, tail bounded near 27.
+func TestFigure4bShape(t *testing.T) {
+	ds := genSmall(t)
+	counts := metrics.AttrsPerEntity(synopses(ds))
+	in2to15, max := 0, 0
+	for _, c := range counts {
+		if c >= 2 && c <= 15 {
+			in2to15++
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if frac := float64(in2to15) / float64(len(counts)); frac < 0.80 {
+		t.Errorf("fraction of entities with 2–15 attrs = %v, want > 0.80", frac)
+	}
+	if max > 35 {
+		t.Errorf("max attrs per entity = %d, want tail ≲ 30", max)
+	}
+	if max < 16 {
+		t.Errorf("max attrs per entity = %d, want a tail beyond 15", max)
+	}
+}
+
+// TestSparsenessNearPaper: the paper's extract has sparseness 0.94.
+func TestSparsenessNearPaper(t *testing.T) {
+	ds := genSmall(t)
+	sp := ds.Sparseness()
+	if sp < 0.88 || sp > 0.97 {
+		t.Errorf("sparseness = %v, want ≈ 0.94", sp)
+	}
+}
+
+func TestShuffleDeterministicPermutation(t *testing.T) {
+	a, _ := Generate(Config{NumEntities: 300, Seed: 3})
+	b, _ := Generate(Config{NumEntities: 300, Seed: 3})
+	a.Shuffle(9)
+	b.Shuffle(9)
+	for i := range a.Entities {
+		if !a.Entities[i].Equal(b.Entities[i]) {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+	// Shuffle is a permutation: same multiset of attr-counts.
+	c, _ := Generate(Config{NumEntities: 300, Seed: 3})
+	sum := func(d *Dataset) int {
+		s := 0
+		for _, e := range d.Entities {
+			s += e.NumAttrs()
+		}
+		return s
+	}
+	if sum(a) != sum(c) {
+		t.Fatal("shuffle lost entities")
+	}
+}
+
+func TestRegularDataset(t *testing.T) {
+	ds := RegularDataset(50, 8, 1)
+	if len(ds.Entities) != 50 {
+		t.Fatalf("entities = %d", len(ds.Entities))
+	}
+	for _, e := range ds.Entities {
+		if e.NumAttrs() != 8 {
+			t.Fatalf("regular entity has %d attrs, want 8", e.NumAttrs())
+		}
+	}
+	if sp := ds.Sparseness(); sp != 0 {
+		t.Fatalf("regular sparseness = %v, want 0", sp)
+	}
+}

@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"cinderella/internal/entity"
+)
+
+// AggKind enumerates the supported aggregate functions.
+type AggKind uint8
+
+// Supported aggregates.
+const (
+	Sum AggKind = iota
+	Avg
+	Count
+	Min
+	Max
+	CountDistinct
+)
+
+// AggSpec declares one aggregate output: the function applied to an
+// expression over input rows. Expr may be nil for Count(*).
+type AggSpec struct {
+	Kind AggKind
+	Expr Expr
+	Name string
+}
+
+// HashAggregate groups rows by key columns and computes aggregates. The
+// output schema is the group-by columns followed by the aggregate names.
+type HashAggregate struct {
+	In      Operator
+	GroupBy []int
+	Aggs    []AggSpec
+
+	out []Row
+	pos int
+}
+
+type aggState struct {
+	group Row
+	sum   []float64
+	min   []Value
+	max   []Value
+	n     []int64
+	seen  []map[string]struct{}
+}
+
+// Schema returns group-by columns plus aggregate names.
+func (a *HashAggregate) Schema() Schema {
+	in := a.In.Schema()
+	out := make(Schema, 0, len(a.GroupBy)+len(a.Aggs))
+	for _, g := range a.GroupBy {
+		out = append(out, in[g])
+	}
+	for _, s := range a.Aggs {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// Open drains the input and materializes group results, ordered by group
+// key for determinism.
+func (a *HashAggregate) Open() {
+	a.In.Open()
+	groups := map[string]*aggState{}
+	var order []string
+	for {
+		r, ok := a.In.Next()
+		if !ok {
+			break
+		}
+		var kb strings.Builder
+		for _, g := range a.GroupBy {
+			kb.WriteString(r[g].String())
+			kb.WriteByte(0)
+		}
+		k := kb.String()
+		st, ok := groups[k]
+		if !ok {
+			st = &aggState{
+				group: make(Row, len(a.GroupBy)),
+				sum:   make([]float64, len(a.Aggs)),
+				min:   make([]Value, len(a.Aggs)),
+				max:   make([]Value, len(a.Aggs)),
+				n:     make([]int64, len(a.Aggs)),
+				seen:  make([]map[string]struct{}, len(a.Aggs)),
+			}
+			for i, g := range a.GroupBy {
+				st.group[i] = r[g]
+			}
+			for i, spec := range a.Aggs {
+				if spec.Kind == CountDistinct {
+					st.seen[i] = make(map[string]struct{})
+				}
+			}
+			groups[k] = st
+			order = append(order, k)
+		}
+		for i, spec := range a.Aggs {
+			var v Value
+			if spec.Expr != nil {
+				v = spec.Expr(r)
+			}
+			switch spec.Kind {
+			case Sum, Avg:
+				if !v.IsNull() {
+					st.sum[i] += v.AsFloat()
+					st.n[i]++
+				}
+			case Count:
+				if spec.Expr == nil || !v.IsNull() {
+					st.n[i]++
+				}
+			case CountDistinct:
+				if !v.IsNull() {
+					st.seen[i][v.String()] = struct{}{}
+				}
+			case Min:
+				// The zero Value is null, so a null min means "unset".
+				if !v.IsNull() && (st.min[i].IsNull() || CompareValues(v, st.min[i]) < 0) {
+					st.min[i] = v
+				}
+			case Max:
+				if !v.IsNull() && (st.max[i].IsNull() || CompareValues(v, st.max[i]) > 0) {
+					st.max[i] = v
+				}
+			}
+		}
+	}
+	a.In.Close()
+
+	sort.Strings(order)
+	a.out = a.out[:0]
+	for _, k := range order {
+		st := groups[k]
+		row := make(Row, 0, len(a.GroupBy)+len(a.Aggs))
+		row = append(row, st.group...)
+		for i, spec := range a.Aggs {
+			switch spec.Kind {
+			case Sum:
+				row = append(row, entity.Float(st.sum[i]))
+			case Avg:
+				if st.n[i] == 0 {
+					row = append(row, entity.Null())
+				} else {
+					row = append(row, entity.Float(st.sum[i]/float64(st.n[i])))
+				}
+			case Count:
+				row = append(row, entity.Int(st.n[i]))
+			case CountDistinct:
+				row = append(row, entity.Int(int64(len(st.seen[i]))))
+			case Min:
+				row = append(row, st.min[i])
+			case Max:
+				row = append(row, st.max[i])
+			}
+		}
+		a.out = append(a.out, row)
+	}
+	a.pos = 0
+}
+
+// Next returns the next group row.
+func (a *HashAggregate) Next() (Row, bool) {
+	if a.pos >= len(a.out) {
+		return nil, false
+	}
+	r := a.out[a.pos]
+	a.pos++
+	return r, true
+}
+
+// Close releases group state.
+func (a *HashAggregate) Close() { a.out = nil }
+
+// ScalarAgg runs an aggregation without grouping and returns the single
+// result row (all aggregates over the whole input). Convenient for the
+// scalar subqueries in several TPC-H queries.
+func ScalarAgg(in Operator, aggs ...AggSpec) Row {
+	agg := &HashAggregate{In: in, Aggs: aggs}
+	rows := Collect(agg)
+	if len(rows) == 0 {
+		// No input rows: sums are 0, counts 0, min/max null.
+		out := make(Row, len(aggs))
+		for i, s := range aggs {
+			switch s.Kind {
+			case Count, CountDistinct:
+				out[i] = entity.Int(0)
+			case Sum:
+				out[i] = entity.Float(0)
+			default:
+				out[i] = entity.Null()
+			}
+		}
+		return out
+	}
+	return rows[0]
+}

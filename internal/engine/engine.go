@@ -1,0 +1,368 @@
+// Package engine is a small volcano-style relational query engine: scans,
+// filters, projections, hash joins, hash aggregation, sorting, and
+// union-all over row sources. The TPC-H experiment (paper Table I) runs
+// all 22 queries through this engine, either against regular tables or
+// against views that union Cinderella partitions.
+//
+// Plans are built programmatically (there is no SQL parser); expressions
+// are Go closures over rows. Values reuse entity.Value, so universal-table
+// entities convert to rows without copying conversions.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"cinderella/internal/entity"
+)
+
+// Value aliases the dynamically typed value of the entity model.
+type Value = entity.Value
+
+// Row is one tuple.
+type Row []Value
+
+// Schema names the columns of a row stream.
+type Schema []string
+
+// ColIndex returns the position of a named column, or panics — plans are
+// built by code, so a miss is a programming error.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s {
+		if c == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("engine: unknown column %q in schema %v", name, s))
+}
+
+// Operator is the volcano iterator contract. Operators are single-use:
+// Open, then Next until ok is false, then Close.
+type Operator interface {
+	Schema() Schema
+	Open()
+	Next() (Row, bool)
+	Close()
+}
+
+// Expr evaluates a scalar over a row.
+type Expr func(Row) Value
+
+// Pred evaluates a boolean over a row.
+type Pred func(Row) bool
+
+// Col returns an Expr reading column i.
+func Col(i int) Expr { return func(r Row) Value { return r[i] } }
+
+// Const returns an Expr yielding a fixed value.
+func Const(v Value) Expr { return func(Row) Value { return v } }
+
+// Collect drains an operator into a materialized result.
+func Collect(op Operator) []Row {
+	op.Open()
+	defer op.Close()
+	var out []Row
+	for {
+		r, ok := op.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// --- scan ---
+
+// RowSource produces rows for a scan. Implementations: materialized
+// slices (regular tables) and universal-table partition views.
+type RowSource interface {
+	Schema() Schema
+	// Rows invokes fn for every row; stops early if fn returns false.
+	Rows(fn func(Row) bool)
+}
+
+// SliceSource is a materialized RowSource.
+type SliceSource struct {
+	Cols Schema
+	Data []Row
+}
+
+// Schema returns the source schema.
+func (s *SliceSource) Schema() Schema { return s.Cols }
+
+// Rows iterates the materialized rows.
+func (s *SliceSource) Rows(fn func(Row) bool) {
+	for _, r := range s.Data {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Scan is a full scan over a RowSource. Because RowSource exposes a
+// callback iteration, Scan materializes lazily in chunks via a pull
+// adapter: it simply buffers the callback into a slice on Open. Sources
+// are in-memory in this system, so this costs one slice of row headers.
+type Scan struct {
+	Src  RowSource
+	rows []Row
+	pos  int
+}
+
+// NewScan returns a scan over src.
+func NewScan(src RowSource) *Scan { return &Scan{Src: src} }
+
+// Schema returns the source schema.
+func (s *Scan) Schema() Schema { return s.Src.Schema() }
+
+// Open materializes the iteration buffer.
+func (s *Scan) Open() {
+	s.rows = s.rows[:0]
+	s.Src.Rows(func(r Row) bool {
+		s.rows = append(s.rows, r)
+		return true
+	})
+	s.pos = 0
+}
+
+// Next returns the next row.
+func (s *Scan) Next() (Row, bool) {
+	if s.pos >= len(s.rows) {
+		return nil, false
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Close releases the buffer.
+func (s *Scan) Close() { s.rows = nil }
+
+// --- filter ---
+
+// Filter passes rows satisfying a predicate.
+type Filter struct {
+	In   Operator
+	Cond Pred
+}
+
+// Schema returns the input schema.
+func (f *Filter) Schema() Schema { return f.In.Schema() }
+
+// Open opens the input.
+func (f *Filter) Open() { f.In.Open() }
+
+// Next returns the next matching row.
+func (f *Filter) Next() (Row, bool) {
+	for {
+		r, ok := f.In.Next()
+		if !ok {
+			return nil, false
+		}
+		if f.Cond(r) {
+			return r, true
+		}
+	}
+}
+
+// Close closes the input.
+func (f *Filter) Close() { f.In.Close() }
+
+// --- project ---
+
+// Project computes output columns from each input row.
+type Project struct {
+	In    Operator
+	Cols  Schema
+	Exprs []Expr
+}
+
+// Schema returns the projected schema.
+func (p *Project) Schema() Schema { return p.Cols }
+
+// Open opens the input.
+func (p *Project) Open() { p.In.Open() }
+
+// Next projects the next row.
+func (p *Project) Next() (Row, bool) {
+	r, ok := p.In.Next()
+	if !ok {
+		return nil, false
+	}
+	out := make(Row, len(p.Exprs))
+	for i, e := range p.Exprs {
+		out[i] = e(r)
+	}
+	return out, true
+}
+
+// Close closes the input.
+func (p *Project) Close() { p.In.Close() }
+
+// --- limit ---
+
+// Limit passes at most N rows.
+type Limit struct {
+	In Operator
+	N  int
+	n  int
+}
+
+// Schema returns the input schema.
+func (l *Limit) Schema() Schema { return l.In.Schema() }
+
+// Open opens the input and resets the counter.
+func (l *Limit) Open() { l.In.Open(); l.n = 0 }
+
+// Next returns the next row while under the limit.
+func (l *Limit) Next() (Row, bool) {
+	if l.n >= l.N {
+		return nil, false
+	}
+	r, ok := l.In.Next()
+	if !ok {
+		return nil, false
+	}
+	l.n++
+	return r, true
+}
+
+// Close closes the input.
+func (l *Limit) Close() { l.In.Close() }
+
+// --- sort ---
+
+// OrderBy sorts the input by a less function (materializing).
+type OrderBy struct {
+	In   Operator
+	Less func(a, b Row) bool
+	rows []Row
+	pos  int
+}
+
+// Schema returns the input schema.
+func (o *OrderBy) Schema() Schema { return o.In.Schema() }
+
+// Open drains and sorts the input.
+func (o *OrderBy) Open() {
+	o.In.Open()
+	o.rows = o.rows[:0]
+	for {
+		r, ok := o.In.Next()
+		if !ok {
+			break
+		}
+		o.rows = append(o.rows, r)
+	}
+	o.In.Close()
+	sort.SliceStable(o.rows, func(i, j int) bool { return o.Less(o.rows[i], o.rows[j]) })
+	o.pos = 0
+}
+
+// Next returns the next row in order.
+func (o *OrderBy) Next() (Row, bool) {
+	if o.pos >= len(o.rows) {
+		return nil, false
+	}
+	r := o.rows[o.pos]
+	o.pos++
+	return r, true
+}
+
+// Close releases the buffer.
+func (o *OrderBy) Close() { o.rows = nil }
+
+// --- union all ---
+
+// UnionAll concatenates child streams with identical schemas.
+type UnionAll struct {
+	Children []Operator
+	idx      int
+}
+
+// Schema returns the first child's schema.
+func (u *UnionAll) Schema() Schema {
+	if len(u.Children) == 0 {
+		return nil
+	}
+	return u.Children[0].Schema()
+}
+
+// Open opens all children.
+func (u *UnionAll) Open() {
+	for _, c := range u.Children {
+		c.Open()
+	}
+	u.idx = 0
+}
+
+// Next pulls from the current child, advancing on exhaustion.
+func (u *UnionAll) Next() (Row, bool) {
+	for u.idx < len(u.Children) {
+		if r, ok := u.Children[u.idx].Next(); ok {
+			return r, true
+		}
+		u.idx++
+	}
+	return nil, false
+}
+
+// Close closes all children.
+func (u *UnionAll) Close() {
+	for _, c := range u.Children {
+		c.Close()
+	}
+}
+
+// CompareValues orders two values of the same kind; ints and floats
+// compare numerically across kinds. Nulls sort first.
+func CompareValues(a, b Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if a.Kind() == entity.KindString || b.Kind() == entity.KindString {
+		as, bs := a.AsString(), b.AsString()
+		switch {
+		case as < bs:
+			return -1
+		case as > bs:
+			return 1
+		}
+		return 0
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch {
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	}
+	return 0
+}
+
+// LessBy builds a Less function over ordered column indexes; negative
+// index -i-1 means descending on column i.
+func LessBy(cols ...int) func(a, b Row) bool {
+	return func(a, b Row) bool {
+		for _, c := range cols {
+			idx, desc := c, false
+			if c < 0 {
+				idx, desc = -c-1, true
+			}
+			cmp := CompareValues(a[idx], b[idx])
+			if desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,374 @@
+package engine
+
+import (
+	"testing"
+
+	"cinderella/internal/entity"
+)
+
+func src(cols Schema, rows ...Row) *SliceSource {
+	return &SliceSource{Cols: cols, Data: rows}
+}
+
+func iv(i int64) Value   { return entity.Int(i) }
+func fv(f float64) Value { return entity.Float(f) }
+func sv(s string) Value  { return entity.Str(s) }
+
+func people() *SliceSource {
+	return src(Schema{"id", "name", "age"},
+		Row{iv(1), sv("ann"), iv(30)},
+		Row{iv(2), sv("bob"), iv(25)},
+		Row{iv(3), sv("cat"), iv(35)},
+		Row{iv(4), sv("dan"), iv(25)},
+	)
+}
+
+func TestSchemaColIndex(t *testing.T) {
+	s := Schema{"a", "b"}
+	if s.ColIndex("b") != 1 {
+		t.Fatal("ColIndex wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown column did not panic")
+		}
+	}()
+	s.ColIndex("zzz")
+}
+
+func TestScanCollect(t *testing.T) {
+	rows := Collect(NewScan(people()))
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][1].AsString() != "ann" {
+		t.Fatalf("row0 = %v", rows[0])
+	}
+}
+
+func TestScanReusable(t *testing.T) {
+	sc := NewScan(people())
+	a := Collect(sc)
+	b := Collect(sc)
+	if len(a) != len(b) {
+		t.Fatal("scan not reusable after Close")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	f := &Filter{
+		In:   NewScan(people()),
+		Cond: func(r Row) bool { return r[2].AsInt() == 25 },
+	}
+	rows := Collect(f)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+}
+
+func TestProject(t *testing.T) {
+	p := &Project{
+		In:   NewScan(people()),
+		Cols: Schema{"name", "age2"},
+		Exprs: []Expr{
+			Col(1),
+			func(r Row) Value { return iv(r[2].AsInt() * 2) },
+		},
+	}
+	rows := Collect(p)
+	if len(rows) != 4 || rows[0][1].AsInt() != 60 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if p.Schema()[0] != "name" {
+		t.Fatal("schema wrong")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	l := &Limit{In: NewScan(people()), N: 2}
+	if got := len(Collect(l)); got != 2 {
+		t.Fatalf("rows = %d", got)
+	}
+	l = &Limit{In: NewScan(people()), N: 0}
+	if got := len(Collect(l)); got != 0 {
+		t.Fatalf("rows = %d", got)
+	}
+	l = &Limit{In: NewScan(people()), N: 100}
+	if got := len(Collect(l)); got != 4 {
+		t.Fatalf("rows = %d", got)
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	o := &OrderBy{In: NewScan(people()), Less: LessBy(2, 1)} // age asc, name asc
+	rows := Collect(o)
+	wantNames := []string{"bob", "dan", "ann", "cat"}
+	for i, w := range wantNames {
+		if rows[i][1].AsString() != w {
+			t.Fatalf("order = %v", rows)
+		}
+	}
+	// Descending by age.
+	o = &OrderBy{In: NewScan(people()), Less: LessBy(-3)}
+	rows = Collect(o)
+	if rows[0][1].AsString() != "cat" {
+		t.Fatalf("desc order = %v", rows)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	u := &UnionAll{Children: []Operator{NewScan(people()), NewScan(people())}}
+	if got := len(Collect(u)); got != 8 {
+		t.Fatalf("rows = %d", got)
+	}
+	empty := &UnionAll{}
+	if got := len(Collect(empty)); got != 0 {
+		t.Fatalf("empty union rows = %d", got)
+	}
+	if empty.Schema() != nil {
+		t.Fatal("empty union schema")
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	if CompareValues(iv(1), iv(2)) >= 0 {
+		t.Fatal("1 < 2 failed")
+	}
+	if CompareValues(fv(2.5), iv(2)) <= 0 {
+		t.Fatal("2.5 > 2 failed")
+	}
+	if CompareValues(sv("a"), sv("b")) >= 0 {
+		t.Fatal("a < b failed")
+	}
+	if CompareValues(entity.Null(), iv(0)) >= 0 {
+		t.Fatal("null should sort first")
+	}
+	if CompareValues(entity.Null(), entity.Null()) != 0 {
+		t.Fatal("null == null failed")
+	}
+	if CompareValues(iv(3), iv(3)) != 0 {
+		t.Fatal("3 == 3 failed")
+	}
+}
+
+func orders() *SliceSource {
+	return src(Schema{"oid", "pid", "qty"},
+		Row{iv(100), iv(1), iv(5)},
+		Row{iv(101), iv(1), iv(3)},
+		Row{iv(102), iv(3), iv(9)},
+		Row{iv(103), iv(9), iv(1)}, // dangling pid
+	)
+}
+
+func TestHashJoinInner(t *testing.T) {
+	j := &HashJoin{
+		Left:     NewScan(orders()),
+		Right:    NewScan(people()),
+		LeftKey:  KeyCols(1),
+		RightKey: KeyCols(0),
+		Type:     Inner,
+	}
+	rows := Collect(j)
+	if len(rows) != 3 {
+		t.Fatalf("inner join rows = %d, want 3", len(rows))
+	}
+	// Concatenated schema.
+	if len(j.Schema()) != 6 {
+		t.Fatalf("schema = %v", j.Schema())
+	}
+	// First joined row carries the person name.
+	if rows[0][4].AsString() != "ann" {
+		t.Fatalf("row = %v", rows[0])
+	}
+}
+
+func TestHashJoinLeftOuter(t *testing.T) {
+	j := &HashJoin{
+		Left:     NewScan(orders()),
+		Right:    NewScan(people()),
+		LeftKey:  KeyCols(1),
+		RightKey: KeyCols(0),
+		Type:     LeftOuter,
+	}
+	rows := Collect(j)
+	if len(rows) != 4 {
+		t.Fatalf("left join rows = %d, want 4", len(rows))
+	}
+	var dangling Row
+	for _, r := range rows {
+		if r[0].AsInt() == 103 {
+			dangling = r
+		}
+	}
+	if dangling == nil || !dangling[3].IsNull() {
+		t.Fatalf("dangling row = %v", dangling)
+	}
+}
+
+func TestHashJoinSemiAnti(t *testing.T) {
+	semi := &HashJoin{
+		Left:     NewScan(people()),
+		Right:    NewScan(orders()),
+		LeftKey:  KeyCols(0),
+		RightKey: KeyCols(1),
+		Type:     Semi,
+	}
+	rows := Collect(semi)
+	if len(rows) != 2 { // ann(1) and cat(3) have orders
+		t.Fatalf("semi rows = %d, want 2", len(rows))
+	}
+	if len(semi.Schema()) != 3 {
+		t.Fatal("semi join schema must be left only")
+	}
+	anti := &HashJoin{
+		Left:     NewScan(people()),
+		Right:    NewScan(orders()),
+		LeftKey:  KeyCols(0),
+		RightKey: KeyCols(1),
+		Type:     Anti,
+	}
+	rows = Collect(anti)
+	if len(rows) != 2 { // bob, dan
+		t.Fatalf("anti rows = %d, want 2", len(rows))
+	}
+}
+
+func TestHashJoinExtraPredicate(t *testing.T) {
+	j := &HashJoin{
+		Left:     NewScan(orders()),
+		Right:    NewScan(people()),
+		LeftKey:  KeyCols(1),
+		RightKey: KeyCols(0),
+		Type:     Inner,
+		Extra:    func(l, r Row) bool { return l[2].AsInt() > 4 },
+	}
+	rows := Collect(j)
+	if len(rows) != 2 { // qty 5 and 9
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+}
+
+func TestHashJoinMultiKey(t *testing.T) {
+	l := src(Schema{"a", "b"}, Row{iv(1), iv(2)}, Row{iv(1), iv(3)})
+	r := src(Schema{"x", "y"}, Row{iv(1), iv(2)}, Row{iv(1), iv(9)})
+	j := &HashJoin{
+		Left: NewScan(l), Right: NewScan(r),
+		LeftKey: KeyCols(0, 1), RightKey: KeyCols(0, 1),
+		Type: Inner,
+	}
+	if rows := Collect(j); len(rows) != 1 {
+		t.Fatalf("multi-key join rows = %d, want 1", len(rows))
+	}
+}
+
+func TestHashAggregate(t *testing.T) {
+	a := &HashAggregate{
+		In:      NewScan(people()),
+		GroupBy: []int{2}, // age
+		Aggs: []AggSpec{
+			{Kind: Count, Name: "n"},
+			{Kind: Sum, Expr: Col(0), Name: "sum_id"},
+			{Kind: Min, Expr: Col(1), Name: "min_name"},
+			{Kind: Max, Expr: Col(1), Name: "max_name"},
+			{Kind: Avg, Expr: Col(0), Name: "avg_id"},
+		},
+	}
+	rows := Collect(a)
+	if len(rows) != 3 {
+		t.Fatalf("groups = %d, want 3", len(rows))
+	}
+	// Groups sorted by key string; age 25 has 2 members (bob, dan).
+	var g25 Row
+	for _, r := range rows {
+		if r[0].AsInt() == 25 {
+			g25 = r
+		}
+	}
+	if g25 == nil || g25[1].AsInt() != 2 {
+		t.Fatalf("g25 = %v", g25)
+	}
+	if g25[2].AsFloat() != 6 { // ids 2+4
+		t.Fatalf("sum = %v", g25[2])
+	}
+	if g25[3].AsString() != "bob" || g25[4].AsString() != "dan" {
+		t.Fatalf("min/max = %v %v", g25[3], g25[4])
+	}
+	if g25[5].AsFloat() != 3 {
+		t.Fatalf("avg = %v", g25[5])
+	}
+	if got := a.Schema(); got[0] != "age" || got[1] != "n" {
+		t.Fatalf("schema = %v", got)
+	}
+}
+
+func TestHashAggregateCountDistinct(t *testing.T) {
+	a := &HashAggregate{
+		In:   NewScan(people()),
+		Aggs: []AggSpec{{Kind: CountDistinct, Expr: Col(2), Name: "ages"}},
+	}
+	rows := Collect(a)
+	if len(rows) != 1 || rows[0][0].AsInt() != 3 {
+		t.Fatalf("count distinct = %v", rows)
+	}
+}
+
+func TestHashAggregateNullsIgnored(t *testing.T) {
+	s := src(Schema{"v"},
+		Row{iv(1)}, Row{entity.Null()}, Row{iv(3)},
+	)
+	a := &HashAggregate{
+		In: NewScan(s),
+		Aggs: []AggSpec{
+			{Kind: Sum, Expr: Col(0), Name: "s"},
+			{Kind: Count, Expr: Col(0), Name: "c"},
+			{Kind: Min, Expr: Col(0), Name: "mn"},
+			{Kind: Max, Expr: Col(0), Name: "mx"},
+		},
+	}
+	rows := Collect(a)
+	r := rows[0]
+	if r[0].AsFloat() != 4 || r[1].AsInt() != 2 {
+		t.Fatalf("sum/count = %v", r)
+	}
+	if r[2].AsInt() != 1 || r[3].AsInt() != 3 {
+		t.Fatalf("min/max = %v", r)
+	}
+}
+
+func TestHashAggregateNullFirstMinMax(t *testing.T) {
+	s := src(Schema{"v"}, Row{entity.Null()}, Row{iv(5)})
+	rows := Collect(&HashAggregate{
+		In:   NewScan(s),
+		Aggs: []AggSpec{{Kind: Min, Expr: Col(0), Name: "mn"}},
+	})
+	if rows[0][0].AsInt() != 5 {
+		t.Fatalf("min after leading null = %v", rows[0][0])
+	}
+}
+
+func TestScalarAgg(t *testing.T) {
+	r := ScalarAgg(NewScan(people()),
+		AggSpec{Kind: Count, Name: "n"},
+		AggSpec{Kind: Avg, Expr: Col(2), Name: "avg_age"},
+	)
+	if r[0].AsInt() != 4 || r[1].AsFloat() != 28.75 {
+		t.Fatalf("scalar agg = %v", r)
+	}
+	// Empty input: count 0, avg null, sum 0.
+	empty := src(Schema{"v"})
+	r = ScalarAgg(NewScan(empty),
+		AggSpec{Kind: Count, Name: "n"},
+		AggSpec{Kind: Avg, Expr: Col(0), Name: "a"},
+		AggSpec{Kind: Sum, Expr: Col(0), Name: "s"},
+	)
+	if r[0].AsInt() != 0 || !r[1].IsNull() || r[2].AsFloat() != 0 {
+		t.Fatalf("empty scalar agg = %v", r)
+	}
+}
+
+func TestConstExpr(t *testing.T) {
+	c := Const(iv(7))
+	if c(nil).AsInt() != 7 {
+		t.Fatal("Const wrong")
+	}
+}

@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"strings"
+
+	"cinderella/internal/entity"
+)
+
+// JoinType selects the join semantics of HashJoin.
+type JoinType uint8
+
+// Supported join types. Semi and anti joins emit only left-side columns.
+const (
+	Inner JoinType = iota
+	LeftOuter
+	Semi
+	Anti
+)
+
+// KeyFunc extracts a join key from a row. Keys compare by string equality
+// (see KeyOf helpers).
+type KeyFunc func(Row) string
+
+// KeyCols builds a KeyFunc concatenating the given column values.
+func KeyCols(cols ...int) KeyFunc {
+	return func(r Row) string {
+		if len(cols) == 1 {
+			return keyOf(r[cols[0]])
+		}
+		var b strings.Builder
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteByte(0)
+			}
+			b.WriteString(keyOf(r[c]))
+		}
+		return b.String()
+	}
+}
+
+func keyOf(v Value) string {
+	return v.String()
+}
+
+// HashJoin joins Build (right) into Probe (left) streams on equal keys.
+// The right side is materialized into a hash table on Open.
+type HashJoin struct {
+	Left, Right       Operator
+	LeftKey, RightKey KeyFunc
+	Type              JoinType
+	// Extra optionally filters joined pairs (non-equi residual predicate);
+	// it sees the concatenated row for Inner/LeftOuter and the pair for
+	// Semi/Anti.
+	Extra func(l, r Row) bool
+
+	ht      map[string][]Row
+	pending []Row
+	outCols Schema
+}
+
+// Schema returns left+right columns for Inner/LeftOuter, left columns for
+// Semi/Anti.
+func (j *HashJoin) Schema() Schema {
+	if j.outCols != nil {
+		return j.outCols
+	}
+	switch j.Type {
+	case Semi, Anti:
+		j.outCols = j.Left.Schema()
+	default:
+		ls, rs := j.Left.Schema(), j.Right.Schema()
+		out := make(Schema, 0, len(ls)+len(rs))
+		out = append(out, ls...)
+		out = append(out, rs...)
+		j.outCols = out
+	}
+	return j.outCols
+}
+
+// Open materializes the right side into the hash table.
+func (j *HashJoin) Open() {
+	j.Right.Open()
+	j.ht = make(map[string][]Row)
+	for {
+		r, ok := j.Right.Next()
+		if !ok {
+			break
+		}
+		k := j.RightKey(r)
+		j.ht[k] = append(j.ht[k], r)
+	}
+	j.Right.Close()
+	j.Left.Open()
+	j.pending = nil
+}
+
+// Next produces the next joined row.
+func (j *HashJoin) Next() (Row, bool) {
+	for {
+		if len(j.pending) > 0 {
+			r := j.pending[0]
+			j.pending = j.pending[1:]
+			return r, true
+		}
+		l, ok := j.Left.Next()
+		if !ok {
+			return nil, false
+		}
+		matches := j.ht[j.LeftKey(l)]
+		switch j.Type {
+		case Semi:
+			if j.anyMatch(l, matches) {
+				return l, true
+			}
+		case Anti:
+			if !j.anyMatch(l, matches) {
+				return l, true
+			}
+		case Inner:
+			for _, m := range matches {
+				if j.Extra == nil || j.Extra(l, m) {
+					j.pending = append(j.pending, concatRows(l, m))
+				}
+			}
+		case LeftOuter:
+			found := false
+			for _, m := range matches {
+				if j.Extra == nil || j.Extra(l, m) {
+					j.pending = append(j.pending, concatRows(l, m))
+					found = true
+				}
+			}
+			if !found {
+				nulls := make(Row, len(j.Right.Schema()))
+				for i := range nulls {
+					nulls[i] = entity.Null()
+				}
+				j.pending = append(j.pending, concatRows(l, nulls))
+			}
+		}
+	}
+}
+
+func (j *HashJoin) anyMatch(l Row, matches []Row) bool {
+	for _, m := range matches {
+		if j.Extra == nil || j.Extra(l, m) {
+			return true
+		}
+	}
+	return false
+}
+
+func concatRows(l, r Row) Row {
+	out := make(Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+// Close closes the left input and releases the hash table.
+func (j *HashJoin) Close() {
+	j.Left.Close()
+	j.ht = nil
+	j.pending = nil
+}

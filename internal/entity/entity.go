@@ -1,0 +1,333 @@
+// Package entity models the irregularly structured records that live in a
+// universal table: sparse sets of attribute→value pairs over a shared,
+// growing attribute dictionary.
+//
+// The attribute dictionary maps attribute names to small dense integer ids
+// so that entity and partition synopses can be represented as bitsets
+// (package synopsis) and values as sparse id→value lists.
+package entity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"cinderella/internal/synopsis"
+)
+
+// Dictionary assigns stable dense ids to attribute names. It is safe for
+// concurrent use. The zero value is not usable; call NewDictionary.
+type Dictionary struct {
+	mu    sync.RWMutex
+	ids   map[string]int
+	names []string
+}
+
+// NewDictionary returns an empty attribute dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[string]int)}
+}
+
+// ID returns the id for name, assigning a fresh one if the name is new.
+func (d *Dictionary) ID(name string) int {
+	d.mu.RLock()
+	id, ok := d.ids[name]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	id = len(d.names)
+	d.ids[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// Lookup returns the id for name without assigning, and whether it exists.
+func (d *Dictionary) Lookup(name string) (int, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.ids[name]
+	return id, ok
+}
+
+// Name returns the attribute name for id. It panics on unknown ids.
+func (d *Dictionary) Name(id int) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id < 0 || id >= len(d.names) {
+		panic(fmt.Sprintf("entity: unknown attribute id %d", id))
+	}
+	return d.names[id]
+}
+
+// Len returns the number of known attributes.
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.names)
+}
+
+// Names returns a copy of all attribute names, indexed by id.
+func (d *Dictionary) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, len(d.names))
+	copy(out, d.names)
+	return out
+}
+
+// Value is a single attribute value. Universal tables hold wildly mixed
+// content, so values are dynamically typed over a small closed set.
+type Value struct {
+	kind ValueKind
+	i    int64
+	f    float64
+	s    string
+}
+
+// ValueKind enumerates the supported value types.
+type ValueKind uint8
+
+// Supported value kinds.
+const (
+	KindNull ValueKind = iota
+	KindInt
+	KindFloat
+	KindString
+)
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Null returns the null value.
+func Null() Value { return Value{kind: KindNull} }
+
+// Kind returns the value's kind.
+func (v Value) Kind() ValueKind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer content; valid only for KindInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the float content; for KindInt it converts.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string content; valid only for KindString.
+func (v Value) AsString() string { return v.s }
+
+// Size returns the value's storage footprint in bytes, as charged by the
+// storage layer and the SIZE() function of the paper.
+func (v Value) Size() int64 {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat:
+		return 8
+	case KindString:
+		return int64(len(v.s))
+	}
+	return 0
+}
+
+// String renders the value for debugging.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return fmt.Sprintf("%d", v.i)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.f)
+	case KindString:
+		return fmt.Sprintf("%q", v.s)
+	}
+	return "?"
+}
+
+// Equal reports whether two values have the same kind and content.
+// Floats compare by bit pattern so that NaN values round-trip through
+// storage as equal to themselves.
+func (v Value) Equal(w Value) bool {
+	if v.kind == KindFloat && w.kind == KindFloat {
+		return math.Float64bits(v.f) == math.Float64bits(w.f)
+	}
+	return v == w
+}
+
+// Field is one attribute→value pair of an entity.
+type Field struct {
+	Attr  int // attribute id from the Dictionary
+	Value Value
+}
+
+// Entity is a sparse record: the set of attributes it instantiates plus
+// their values. Fields are kept sorted by attribute id. An Entity's
+// synopsis is the bitset of its attribute ids.
+type Entity struct {
+	fields []Field
+	syn    *synopsis.Set
+	size   int64 // cached byte size: per-field overhead + value bytes
+}
+
+// fieldOverhead is the bookkeeping cost charged per stored field (attribute
+// id + length/kind headers), mirroring a slotted-page cell header.
+const fieldOverhead = 8
+
+// New builds an entity from fields. Duplicate attributes keep the last
+// value. The input slice is not retained.
+func New(fields []Field) *Entity {
+	e := &Entity{}
+	for _, f := range fields {
+		e.Set(f.Attr, f.Value)
+	}
+	return e
+}
+
+// Set inserts or replaces the value for attr. Setting a null value is
+// equivalent to Unset.
+func (e *Entity) Set(attr int, v Value) {
+	if v.IsNull() {
+		e.Unset(attr)
+		return
+	}
+	i := sort.Search(len(e.fields), func(i int) bool { return e.fields[i].Attr >= attr })
+	if i < len(e.fields) && e.fields[i].Attr == attr {
+		e.size += v.Size() - e.fields[i].Value.Size()
+		e.fields[i].Value = v
+		return
+	}
+	e.fields = append(e.fields, Field{})
+	copy(e.fields[i+1:], e.fields[i:])
+	e.fields[i] = Field{Attr: attr, Value: v}
+	e.size += fieldOverhead + v.Size()
+	e.syn = nil
+}
+
+// Unset removes attr from the entity if present.
+func (e *Entity) Unset(attr int) {
+	i := sort.Search(len(e.fields), func(i int) bool { return e.fields[i].Attr >= attr })
+	if i >= len(e.fields) || e.fields[i].Attr != attr {
+		return
+	}
+	e.size -= fieldOverhead + e.fields[i].Value.Size()
+	e.fields = append(e.fields[:i], e.fields[i+1:]...)
+	e.syn = nil
+}
+
+// Get returns the value for attr and whether the attribute is set.
+func (e *Entity) Get(attr int) (Value, bool) {
+	i := sort.Search(len(e.fields), func(i int) bool { return e.fields[i].Attr >= attr })
+	if i < len(e.fields) && e.fields[i].Attr == attr {
+		return e.fields[i].Value, true
+	}
+	return Null(), false
+}
+
+// Has reports whether the entity instantiates attr.
+func (e *Entity) Has(attr int) bool {
+	_, ok := e.Get(attr)
+	return ok
+}
+
+// Fields returns the entity's fields sorted by attribute id. The returned
+// slice is owned by the entity and must not be modified.
+func (e *Entity) Fields() []Field { return e.fields }
+
+// NumAttrs returns the number of instantiated attributes.
+func (e *Entity) NumAttrs() int { return len(e.fields) }
+
+// Size returns the entity's byte footprint: SIZE(e) in the paper.
+func (e *Entity) Size() int64 { return e.size }
+
+// Synopsis returns the entity's attribute bitset. The result is cached and
+// must not be modified by callers.
+func (e *Entity) Synopsis() *synopsis.Set {
+	if e.syn == nil {
+		max := 0
+		if n := len(e.fields); n > 0 {
+			max = e.fields[n-1].Attr + 1
+		}
+		s := synopsis.New(max)
+		for _, f := range e.fields {
+			s.Add(f.Attr)
+		}
+		e.syn = s
+	}
+	return e.syn
+}
+
+// Clone returns a deep copy of the entity.
+func (e *Entity) Clone() *Entity {
+	c := &Entity{size: e.size}
+	c.fields = make([]Field, len(e.fields))
+	copy(c.fields, e.fields)
+	return c
+}
+
+// Equal reports whether two entities have identical fields.
+func (e *Entity) Equal(o *Entity) bool {
+	if len(e.fields) != len(o.fields) {
+		return false
+	}
+	for i, f := range e.fields {
+		if o.fields[i].Attr != f.Attr || !o.fields[i].Value.Equal(f.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the entity using raw attribute ids.
+func (e *Entity) String() string {
+	s := "["
+	for i, f := range e.fields {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d=%s", f.Attr, f.Value)
+	}
+	return s + "]"
+}
+
+// Builder helps construct entities by attribute name against a Dictionary.
+type Builder struct {
+	dict *Dictionary
+	e    *Entity
+}
+
+// NewBuilder returns a builder that resolves names through dict.
+func NewBuilder(dict *Dictionary) *Builder {
+	return &Builder{dict: dict, e: &Entity{}}
+}
+
+// Set assigns a value to the named attribute and returns the builder.
+func (b *Builder) Set(name string, v Value) *Builder {
+	b.e.Set(b.dict.ID(name), v)
+	return b
+}
+
+// Build returns the entity and resets the builder for reuse.
+func (b *Builder) Build() *Entity {
+	e := b.e
+	b.e = &Entity{}
+	return e
+}

@@ -1,0 +1,336 @@
+package entity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cinderella/internal/synopsis"
+)
+
+func TestDictionaryAssignsDenseIDs(t *testing.T) {
+	d := NewDictionary()
+	a := d.ID("name")
+	b := d.ID("weight")
+	c := d.ID("name") // repeat
+	if a != 0 || b != 1 || c != 0 {
+		t.Fatalf("ids = %d,%d,%d; want 0,1,0", a, b, c)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.Name(1) != "weight" {
+		t.Fatalf("Name(1) = %q", d.Name(1))
+	}
+	if id, ok := d.Lookup("weight"); !ok || id != 1 {
+		t.Fatalf("Lookup(weight) = %d,%v", id, ok)
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Fatal("Lookup(missing) should fail")
+	}
+	names := d.Names()
+	if len(names) != 2 || names[0] != "name" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestDictionaryNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name(5) did not panic")
+		}
+	}()
+	NewDictionary().Name(5)
+}
+
+func TestDictionaryConcurrent(t *testing.T) {
+	d := NewDictionary()
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				d.ID("attr" + string(rune('a'+i%26)))
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if d.Len() != 26 {
+		t.Fatalf("Len = %d, want 26", d.Len())
+	}
+}
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind ValueKind
+		size int64
+	}{
+		{Null(), KindNull, 0},
+		{Int(42), KindInt, 8},
+		{Float(2.5), KindFloat, 8},
+		{Str("abc"), KindString, 3},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v Kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.Size() != c.size {
+			t.Errorf("%v Size = %d, want %d", c.v, c.v.Size(), c.size)
+		}
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull wrong")
+	}
+	if Int(7).AsInt() != 7 || Int(7).AsFloat() != 7.0 {
+		t.Error("Int accessors wrong")
+	}
+	if Float(1.5).AsFloat() != 1.5 {
+		t.Error("Float accessor wrong")
+	}
+	if Str("x").AsString() != "x" {
+		t.Error("Str accessor wrong")
+	}
+}
+
+func TestEntitySetGetUnset(t *testing.T) {
+	e := &Entity{}
+	e.Set(3, Int(30))
+	e.Set(1, Str("one"))
+	e.Set(2, Float(2.0))
+	if e.NumAttrs() != 3 {
+		t.Fatalf("NumAttrs = %d, want 3", e.NumAttrs())
+	}
+	// Fields sorted by attr id.
+	fs := e.Fields()
+	for i := 1; i < len(fs); i++ {
+		if fs[i-1].Attr >= fs[i].Attr {
+			t.Fatalf("fields not sorted: %v", fs)
+		}
+	}
+	if v, ok := e.Get(2); !ok || v.AsFloat() != 2.0 {
+		t.Fatalf("Get(2) = %v,%v", v, ok)
+	}
+	if _, ok := e.Get(5); ok {
+		t.Fatal("Get(5) should miss")
+	}
+	if !e.Has(1) || e.Has(9) {
+		t.Fatal("Has wrong")
+	}
+	e.Unset(2)
+	if e.Has(2) || e.NumAttrs() != 2 {
+		t.Fatal("Unset failed")
+	}
+	e.Unset(2) // no-op
+	// Replace keeps count, updates size.
+	before := e.Size()
+	e.Set(1, Str("longer string"))
+	if e.NumAttrs() != 2 {
+		t.Fatal("replace changed attr count")
+	}
+	if e.Size() != before-3+13 {
+		t.Fatalf("Size after replace = %d", e.Size())
+	}
+}
+
+func TestEntitySetNullIsUnset(t *testing.T) {
+	e := &Entity{}
+	e.Set(1, Int(1))
+	e.Set(1, Null())
+	if e.Has(1) || e.NumAttrs() != 0 || e.Size() != 0 {
+		t.Fatal("Set(Null) should unset")
+	}
+}
+
+func TestEntitySizeAccounting(t *testing.T) {
+	e := &Entity{}
+	if e.Size() != 0 {
+		t.Fatal("empty entity has nonzero size")
+	}
+	e.Set(0, Int(1))       // 8 overhead + 8
+	e.Set(1, Str("abcde")) // 8 + 5
+	if e.Size() != 8+8+8+5 {
+		t.Fatalf("Size = %d, want 29", e.Size())
+	}
+	e.Unset(0)
+	if e.Size() != 8+5 {
+		t.Fatalf("Size = %d, want 13", e.Size())
+	}
+}
+
+func TestEntitySynopsis(t *testing.T) {
+	e := New([]Field{{Attr: 2, Value: Int(1)}, {Attr: 7, Value: Int(2)}})
+	s := e.Synopsis()
+	if !s.Equal(synopsis.Of(2, 7)) {
+		t.Fatalf("Synopsis = %v", s)
+	}
+	// Cache invalidated on mutation.
+	e.Set(9, Int(3))
+	if !e.Synopsis().Equal(synopsis.Of(2, 7, 9)) {
+		t.Fatalf("Synopsis after Set = %v", e.Synopsis())
+	}
+	e.Unset(2)
+	if !e.Synopsis().Equal(synopsis.Of(7, 9)) {
+		t.Fatalf("Synopsis after Unset = %v", e.Synopsis())
+	}
+}
+
+func TestEntityCloneEqual(t *testing.T) {
+	e := New([]Field{{Attr: 1, Value: Str("a")}, {Attr: 2, Value: Int(2)}})
+	c := e.Clone()
+	if !e.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(3, Int(3))
+	if e.Equal(c) || e.Has(3) {
+		t.Fatal("clone not independent")
+	}
+	d := New([]Field{{Attr: 1, Value: Str("b")}, {Attr: 2, Value: Int(2)}})
+	if e.Equal(d) {
+		t.Fatal("entities with different values reported equal")
+	}
+}
+
+func TestNewDuplicateAttrsKeepsLast(t *testing.T) {
+	e := New([]Field{{Attr: 1, Value: Int(1)}, {Attr: 1, Value: Int(2)}})
+	if v, _ := e.Get(1); v.AsInt() != 2 {
+		t.Fatalf("Get(1) = %v, want 2", v)
+	}
+	if e.NumAttrs() != 1 {
+		t.Fatalf("NumAttrs = %d, want 1", e.NumAttrs())
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	d := NewDictionary()
+	b := NewBuilder(d)
+	e1 := b.Set("name", Str("Canon")).Set("weight", Int(198)).Build()
+	e2 := b.Set("name", Str("Sony")).Build()
+	if e1.NumAttrs() != 2 || e2.NumAttrs() != 1 {
+		t.Fatalf("builder reuse broken: %d, %d", e1.NumAttrs(), e2.NumAttrs())
+	}
+	id, _ := d.Lookup("name")
+	if v, ok := e2.Get(id); !ok || v.AsString() != "Sony" {
+		t.Fatalf("e2 name = %v,%v", v, ok)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	e := New([]Field{
+		{Attr: 0, Value: Int(-5)},
+		{Attr: 3, Value: Float(3.25)},
+		{Attr: 1000, Value: Str("hello world")},
+	})
+	buf := e.Marshal(nil)
+	got, n, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !got.Equal(e) {
+		t.Fatalf("round trip: got %v want %v", got, e)
+	}
+	if got.Size() != e.Size() {
+		t.Fatalf("size after round trip: %d vs %d", got.Size(), e.Size())
+	}
+}
+
+func TestMarshalEmptyEntity(t *testing.T) {
+	e := &Entity{}
+	buf := e.Marshal(nil)
+	got, _, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumAttrs() != 0 {
+		t.Fatal("empty entity round trip failed")
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},                            // empty
+		{0x02},                        // promises 2 fields, has none
+		{0x01, 0x00},                  // field without kind byte
+		{0x01, 0x00, 0x01},            // int value truncated
+		{0x01, 0x00, 0x09},            // unknown kind
+		{0x01, 0x00, 0x03, 0x05, 'a'}, // string truncated
+	}
+	for i, c := range cases {
+		if _, _, err := Unmarshal(c); err == nil {
+			t.Errorf("case %d: corrupt input accepted", i)
+		}
+	}
+}
+
+func TestPropMarshalRoundTrip(t *testing.T) {
+	f := func(attrs []uint16, ints []int64, strs []string) bool {
+		e := &Entity{}
+		for i, a := range attrs {
+			switch i % 3 {
+			case 0:
+				if len(ints) > 0 {
+					e.Set(int(a), Int(ints[i%len(ints)]))
+				}
+			case 1:
+				if len(strs) > 0 {
+					e.Set(int(a), Str(strs[i%len(strs)]))
+				}
+			case 2:
+				e.Set(int(a), Float(float64(a)/3))
+			}
+		}
+		got, n, err := Unmarshal(e.Marshal(nil))
+		return err == nil && n == len(e.Marshal(nil)) && got.Equal(e) && got.Size() == e.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSizeMatchesFields(t *testing.T) {
+	f := func(attrs []uint16, strs []string) bool {
+		e := &Entity{}
+		for i, a := range attrs {
+			if len(strs) > 0 && i%2 == 0 {
+				e.Set(int(a), Str(strs[i%len(strs)]))
+			} else {
+				e.Set(int(a), Int(int64(i)))
+			}
+		}
+		var want int64
+		for _, fd := range e.Fields() {
+			want += 8 + fd.Value.Size()
+		}
+		return e.Size() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEntitySet(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		e := &Entity{}
+		for j := 0; j < 15; j++ {
+			e.Set(rng.Intn(100), Int(int64(j)))
+		}
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	e := &Entity{}
+	for j := 0; j < 15; j++ {
+		e.Set(j*7, Str("some value text"))
+	}
+	buf := make([]byte, 0, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = e.Marshal(buf[:0])
+	}
+}

@@ -1,0 +1,43 @@
+package entity
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the record decoder against arbitrary bytes: it
+// must either reject the input or produce an entity that re-marshals
+// canonically (decode∘encode is a fixpoint).
+func FuzzUnmarshal(f *testing.F) {
+	// Seed with valid records of each kind plus corrupt fragments.
+	e := New([]Field{
+		{Attr: 0, Value: Int(-5)},
+		{Attr: 3, Value: Float(3.25)},
+		{Attr: 70, Value: Str("hello")},
+	})
+	f.Add(e.Marshal(nil))
+	f.Add((&Entity{}).Marshal(nil))
+	f.Add([]byte{0x01, 0x00})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, n, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Round trip must be canonical from here on.
+		enc := got.Marshal(nil)
+		again, m, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if m != len(enc) || !again.Equal(got) {
+			t.Fatalf("decode/encode not a fixpoint")
+		}
+		if !bytes.Equal(enc, again.Marshal(nil)) {
+			t.Fatalf("encoding not canonical")
+		}
+	})
+}

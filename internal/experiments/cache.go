@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+
+	"cinderella/internal/core"
+	"cinderella/internal/storage"
+	"cinderella/internal/table"
+)
+
+// CacheRow reports buffer-cache behaviour for one partitioning under the
+// selective workload.
+type CacheRow struct {
+	Strategy   string
+	Partitions int
+	HitRatio   float64
+	Hits       int64
+	Misses     int64
+}
+
+// CacheResult is the locality experiment (paper future work: "caching").
+type CacheResult struct {
+	CachePages int
+	TablePages int
+	Rows       []CacheRow
+}
+
+// CacheLocality measures buffer-cache hit ratios for a repeated selective
+// workload with a cache smaller than the table. A Cinderella
+// partitioning re-touches the same few partitions per query, so their
+// pages stay resident; the universal table scans everything every time
+// and, once the table exceeds the cache, thrashes (sequential flooding).
+func CacheLocality(o Options) CacheResult {
+	o = o.withDefaults()
+	ds := dataset(o)
+
+	// Use the three most selective queries of the workload (the queries
+	// Cinderella is built for), repeated like a live dashboard: their
+	// combined working set fits a cache that the full table does not.
+	queries := buildWorkload(ds, o)
+	sort.Slice(queries, func(i, j int) bool {
+		return queries[i].Selectivity < queries[j].Selectivity
+	})
+	selective := queries
+	if len(selective) > 3 {
+		selective = selective[:3]
+	}
+
+	run := func(label string, mk func() core.Assigner, cachePages int) (CacheRow, int) {
+		cache := storage.NewBufferCache(cachePages)
+		tbl := table.New(table.Config{
+			Dict:        ds.Dict,
+			Partitioner: mk(),
+			Cache:       cache,
+		})
+		for _, e := range ds.Entities {
+			tbl.Insert(e.Clone())
+		}
+		pages := 0
+		for _, pv := range tbl.Partitions() {
+			pages += pv.Pages
+		}
+		cache.Reset() // measure steady-state queries, not the load
+		for round := 0; round < 5; round++ {
+			for _, q := range selective {
+				tbl.SelectSynopsis(q.Attrs)
+			}
+		}
+		h, m := cache.Stats()
+		return CacheRow{
+			Strategy:   label,
+			Partitions: tbl.NumPartitions(),
+			HitRatio:   cache.HitRatio(),
+			Hits:       h,
+			Misses:     m,
+		}, pages
+	}
+
+	// Size the cache to half the universal table: selective working sets
+	// fit, full scans do not.
+	probe := table.New(table.Config{Dict: ds.Dict, Partitioner: core.NewSingle(core.SizeCount)})
+	for _, e := range ds.Entities {
+		probe.Insert(e.Clone())
+	}
+	tablePages := 0
+	for _, pv := range probe.Partitions() {
+		tablePages += pv.Pages
+	}
+	cachePages := tablePages / 2
+	if cachePages < 2 {
+		cachePages = 2
+	}
+
+	res := CacheResult{CachePages: cachePages, TablePages: tablePages}
+	for _, cfg := range []namedAssigner{
+		{"universal", func() core.Assigner { return core.NewSingle(core.SizeCount) }},
+		{"cinderella w=0.2", func() core.Assigner { return cind(0.2, 5000) }},
+		{"cinderella w=0.5", func() core.Assigner { return cind(0.5, 5000) }},
+	} {
+		row, _ := run(cfg.label, cfg.mk, cachePages)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Print renders the locality comparison.
+func (r CacheResult) Print(w io.Writer) {
+	fprintf(w, "Buffer-cache locality (cache %d pages, table %d pages; 5 rounds of selective queries)\n",
+		r.CachePages, r.TablePages)
+	fprintf(w, "  %-18s %12s %10s %12s %12s\n", "strategy", "partitions", "hit ratio", "hits", "misses")
+	for _, row := range r.Rows {
+		fprintf(w, "  %-18s %12d %9.1f%% %12d %12d\n",
+			row.Strategy, row.Partitions, 100*row.HitRatio, row.Hits, row.Misses)
+	}
+}
+
+// Get returns the hit ratio of a strategy by label (tests).
+func (r CacheResult) Get(label string) float64 {
+	for _, row := range r.Rows {
+		if row.Strategy == label {
+			return row.HitRatio
+		}
+	}
+	return -1
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"cinderella/internal/core"
+	"cinderella/internal/datagen"
+	"cinderella/internal/metrics"
+	"cinderella/internal/table"
+	"cinderella/internal/workload"
+)
+
+// ChurnPoint is the partitioning state after one churn round.
+type ChurnPoint struct {
+	Round      int
+	Entities   int
+	Partitions int
+	Efficiency float64
+}
+
+// ChurnSeries is one maintenance policy's trajectory.
+type ChurnSeries struct {
+	Label  string
+	Points []ChurnPoint
+}
+
+// ChurnResult compares maintenance policies under sustained
+// modification churn.
+type ChurnResult struct {
+	Rows []ChurnSeries
+}
+
+// Churn exercises the full modification mix of the Online Partitioning
+// Problem (Definition 2): after the initial load, each round deletes a
+// fraction of entities, updates another fraction (entities change their
+// attribute sets, e.g. records gaining fields over time), and inserts
+// replacements. The EFFICIENCY of the partitioning is measured after
+// every round — the paper's objective is precisely to keep this high
+// while the table is modified. One series runs plain Cinderella; the
+// second additionally compacts underfilled partitions each round.
+func Churn(o Options) ChurnResult {
+	o = o.withDefaults()
+
+	run := func(label string, compact bool) ChurnSeries {
+		ds := dataset(o)
+		queries := buildWorkload(ds, o)
+		qsyns := workload.Synopses(queries)
+
+		tbl := table.New(table.Config{
+			Dict:        ds.Dict,
+			Partitioner: cind(0.2, 5000),
+		})
+		rng := rand.New(rand.NewSource(o.Seed + 7))
+		var live []core.EntityID
+		for _, e := range ds.Entities {
+			live = append(live, tbl.Insert(e.Clone()))
+		}
+		// Fresh entities for replacement inserts and updates come from a
+		// second generated batch with the same distribution.
+		extra, err := datagen.Generate(datagen.Config{
+			NumEntities: o.Entities, NumAttrs: 100, Seed: o.Seed + 100,
+		})
+		if err != nil {
+			panic(err)
+		}
+		nextExtra := 0
+		fresh := func() *datagen.Dataset { return extra }
+
+		s := ChurnSeries{Label: label}
+		measure := func(round int) {
+			ents := make([]metrics.Sized, 0, tbl.Len())
+			for _, syn := range tbl.EntitySynopses() {
+				ents = append(ents, metrics.Sized{Syn: syn, Size: 1})
+			}
+			parts := make([]metrics.Sized, 0, tbl.NumPartitions())
+			for _, pv := range tbl.Partitions() {
+				parts = append(parts, metrics.Sized{Syn: pv.Synopsis, Size: int64(pv.Entities)})
+			}
+			s.Points = append(s.Points, ChurnPoint{
+				Round:      round,
+				Entities:   tbl.Len(),
+				Partitions: tbl.NumPartitions(),
+				Efficiency: metrics.Efficiency(ents, parts, qsyns),
+			})
+		}
+		measure(0)
+
+		const rounds = 5
+		for round := 1; round <= rounds; round++ {
+			// Delete 20 % of live entities.
+			rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+			del := len(live) / 5
+			for _, id := range live[:del] {
+				tbl.Delete(id)
+			}
+			live = live[del:]
+			// Update 10 %: replace their content with a fresh profile.
+			upd := len(live) / 10
+			for _, id := range live[:upd] {
+				e := fresh().Entities[nextExtra%len(extra.Entities)].Clone()
+				nextExtra++
+				tbl.Update(id, e)
+			}
+			// Insert replacements back to the original cardinality.
+			for tbl.Len() < o.Entities {
+				e := fresh().Entities[nextExtra%len(extra.Entities)].Clone()
+				nextExtra++
+				live = append(live, tbl.Insert(e))
+			}
+			if compact {
+				tbl.Compact(0.1)
+			}
+			measure(round)
+		}
+		return s
+	}
+
+	return ChurnResult{Rows: []ChurnSeries{
+		run("cinderella", false),
+		run("cinderella+compact", true),
+	}}
+}
+
+// Print renders the churn trajectories.
+func (r ChurnResult) Print(w io.Writer) {
+	fprintf(w, "Partitioning quality under modification churn (delete 20%% / update 10%% / reinsert, per round)\n")
+	for _, s := range r.Rows {
+		fprintf(w, "series %s\n", s.Label)
+		fprintf(w, "  %-6s %10s %12s %12s\n", "round", "entities", "partitions", "efficiency")
+		for _, p := range s.Points {
+			fprintf(w, "  %-6d %10d %12d %12.4f\n", p.Round, p.Entities, p.Partitions, p.Efficiency)
+		}
+	}
+}
+
+// Final returns the last-round point of a series (tests).
+func (r ChurnResult) Final(label string) (ChurnPoint, bool) {
+	for _, s := range r.Rows {
+		if s.Label == label && len(s.Points) > 0 {
+			return s.Points[len(s.Points)-1], true
+		}
+	}
+	return ChurnPoint{}, false
+}

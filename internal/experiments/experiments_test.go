@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// small returns quick options for CI-scale runs.
+func small() Options {
+	return Options{Entities: 4000, Seed: 5, TPCHSF: 0.001, QueryBuckets: 5, QueriesPerBucket: 2}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	r := Fig4(small())
+	if r.Entities != 4000 {
+		t.Fatalf("entities = %d", r.Entities)
+	}
+	if len(r.Freq) == 0 || r.Freq[0] < 0.8 {
+		t.Fatalf("top attribute frequency = %v", r.Freq)
+	}
+	// Frequencies sorted descending.
+	for i := 1; i < len(r.Freq); i++ {
+		if r.Freq[i] > r.Freq[i-1] {
+			t.Fatal("frequencies not sorted")
+		}
+	}
+	// Histogram covers all entities.
+	total := 0
+	for _, c := range r.AttrsPerEntity {
+		total += c
+	}
+	if total != r.Entities {
+		t.Fatalf("histogram total = %d", total)
+	}
+	if r.Sparseness < 0.85 || r.Sparseness > 0.97 {
+		t.Fatalf("sparseness = %v", r.Sparseness)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 4") {
+		t.Fatal("Print output wrong")
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	r := Fig5(small())
+	if len(r.Series) != 4 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	if r.Series[0].Label != "universal" || r.Series[0].Partitions != 1 {
+		t.Fatalf("baseline = %+v", r.Series[0])
+	}
+	// Smaller B → at least as many partitions.
+	b500, b50000 := r.Series[1].Partitions, r.Series[3].Partitions
+	if b500 < b50000 {
+		t.Fatalf("partitions: B=500 %d < B=50000 %d", b500, b50000)
+	}
+	// Headline claim: selective queries read much less data than the
+	// universal table (compare bytes read, which is deterministic).
+	sp := r.MeanSpeedupBelow("B=500", 0.2)
+	if sp < 1.5 {
+		t.Fatalf("B=500 selective read-reduction = %vx, want > 1.5x", sp)
+	}
+	// Low-selectivity queries gain little (ratio near 1).
+	base, b := r.Series[0], r.Series[1]
+	for i, p := range b.Points {
+		if p.Selectivity > 0.6 && p.KBRead > 0 {
+			ratio := base.Points[i].KBRead / p.KBRead
+			if ratio > 3 {
+				t.Fatalf("unselective query claims %vx reduction — implausible", ratio)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 5") {
+		t.Fatal("Print output wrong")
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	r := Fig6(small())
+	if len(r.Series) != 4 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	// Lower weight → more partitions (Figure 7a seen through Fig6's
+	// configurations).
+	w2, w8 := seriesByLabel(t, r, "w=0.2").Partitions, seriesByLabel(t, r, "w=0.8").Partitions
+	if w2 <= w8 {
+		t.Fatalf("partitions: w=0.2 %d <= w=0.8 %d", w2, w8)
+	}
+	// Selective queries benefit at the paper's recommended w=0.2.
+	if sp := r.MeanSpeedupBelow("w=0.2", 0.2); sp < 1.5 {
+		t.Fatalf("w=0.2 selective read-reduction = %vx", sp)
+	}
+}
+
+func seriesByLabel(t *testing.T, r Fig5Result, label string) QuerySeries {
+	t.Helper()
+	for _, s := range r.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("series %q missing", label)
+	return QuerySeries{}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	r := Fig7(small())
+	if len(r.Rows) != 11 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// (a) partitions decrease (weakly) as w grows, with a sharp drop from
+	// w=0 to medium weights.
+	if r.Rows[0].Weight != 0 || r.Rows[10].Weight != 1 {
+		t.Fatal("weight sweep wrong")
+	}
+	if r.Rows[0].Partitions <= r.Rows[5].Partitions {
+		t.Fatalf("w=0 partitions %d <= w=0.5 partitions %d", r.Rows[0].Partitions, r.Rows[5].Partitions)
+	}
+	if r.Rows[5].Partitions < r.Rows[10].Partitions {
+		t.Fatalf("w=0.5 partitions %d < w=1 partitions %d", r.Rows[5].Partitions, r.Rows[10].Partitions)
+	}
+	// (d) sparseness: exactly 0 at w=0; grows with w; medium weights stay
+	// below the data set's sparseness.
+	if r.Rows[0].SparsenessP.Max != 0 {
+		t.Fatalf("w=0 sparseness max = %v, want 0", r.Rows[0].SparsenessP.Max)
+	}
+	if r.Rows[5].SparsenessP.Median >= r.DataSparseness {
+		t.Fatalf("w=0.5 median partition sparseness %v >= data sparseness %v",
+			r.Rows[5].SparsenessP.Median, r.DataSparseness)
+	}
+	// (b,c) entities and attributes per partition grow with w.
+	if r.Rows[2].EntitiesPP.Max > r.Rows[8].EntitiesPP.Max {
+		t.Fatalf("entities/partition not growing: w=0.2 max %v > w=0.8 max %v",
+			r.Rows[2].EntitiesPP.Max, r.Rows[8].EntitiesPP.Max)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 7") {
+		t.Fatal("Print output wrong")
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	r := Fig8(small())
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Split count decreases with B (paper: 448 / 100 / 0 at 100k scale).
+	if !(r.Rows[0].Splits >= r.Rows[1].Splits && r.Rows[1].Splits >= r.Rows[2].Splits) {
+		t.Fatalf("splits not decreasing in B: %d, %d, %d",
+			r.Rows[0].Splits, r.Rows[1].Splits, r.Rows[2].Splits)
+	}
+	if r.Rows[0].Splits == 0 {
+		t.Fatal("B=500 produced no splits at 4000 entities")
+	}
+	for _, row := range r.Rows {
+		if row.Histogram.Total() != 4000 {
+			t.Fatalf("B=%d histogram total = %d", row.B, row.Histogram.Total())
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 8") {
+		t.Fatal("Print output wrong")
+	}
+}
+
+func TestTableIShapes(t *testing.T) {
+	r := TableI(small())
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0].Scenario != "Standard TPC-H" || r.Rows[0].Percent != 100 {
+		t.Fatalf("baseline = %+v", r.Rows[0])
+	}
+	for _, row := range r.Rows[1:] {
+		// The paper's core claim: Cinderella recovers the TPC-H schema
+		// exactly.
+		if !row.PureSchema {
+			t.Fatalf("%s: partitions not schema-pure", row.Scenario)
+		}
+		if row.Partitions < 8 {
+			t.Fatalf("%s: %d partitions for 8 tables", row.Scenario, row.Partitions)
+		}
+		// Overhead is bounded (paper sees ≤ 9%; wall clock at tiny scale
+		// is noisy, so accept up to 3x).
+		if row.Percent > 300 {
+			t.Fatalf("%s: overhead %v%%", row.Scenario, row.Percent)
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Fatal("Print output wrong")
+	}
+}
+
+func TestEfficiencyOrdering(t *testing.T) {
+	r := Efficiency(small())
+	uni := r.Get("universal")
+	hash := r.Get("hash-16")
+	cin := r.Get("cinderella w=0.2")
+	exact := r.Get("schema-exact")
+	if uni < 0 || hash < 0 || cin < 0 || exact < 0 {
+		t.Fatalf("missing strategies: %+v", r.Rows)
+	}
+	// Definition 1 is a fraction of read data: always in (0, 1].
+	for _, row := range r.Rows {
+		if row.Efficiency <= 0 || row.Efficiency > 1 {
+			t.Fatalf("%s efficiency %v out of (0,1]", row.Strategy, row.Efficiency)
+		}
+	}
+	// Cinderella must beat the universal table and hash partitioning;
+	// schema-exact is the pruning upper bound among entity-based schemes.
+	if cin <= uni {
+		t.Fatalf("cinderella efficiency %v <= universal %v", cin, uni)
+	}
+	if cin <= hash {
+		t.Fatalf("cinderella efficiency %v <= hash %v", cin, hash)
+	}
+	if exact < cin*0.9 {
+		t.Fatalf("schema-exact %v unexpectedly below cinderella %v", exact, cin)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "EFFICIENCY") {
+		t.Fatal("Print output wrong")
+	}
+}
+
+func TestSortPoints(t *testing.T) {
+	pts := []SeriesPoint{{Selectivity: 0.9}, {Selectivity: 0.1}}
+	sortPoints(pts)
+	if pts[0].Selectivity != 0.1 {
+		t.Fatal("sortPoints broken")
+	}
+}
+
+func TestCacheLocality(t *testing.T) {
+	r := CacheLocality(small())
+	uni := r.Get("universal")
+	cin := r.Get("cinderella w=0.2")
+	if uni < 0 || cin < 0 {
+		t.Fatalf("missing rows: %+v", r.Rows)
+	}
+	// Cinderella's locality must beat the universal table's under a
+	// cache smaller than the table: at least as good a hit ratio and
+	// strictly fewer misses (the ratio alone can collapse to 0 on both
+	// sides at tiny scale when even the selective working set exceeds
+	// the cache).
+	if cin < uni {
+		t.Fatalf("cache hit ratio: cinderella %.3f < universal %.3f", cin, uni)
+	}
+	var uniMiss, cinMiss int64 = -1, -1
+	for _, row := range r.Rows {
+		switch row.Strategy {
+		case "universal":
+			uniMiss = row.Misses
+		case "cinderella w=0.2":
+			cinMiss = row.Misses
+		}
+	}
+	if cinMiss <= 0 || uniMiss <= 0 || cinMiss >= uniMiss {
+		t.Fatalf("cache misses: cinderella %d, universal %d", cinMiss, uniMiss)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Buffer-cache") {
+		t.Fatal("Print output wrong")
+	}
+}
+
+func TestChurn(t *testing.T) {
+	r := Churn(small())
+	plain, ok1 := r.Final("cinderella")
+	comp, ok2 := r.Final("cinderella+compact")
+	if !ok1 || !ok2 {
+		t.Fatalf("missing series: %+v", r.Rows)
+	}
+	// Cardinality restored each round.
+	if plain.Entities != 4000 || comp.Entities != 4000 {
+		t.Fatalf("entities = %d / %d", plain.Entities, comp.Entities)
+	}
+	// Efficiency stays meaningful after heavy churn (> half the initial).
+	first := r.Rows[0].Points[0].Efficiency
+	if plain.Efficiency < first*0.5 {
+		t.Fatalf("efficiency collapsed: %v -> %v", first, plain.Efficiency)
+	}
+	// Compaction must not leave more partitions than no maintenance.
+	if comp.Partitions > plain.Partitions {
+		t.Fatalf("compact series has more partitions: %d > %d", comp.Partitions, plain.Partitions)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "churn") {
+		t.Fatal("Print output wrong")
+	}
+}

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"cinderella/internal/core"
+	"cinderella/internal/metrics"
+)
+
+// --- Figure 4: attribute distribution of the data set ---
+
+// Fig4Result holds the two distributions of Figure 4.
+type Fig4Result struct {
+	Entities int
+	// Freq is, per attribute (sorted descending), the fraction of
+	// entities instantiating it: Figure 4(a).
+	Freq []float64
+	// AttrsPerEntity histograms the number of attributes per entity:
+	// index i counts entities with exactly i attributes: Figure 4(b).
+	AttrsPerEntity []int
+	Sparseness     float64
+}
+
+// Fig4 generates the data set and computes its distributions.
+func Fig4(o Options) Fig4Result {
+	o = o.withDefaults()
+	ds := dataset(o)
+	syns := entSynopses(ds)
+	res := Fig4Result{Entities: len(ds.Entities), Sparseness: ds.Sparseness()}
+	for _, c := range metrics.FrequencyDistribution(syns) {
+		res.Freq = append(res.Freq, float64(c)/float64(len(ds.Entities)))
+	}
+	counts := metrics.AttrsPerEntity(syns)
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	res.AttrsPerEntity = make([]int, max+1)
+	for _, c := range counts {
+		res.AttrsPerEntity[c]++
+	}
+	return res
+}
+
+// Print renders the Figure 4 series.
+func (r Fig4Result) Print(w io.Writer) {
+	fprintf(w, "Figure 4 — attribute distribution (n=%d entities, sparseness=%.3f)\n", r.Entities, r.Sparseness)
+	fprintf(w, "(a) attribute frequency (rank: fraction of entities)\n")
+	for i, f := range r.Freq {
+		fprintf(w, "  %3d  %.4f\n", i+1, f)
+	}
+	fprintf(w, "(b) attributes per entity (count: entities)\n")
+	for n, c := range r.AttrsPerEntity {
+		if c > 0 {
+			fprintf(w, "  %3d  %d\n", n, c)
+		}
+	}
+}
+
+// --- Figures 5 and 6: query execution time vs. selectivity ---
+
+// SeriesPoint is one measured query in a Fig5/Fig6 series.
+type SeriesPoint struct {
+	Selectivity float64
+	Millis      float64
+	KBRead      float64
+	Touched     int
+	Pruned      int
+}
+
+// QuerySeries is the measurement of one table configuration.
+type QuerySeries struct {
+	Label      string
+	Partitions int
+	Points     []SeriesPoint
+}
+
+// Fig5Result (also used by Fig6) compares query time across
+// configurations, including the universal-table baseline.
+type Fig5Result struct {
+	Title  string
+	Series []QuerySeries
+}
+
+// Fig5 measures query time vs. selectivity for B ∈ {500, 5000, 50000} at
+// w = 0.5, against the universal table.
+func Fig5(o Options) Fig5Result {
+	o = o.withDefaults()
+	return sweepQueries(o, "Figure 5 — query time vs selectivity, varying B (w=0.5)",
+		[]namedAssigner{
+			{"universal", func() core.Assigner { return core.NewSingle(core.SizeCount) }},
+			{"B=500", func() core.Assigner { return cind(0.5, 500) }},
+			{"B=5000", func() core.Assigner { return cind(0.5, 5000) }},
+			{"B=50000", func() core.Assigner { return cind(0.5, 50000) }},
+		})
+}
+
+// Fig6 measures query time vs. selectivity for w ∈ {0.2, 0.5, 0.8} at
+// B = 5000, against the universal table.
+func Fig6(o Options) Fig5Result {
+	o = o.withDefaults()
+	return sweepQueries(o, "Figure 6 — query time vs selectivity, varying w (B=5000)",
+		[]namedAssigner{
+			{"universal", func() core.Assigner { return core.NewSingle(core.SizeCount) }},
+			{"w=0.2", func() core.Assigner { return cind(0.2, 5000) }},
+			{"w=0.5", func() core.Assigner { return cind(0.5, 5000) }},
+			{"w=0.8", func() core.Assigner { return cind(0.8, 5000) }},
+		})
+}
+
+type namedAssigner struct {
+	label string
+	mk    func() core.Assigner
+}
+
+func sweepQueries(o Options, title string, configs []namedAssigner) Fig5Result {
+	ds := dataset(o)
+	queries := buildWorkload(ds, o)
+	res := Fig5Result{Title: title}
+	for _, cfg := range configs {
+		tbl, _ := loadTable(ds, cfg.mk(), false)
+		runs := runQueries(tbl, queries)
+		s := QuerySeries{Label: cfg.label, Partitions: tbl.NumPartitions()}
+		for _, r := range runs {
+			s.Points = append(s.Points, SeriesPoint{
+				Selectivity: r.Query.Selectivity,
+				Millis:      float64(r.Duration.Microseconds()) / 1000,
+				KBRead:      float64(r.BytesRead) / 1024,
+				Touched:     r.Touched,
+				Pruned:      r.Pruned,
+			})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// Print renders each series as selectivity/time/bytes rows.
+func (r Fig5Result) Print(w io.Writer) {
+	fprintf(w, "%s\n", r.Title)
+	for _, s := range r.Series {
+		fprintf(w, "series %-10s (%d partitions)\n", s.Label, s.Partitions)
+		fprintf(w, "  %-12s %10s %12s %8s %8s\n", "selectivity", "ms", "KB read", "touched", "pruned")
+		for _, p := range s.Points {
+			fprintf(w, "  %-12.4f %10.3f %12.1f %8d %8d\n", p.Selectivity, p.Millis, p.KBRead, p.Touched, p.Pruned)
+		}
+	}
+}
+
+// MeanSpeedupBelow returns baseline-time / series-time averaged over
+// queries with selectivity < cut, comparing a series to the baseline
+// (first) series. Used by acceptance checks.
+func (r Fig5Result) MeanSpeedupBelow(label string, cut float64) float64 {
+	base := r.Series[0]
+	var target *QuerySeries
+	for i := range r.Series {
+		if r.Series[i].Label == label {
+			target = &r.Series[i]
+		}
+	}
+	if target == nil {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for i, p := range target.Points {
+		if p.Selectivity >= cut || p.KBRead == 0 {
+			continue
+		}
+		sum += base.Points[i].KBRead / p.KBRead
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// --- Figure 7: influence of the weight on the partitioning ---
+
+// Fig7Row is one weight setting's partitioning profile.
+type Fig7Row struct {
+	Weight      float64
+	Partitions  int
+	EntitiesPP  metrics.Summary // entities per partition
+	AttrsPP     metrics.Summary // attributes per partition
+	SparsenessP metrics.Summary // sparseness per partition
+}
+
+// Fig7Result aggregates the weight sweep (B = 5000).
+type Fig7Result struct {
+	DataSparseness float64
+	Rows           []Fig7Row
+}
+
+// Fig7 partitions the data set for w ∈ {0, 0.1, …, 1} at B = 5000 and
+// profiles the result.
+func Fig7(o Options) Fig7Result {
+	o = o.withDefaults()
+	ds := dataset(o)
+	res := Fig7Result{DataSparseness: ds.Sparseness()}
+	for wi := 0; wi <= 10; wi++ {
+		w := float64(wi) / 10
+		tbl, _ := loadTable(ds, cind(w, 5000), false)
+		var ents, attrs, sparse []float64
+		for _, pv := range tbl.Partitions() {
+			ents = append(ents, float64(pv.Entities))
+			attrs = append(attrs, float64(pv.Synopsis.Len()))
+			sparse = append(sparse, metrics.Sparseness(tbl.MemberSynopses(pv.ID)))
+		}
+		res.Rows = append(res.Rows, Fig7Row{
+			Weight:      w,
+			Partitions:  tbl.NumPartitions(),
+			EntitiesPP:  metrics.Summarize(ents),
+			AttrsPP:     metrics.Summarize(attrs),
+			SparsenessP: metrics.Summarize(sparse),
+		})
+	}
+	return res
+}
+
+// Print renders the four subplots of Figure 7 as columns.
+func (r Fig7Result) Print(w io.Writer) {
+	fprintf(w, "Figure 7 — influence of weight w (B=5000, data sparseness %.3f)\n", r.DataSparseness)
+	fprintf(w, "  %-5s %10s | %-28s | %-28s | %-28s\n", "w", "partitions",
+		"entities/partition", "attrs/partition", "sparseness/partition")
+	for _, row := range r.Rows {
+		fprintf(w, "  %-5.1f %10d | med=%-7.0f p75=%-7.0f max=%-7.0f | med=%-7.0f p75=%-7.0f max=%-7.0f | med=%-.3f p75=%-.3f max=%-.3f\n",
+			row.Weight, row.Partitions,
+			row.EntitiesPP.Median, row.EntitiesPP.P75, row.EntitiesPP.Max,
+			row.AttrsPP.Median, row.AttrsPP.P75, row.AttrsPP.Max,
+			row.SparsenessP.Median, row.SparsenessP.P75, row.SparsenessP.Max)
+	}
+}
+
+// --- Figure 8: insert execution time ---
+
+// Fig8Row is the insert profile for one partition size limit.
+type Fig8Row struct {
+	B          int64
+	Histogram  *metrics.Histogram // insert latency in ms, decade buckets
+	Splits     int64
+	Cascades   int64
+	Partitions int
+	Mean       time.Duration
+	P99        time.Duration
+}
+
+// Fig8Result aggregates insert timing per B.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// Fig8 loads the data set for B ∈ {500, 5000, 50000} at w = 0.5 timing
+// every insert; the paper reports 448/100/0 splits at 100k entities.
+func Fig8(o Options) Fig8Result {
+	o = o.withDefaults()
+	ds := dataset(o)
+	var res Fig8Result
+	for _, b := range []int64{500, 5000, 50000} {
+		p := core.NewCinderella(core.Config{Weight: 0.5, MaxSize: b})
+		tbl, durs := loadTable(ds, p, true)
+		h := metrics.NewLogHistogram(0.001, 7) // 1µs … 1000ms bounds
+		var total time.Duration
+		ms := make([]float64, len(durs))
+		for i, d := range durs {
+			m := float64(d.Microseconds()) / 1000
+			ms[i] = m
+			h.Observe(m)
+			total += d
+		}
+		st := p.Stats()
+		res.Rows = append(res.Rows, Fig8Row{
+			B: b, Histogram: h,
+			Splits: st.Splits, Cascades: st.SplitCascades,
+			Partitions: tbl.NumPartitions(),
+			Mean:       total / time.Duration(len(durs)),
+			P99:        time.Duration(metrics.Quantile(ms, 0.99) * float64(time.Millisecond)),
+		})
+	}
+	return res
+}
+
+// Print renders the insert latency distribution per B.
+func (r Fig8Result) Print(w io.Writer) {
+	fprintf(w, "Figure 8 — insert execution time by partition size limit (w=0.5)\n")
+	for _, row := range r.Rows {
+		fprintf(w, "B=%-6d partitions=%-5d splits=%-4d cascades=%-3d mean=%v p99=%v\n",
+			row.B, row.Partitions, row.Splits, row.Cascades, row.Mean, row.P99)
+		for i, c := range row.Histogram.Counts {
+			if c > 0 {
+				fprintf(w, "  %-14s ms: %d inserts\n", row.Histogram.BucketLabel(i), c)
+			}
+		}
+	}
+}
+
+// sortPoints orders series points by selectivity (used by tests).
+func sortPoints(pts []SeriesPoint) {
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Selectivity < pts[j].Selectivity })
+}

@@ -1,0 +1,211 @@
+// Package metrics implements the paper's evaluation measures: the
+// partitioning EFFICIENCY of Definition 1, per-partition sparseness, and
+// the distribution summaries (histograms, quantiles) behind Figures 4, 7,
+// and 8.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cinderella/internal/synopsis"
+)
+
+// Sized pairs a synopsis with a size, describing either an entity or a
+// partition for the efficiency computation.
+type Sized struct {
+	Syn  *synopsis.Set
+	Size int64
+}
+
+// Efficiency computes Definition 1:
+//
+//	EFFICIENCY(P) = Σ_{q∈W,e∈T} sgn(|e∧q|)·SIZE(e) / Σ_{q∈W,p∈P} sgn(|p∧q|)·SIZE(p)
+//
+// i.e. the fraction of read data that is actually relevant to the
+// workload. It returns a value in [0,1]; a workload that touches nothing
+// yields 1 (vacuously perfect). Efficiency is 0 only if partitions are
+// read without any relevant entity, which cannot happen with exact
+// synopses, so values near 0 indicate very heterogeneous partitions.
+func Efficiency(entities, partitions []Sized, workload []*synopsis.Set) float64 {
+	var relevant, read int64
+	for _, q := range workload {
+		for _, e := range entities {
+			if synopsis.Intersects(e.Syn, q) {
+				relevant += e.Size
+			}
+		}
+		for _, p := range partitions {
+			if synopsis.Intersects(p.Syn, q) {
+				read += p.Size
+			}
+		}
+	}
+	if read == 0 {
+		return 1
+	}
+	return float64(relevant) / float64(read)
+}
+
+// Sparseness returns the fraction of empty cells in the (entities ×
+// attributes) grid spanned by the given entity synopses, the measure of
+// Figure 7(d). A single-entity group has sparseness 0 by definition of
+// its own schema; an empty group yields 0.
+func Sparseness(members []*synopsis.Set) float64 {
+	if len(members) == 0 {
+		return 0
+	}
+	union := synopsis.New(0)
+	var filled int64
+	for _, m := range members {
+		union.UnionWith(m)
+		filled += int64(m.Len())
+	}
+	total := int64(len(members)) * int64(union.Len())
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(filled)/float64(total)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: quantile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary holds the five-number summary plus mean of a sample.
+type Summary struct {
+	N                          int
+	Min, P25, Median, P75, Max float64
+	Mean                       float64
+}
+
+// Summarize computes a Summary. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("metrics: summary of empty sample")
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return Summary{
+		N:      len(xs),
+		Min:    Quantile(xs, 0),
+		P25:    Quantile(xs, 0.25),
+		Median: Quantile(xs, 0.5),
+		P75:    Quantile(xs, 0.75),
+		Max:    Quantile(xs, 1),
+		Mean:   sum / float64(len(xs)),
+	}
+}
+
+// String renders the summary in one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g p25=%.3g med=%.3g p75=%.3g max=%.3g mean=%.3g",
+		s.N, s.Min, s.P25, s.Median, s.P75, s.Max, s.Mean)
+}
+
+// Histogram counts samples into fixed buckets.
+type Histogram struct {
+	// Bounds are the upper bucket bounds; a sample x lands in the first
+	// bucket with x <= Bounds[i], or the overflow bucket otherwise.
+	Bounds []float64
+	Counts []int64 // len(Bounds)+1, last is overflow
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds not ascending")
+		}
+	}
+	return &Histogram{Bounds: bounds, Counts: make([]int64, len(bounds)+1)}
+}
+
+// NewLogHistogram returns a histogram with n decade bounds starting at lo:
+// lo, 10·lo, 100·lo, … Used for Figure 8's insert latency distribution.
+func NewLogHistogram(lo float64, n int) *Histogram {
+	bounds := make([]float64, n)
+	b := lo
+	for i := range bounds {
+		bounds[i] = b
+		b *= 10
+	}
+	return NewHistogram(bounds...)
+}
+
+// Observe adds a sample.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.Bounds, x)
+	h.Counts[i]++
+}
+
+// Total returns the number of observed samples.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BucketLabel renders the range of bucket i for reporting.
+func (h *Histogram) BucketLabel(i int) string {
+	switch {
+	case i == 0:
+		return fmt.Sprintf("<= %g", h.Bounds[0])
+	case i < len(h.Bounds):
+		return fmt.Sprintf("(%g, %g]", h.Bounds[i-1], h.Bounds[i])
+	default:
+		return fmt.Sprintf("> %g", h.Bounds[len(h.Bounds)-1])
+	}
+}
+
+// FrequencyDistribution computes, for every attribute appearing in the
+// entity synopses, the number of entities instantiating it, sorted
+// descending: Figure 4(a).
+func FrequencyDistribution(entities []*synopsis.Set) []int {
+	counts := map[int]int{}
+	for _, e := range entities {
+		for _, a := range e.Elements(nil) {
+			counts[a]++
+		}
+	}
+	out := make([]int, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// AttrsPerEntity returns the attribute count of every entity: Figure 4(b).
+func AttrsPerEntity(entities []*synopsis.Set) []int {
+	out := make([]int, len(entities))
+	for i, e := range entities {
+		out[i] = e.Len()
+	}
+	return out
+}

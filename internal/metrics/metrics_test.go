@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cinderella/internal/synopsis"
+)
+
+func TestEfficiencyPerfectPartitioning(t *testing.T) {
+	// Two schema-pure partitions; each query touches exactly the relevant
+	// one, so every read byte is relevant: efficiency 1.
+	entities := []Sized{
+		{synopsis.Of(1, 2), 10}, {synopsis.Of(1, 2), 10},
+		{synopsis.Of(5, 6), 20}, {synopsis.Of(5, 6), 20},
+	}
+	partitions := []Sized{
+		{synopsis.Of(1, 2), 20},
+		{synopsis.Of(5, 6), 40},
+	}
+	workload := []*synopsis.Set{synopsis.Of(1), synopsis.Of(5)}
+	if got := Efficiency(entities, partitions, workload); got != 1 {
+		t.Fatalf("efficiency = %v, want 1", got)
+	}
+}
+
+func TestEfficiencyUniversalTable(t *testing.T) {
+	// One partition holding everything: a query relevant to half the data
+	// reads all of it → efficiency 0.5.
+	entities := []Sized{
+		{synopsis.Of(1), 10}, {synopsis.Of(2), 10},
+	}
+	partitions := []Sized{{synopsis.Of(1, 2), 20}}
+	workload := []*synopsis.Set{synopsis.Of(1)}
+	if got := Efficiency(entities, partitions, workload); got != 0.5 {
+		t.Fatalf("efficiency = %v, want 0.5", got)
+	}
+}
+
+func TestEfficiencyEmptyWorkload(t *testing.T) {
+	if got := Efficiency(nil, nil, nil); got != 1 {
+		t.Fatalf("efficiency of empty workload = %v, want 1", got)
+	}
+}
+
+func TestEfficiencyPrunedPartitionNotCharged(t *testing.T) {
+	entities := []Sized{
+		{synopsis.Of(1), 10},
+		{synopsis.Of(9), 1000}, // irrelevant, in its own partition
+	}
+	partitions := []Sized{
+		{synopsis.Of(1), 10},
+		{synopsis.Of(9), 1000},
+	}
+	workload := []*synopsis.Set{synopsis.Of(1)}
+	if got := Efficiency(entities, partitions, workload); got != 1 {
+		t.Fatalf("pruned partition charged: efficiency = %v", got)
+	}
+}
+
+func TestPropEfficiencyBounds(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		var entities []Sized
+		part := Sized{Syn: synopsis.New(0)}
+		for _, s := range seeds {
+			syn := synopsis.Of(int(s % 16))
+			entities = append(entities, Sized{syn, int64(s%100) + 1})
+			part.Syn.UnionWith(syn)
+			part.Size += int64(s%100) + 1
+		}
+		if len(entities) == 0 {
+			return true
+		}
+		w := []*synopsis.Set{synopsis.Of(3), synopsis.Of(7, 9)}
+		got := Efficiency(entities, []Sized{part}, w)
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseness(t *testing.T) {
+	// 2 entities over union of 4 attrs, 2+2 filled -> 1 - 4/8 = 0.5.
+	got := Sparseness([]*synopsis.Set{synopsis.Of(1, 2), synopsis.Of(3, 4)})
+	if got != 0.5 {
+		t.Fatalf("sparseness = %v, want 0.5", got)
+	}
+	// Homogeneous group: 0.
+	if got := Sparseness([]*synopsis.Set{synopsis.Of(1, 2), synopsis.Of(1, 2)}); got != 0 {
+		t.Fatalf("homogeneous sparseness = %v, want 0", got)
+	}
+	if got := Sparseness(nil); got != 0 {
+		t.Fatalf("empty sparseness = %v", got)
+	}
+	if got := Sparseness([]*synopsis.Set{synopsis.Of()}); got != 0 {
+		t.Fatalf("attribute-less sparseness = %v", got)
+	}
+}
+
+func TestPropSparsenessBounds(t *testing.T) {
+	f := func(rows []uint32) bool {
+		members := make([]*synopsis.Set, 0, len(rows))
+		for _, r := range rows {
+			s := synopsis.New(0)
+			for b := 0; b < 16; b++ {
+				if r&(1<<b) != 0 {
+					s.Add(b)
+				}
+			}
+			if !s.Empty() {
+				members = append(members, s)
+			}
+		}
+		sp := Sparseness(members)
+		return sp >= 0 && sp < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation.
+	if got := Quantile([]float64{0, 10}, 0.5); got != 5 {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+	// Input not mutated.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(nil) did not panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, x := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(x)
+	}
+	want := []int64{2, 1, 1, 1} // (..1], (1,10], (10,100], overflow
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("Counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.BucketLabel(0) != "<= 1" || h.BucketLabel(3) != "> 100" {
+		t.Fatalf("labels: %q %q", h.BucketLabel(0), h.BucketLabel(3))
+	}
+	if h.BucketLabel(1) != "(1, 10]" {
+		t.Fatalf("mid label: %q", h.BucketLabel(1))
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds accepted")
+		}
+	}()
+	NewHistogram(10, 1)
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram(0.001, 5)
+	if len(h.Bounds) != 5 {
+		t.Fatalf("bounds = %v", h.Bounds)
+	}
+	if math.Abs(h.Bounds[4]-10) > 1e-9 {
+		t.Fatalf("last bound = %v, want 10", h.Bounds[4])
+	}
+}
+
+func TestFrequencyDistribution(t *testing.T) {
+	es := []*synopsis.Set{
+		synopsis.Of(1, 2),
+		synopsis.Of(1),
+		synopsis.Of(1, 3),
+	}
+	got := FrequencyDistribution(es)
+	want := []int{3, 1, 1}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("freq = %v, want %v", got, want)
+	}
+}
+
+func TestAttrsPerEntity(t *testing.T) {
+	es := []*synopsis.Set{synopsis.Of(1, 2, 3), synopsis.Of(9)}
+	got := AttrsPerEntity(es)
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Fatalf("attrs = %v", got)
+	}
+}

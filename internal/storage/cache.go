@@ -1,0 +1,133 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// BufferCache simulates a bounded page cache shared by many segments,
+// with LRU replacement — the "caching" aspect of physical design named in
+// the paper's future work. Page accesses during scans and point reads are
+// routed through the cache; the hit/miss counters quantify how much a
+// partitioning's access locality is worth: a selective workload over a
+// Cinderella partitioning touches few partitions repeatedly and keeps
+// their pages resident, while the same workload over a universal table
+// floods the cache with full scans.
+type BufferCache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recent; values are pageKey
+	pages    map[pageKey]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type pageKey struct {
+	seg  uint64
+	page int
+}
+
+// NewBufferCache returns a cache holding up to capacity pages.
+func NewBufferCache(capacity int) *BufferCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferCache{
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[pageKey]*list.Element),
+	}
+}
+
+// touch records an access to (seg, page), returning whether it was a hit.
+func (c *BufferCache) touch(seg uint64, page int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := pageKey{seg: seg, page: page}
+	if el, ok := c.pages[k]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	el := c.lru.PushFront(k)
+	c.pages[k] = el
+	if c.lru.Len() > c.capacity {
+		victim := c.lru.Back()
+		c.lru.Remove(victim)
+		delete(c.pages, victim.Value.(pageKey))
+	}
+	return false
+}
+
+// evictSegment drops all cached pages of a segment (segment truncated or
+// partition dropped).
+func (c *BufferCache) evictSegment(seg uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(pageKey).seg == seg {
+			c.lru.Remove(el)
+			delete(c.pages, el.Value.(pageKey))
+		}
+		el = next
+	}
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *BufferCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Reset zeroes the counters (the cached set is kept).
+func (c *BufferCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses = 0, 0
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any access.
+func (c *BufferCache) HitRatio() float64 {
+	h, m := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Len returns the number of resident pages.
+func (c *BufferCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// segmentIDs issues unique segment identities for cache keys.
+var segmentIDs atomic.Uint64
+
+// AttachCache routes this segment's page accesses through the cache.
+// Attach before use; pages already resident elsewhere are unaffected.
+func (s *Segment) AttachCache(c *BufferCache) {
+	if s.cacheID == 0 {
+		s.cacheID = segmentIDs.Add(1)
+	}
+	s.cache = c
+}
+
+// touchPage notifies the cache (if any) of a page access.
+func (s *Segment) touchPage(page int) {
+	if s.cache != nil {
+		s.cache.touch(s.cacheID, page)
+	}
+}
+
+// DropFromCache evicts all of this segment's pages from the cache.
+func (s *Segment) DropFromCache() {
+	if s.cache != nil {
+		s.cache.evictSegment(s.cacheID)
+	}
+}

@@ -1,0 +1,157 @@
+// Package storage provides the paged storage substrate underneath the
+// universal table: slotted pages, per-partition heap segments, and a pager
+// that accounts every page and byte that crosses the (simulated) I/O
+// boundary.
+//
+// The paper's prototype stored each partition as a PostgreSQL table; here
+// each partition is a Segment — a chain of fixed-size slotted pages. The
+// pager's Stats are the ground truth for the EFFICIENCY metric and for the
+// "how much data is actually read" side of every experiment.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the fixed page size in bytes. 8 KiB matches PostgreSQL.
+const PageSize = 8192
+
+// pageHeaderSize is slotCount(2) + freeOffset(2).
+const pageHeaderSize = 4
+
+// slotSize is offset(2) + length(2) per record slot.
+const slotSize = 4
+
+// ErrPageFull is returned by Page.Insert when the record does not fit.
+var ErrPageFull = errors.New("storage: page full")
+
+// ErrRecordTooLarge is returned for records that can never fit in a page.
+var ErrRecordTooLarge = errors.New("storage: record larger than page")
+
+// MaxRecordSize is the largest record a page can hold.
+const MaxRecordSize = PageSize - pageHeaderSize - slotSize
+
+// Page is a slotted page: a fixed byte array with a slot directory growing
+// from the front and record payloads growing from the back.
+//
+// Layout:
+//
+//	[0:2]  slot count (uint16)
+//	[2:4]  free-space offset: start of the payload region (uint16)
+//	[4:..] slot directory, 4 bytes per slot: payload offset, length
+//	 ...   free space ...
+//	[free:] payloads (allocated back-to-front)
+//
+// A deleted record keeps its slot with length 0 so that slot numbers stay
+// stable (record ids embed the slot number).
+type Page struct {
+	buf [PageSize]byte
+}
+
+// NewPage returns an initialized empty page.
+func NewPage() *Page {
+	p := &Page{}
+	p.setSlotCount(0)
+	p.setFreeOffset(PageSize)
+	return p
+}
+
+func (p *Page) slotCount() int      { return int(binary.LittleEndian.Uint16(p.buf[0:2])) }
+func (p *Page) setSlotCount(n int)  { binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n)) }
+func (p *Page) freeOffset() int     { return int(binary.LittleEndian.Uint16(p.buf[2:4])) }
+func (p *Page) setFreeOffset(n int) { binary.LittleEndian.PutUint16(p.buf[2:4], uint16(n)) }
+
+func (p *Page) slot(i int) (off, length int) {
+	base := pageHeaderSize + i*slotSize
+	return int(binary.LittleEndian.Uint16(p.buf[base : base+2])),
+		int(binary.LittleEndian.Uint16(p.buf[base+2 : base+4]))
+}
+
+func (p *Page) setSlot(i, off, length int) {
+	base := pageHeaderSize + i*slotSize
+	binary.LittleEndian.PutUint16(p.buf[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[base+2:base+4], uint16(length))
+}
+
+// FreeSpace returns the bytes available for a new record including its slot.
+func (p *Page) FreeSpace() int {
+	return p.freeOffset() - pageHeaderSize - p.slotCount()*slotSize
+}
+
+// Fits reports whether a record of n bytes can be inserted.
+func (p *Page) Fits(n int) bool { return p.FreeSpace() >= n+slotSize }
+
+// NumSlots returns the number of slots (including deleted ones).
+func (p *Page) NumSlots() int { return p.slotCount() }
+
+// Insert stores rec in the page and returns its slot number.
+func (p *Page) Insert(rec []byte) (int, error) {
+	if len(rec) > MaxRecordSize {
+		return 0, ErrRecordTooLarge
+	}
+	if !p.Fits(len(rec)) {
+		return 0, ErrPageFull
+	}
+	off := p.freeOffset() - len(rec)
+	copy(p.buf[off:], rec)
+	slot := p.slotCount()
+	p.setSlot(slot, off, len(rec))
+	p.setSlotCount(slot + 1)
+	p.setFreeOffset(off)
+	return slot, nil
+}
+
+// Read returns the record in slot i, or ok=false if the slot is deleted or
+// out of range. The returned slice aliases the page buffer.
+func (p *Page) Read(i int) (rec []byte, ok bool) {
+	if i < 0 || i >= p.slotCount() {
+		return nil, false
+	}
+	off, length := p.slot(i)
+	if length == 0 {
+		return nil, false
+	}
+	return p.buf[off : off+length], true
+}
+
+// Delete removes the record in slot i. The space is not compacted; the
+// slot remains as a tombstone. Deleting an absent record returns false.
+func (p *Page) Delete(i int) bool {
+	if i < 0 || i >= p.slotCount() {
+		return false
+	}
+	off, length := p.slot(i)
+	if length == 0 {
+		return false
+	}
+	p.setSlot(i, off, 0)
+	return true
+}
+
+// LiveBytes returns the payload bytes of all live records.
+func (p *Page) LiveBytes() int {
+	total := 0
+	for i := 0; i < p.slotCount(); i++ {
+		_, l := p.slot(i)
+		total += l
+	}
+	return total
+}
+
+// LiveRecords returns the number of non-deleted records.
+func (p *Page) LiveRecords() int {
+	n := 0
+	for i := 0; i < p.slotCount(); i++ {
+		if _, l := p.slot(i); l != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String summarizes the page for debugging.
+func (p *Page) String() string {
+	return fmt.Sprintf("page{slots=%d live=%d free=%d}", p.slotCount(), p.LiveRecords(), p.FreeSpace())
+}

@@ -1,0 +1,199 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNotFound is returned when a record id does not resolve to a live record.
+var ErrNotFound = errors.New("storage: record not found")
+
+// RecordID identifies a record inside a segment: page index + slot.
+type RecordID struct {
+	Page int
+	Slot int
+}
+
+// Stats counts simulated I/O. All experiments read these counters to
+// report "how much data was actually read", independent of wall time.
+type Stats struct {
+	mu          sync.Mutex
+	PagesRead   int64
+	PagesWrit   int64
+	BytesRead   int64
+	BytesWrit   int64
+	RecordsRead int64
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.PagesRead, s.PagesWrit, s.BytesRead, s.BytesWrit, s.RecordsRead = 0, 0, 0, 0, 0
+}
+
+// Snapshot returns a copy of the counters.
+func (s *Stats) Snapshot() (pagesRead, pagesWrit, bytesRead, bytesWrit, recordsRead int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.PagesRead, s.PagesWrit, s.BytesRead, s.BytesWrit, s.RecordsRead
+}
+
+func (s *Stats) addRead(pages, bytes, records int64) {
+	s.mu.Lock()
+	s.PagesRead += pages
+	s.BytesRead += bytes
+	s.RecordsRead += records
+	s.mu.Unlock()
+}
+
+func (s *Stats) addWrite(pages, bytes int64) {
+	s.mu.Lock()
+	s.PagesWrit += pages
+	s.BytesWrit += bytes
+	s.mu.Unlock()
+}
+
+// Segment is a heap file: an append-oriented chain of slotted pages. One
+// segment backs one partition. Segments are not safe for concurrent use;
+// the table layer serializes access.
+type Segment struct {
+	pages   []*Page
+	stats   *Stats
+	live    int   // live record count
+	bytes   int64 // live payload bytes
+	cache   *BufferCache
+	cacheID uint64
+}
+
+// NewSegment returns an empty segment charging I/O to stats. A nil stats
+// is replaced with a private counter, so the zero-config path still works.
+func NewSegment(stats *Stats) *Segment {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &Segment{stats: stats}
+}
+
+// Insert appends a record and returns its id. Insertion tries the last
+// page first and allocates a new page when it does not fit, matching heap
+// file append behaviour.
+func (s *Segment) Insert(rec []byte) (RecordID, error) {
+	if len(rec) > MaxRecordSize {
+		return RecordID{}, ErrRecordTooLarge
+	}
+	if n := len(s.pages); n > 0 {
+		if slot, err := s.pages[n-1].Insert(rec); err == nil {
+			s.noteInsert(rec)
+			return RecordID{Page: n - 1, Slot: slot}, nil
+		}
+	}
+	p := NewPage()
+	slot, err := p.Insert(rec)
+	if err != nil {
+		return RecordID{}, err
+	}
+	s.pages = append(s.pages, p)
+	s.noteInsert(rec)
+	return RecordID{Page: len(s.pages) - 1, Slot: slot}, nil
+}
+
+func (s *Segment) noteInsert(rec []byte) {
+	s.live++
+	s.bytes += int64(len(rec))
+	s.stats.addWrite(1, int64(len(rec)))
+}
+
+// Read returns the record bytes for id. The returned slice aliases page
+// memory and is valid until the record is deleted.
+func (s *Segment) Read(id RecordID) ([]byte, error) {
+	if id.Page < 0 || id.Page >= len(s.pages) {
+		return nil, ErrNotFound
+	}
+	rec, ok := s.pages[id.Page].Read(id.Slot)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	s.touchPage(id.Page)
+	s.stats.addRead(1, int64(len(rec)), 1)
+	return rec, nil
+}
+
+// Delete tombstones the record for id.
+func (s *Segment) Delete(id RecordID) error {
+	if id.Page < 0 || id.Page >= len(s.pages) {
+		return ErrNotFound
+	}
+	rec, ok := s.pages[id.Page].Read(id.Slot)
+	if !ok {
+		return ErrNotFound
+	}
+	n := int64(len(rec))
+	if !s.pages[id.Page].Delete(id.Slot) {
+		return ErrNotFound
+	}
+	s.live--
+	s.bytes -= n
+	s.stats.addWrite(1, 0)
+	return nil
+}
+
+// Scan iterates all live records in storage order, charging one page read
+// per page and the live bytes of each visited record. Iteration stops
+// early if fn returns false.
+func (s *Segment) Scan(fn func(id RecordID, rec []byte) bool) {
+	for pi, p := range s.pages {
+		s.touchPage(pi)
+		s.stats.addRead(1, 0, 0)
+		for slot := 0; slot < p.NumSlots(); slot++ {
+			rec, ok := p.Read(slot)
+			if !ok {
+				continue
+			}
+			s.stats.addRead(0, int64(len(rec)), 1)
+			if !fn(RecordID{Page: pi, Slot: slot}, rec) {
+				return
+			}
+		}
+	}
+}
+
+// Vacuum rewrites the segment without tombstones, reclaiming the space of
+// deleted records and dropping empty pages. Record ids change; the
+// returned map gives old → new ids for the caller to remap its indexes.
+// The rewrite is charged to the write counters like a physical copy.
+func (s *Segment) Vacuum() map[RecordID]RecordID {
+	remap := make(map[RecordID]RecordID, s.live)
+	old := s.pages
+	s.pages = nil
+	s.live = 0
+	s.bytes = 0
+	s.DropFromCache()
+	for pi, p := range old {
+		for slot := 0; slot < p.NumSlots(); slot++ {
+			rec, ok := p.Read(slot)
+			if !ok {
+				continue
+			}
+			nid, err := s.Insert(rec)
+			if err != nil {
+				panic("storage: vacuum re-insert failed: " + err.Error())
+			}
+			remap[RecordID{Page: pi, Slot: slot}] = nid
+		}
+	}
+	return remap
+}
+
+// NumPages returns the number of allocated pages.
+func (s *Segment) NumPages() int { return len(s.pages) }
+
+// NumRecords returns the number of live records.
+func (s *Segment) NumRecords() int { return s.live }
+
+// LiveBytes returns the payload bytes of live records: the SIZE() of the
+// partition this segment backs.
+func (s *Segment) LiveBytes() int64 { return s.bytes }
+
+// Stats returns the I/O counter the segment charges to.
+func (s *Segment) Stats() *Stats { return s.stats }

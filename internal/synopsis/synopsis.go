@@ -1,0 +1,278 @@
+// Package synopsis implements the fixed-universe bitset algebra that
+// Cinderella uses to describe entities, partitions, and queries.
+//
+// A synopsis is a set over a universe of attribute (or query) identifiers
+// 0..n-1. The partitioning algorithm only ever needs a handful of set
+// cardinalities — |e ∧ p|, |e ∨ p|, |e ⊕ p|, |¬e ∧ p|, |e ∧ ¬p| — so the
+// package exposes those directly as counting operations that do not
+// allocate.
+package synopsis
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a bitset over a fixed universe of non-negative integer ids.
+// The zero value is an empty set over an empty universe; use New or Of for
+// sets with capacity. Sets of different lengths may be combined — the
+// shorter one is treated as zero-extended.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set able to hold ids in [0, universe).
+func New(universe int) *Set {
+	if universe < 0 {
+		universe = 0
+	}
+	return &Set{words: make([]uint64, (universe+wordBits-1)/wordBits)}
+}
+
+// Of returns a set containing exactly the given ids.
+func Of(ids ...int) *Set {
+	max := -1
+	for _, id := range ids {
+		if id > max {
+			max = id
+		}
+	}
+	s := New(max + 1)
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w}
+}
+
+// Reset removes all elements, retaining capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// grow ensures the set can hold id.
+func (s *Set) grow(id int) {
+	need := id/wordBits + 1
+	if need <= len(s.words) {
+		return
+	}
+	w := make([]uint64, need)
+	copy(w, s.words)
+	s.words = w
+}
+
+// Add inserts id into the set, growing the universe if necessary.
+// It panics on negative ids.
+func (s *Set) Add(id int) {
+	if id < 0 {
+		panic(fmt.Sprintf("synopsis: negative id %d", id))
+	}
+	s.grow(id)
+	s.words[id/wordBits] |= 1 << (uint(id) % wordBits)
+}
+
+// Remove deletes id from the set. Removing an absent id is a no-op.
+func (s *Set) Remove(id int) {
+	if id < 0 || id/wordBits >= len(s.words) {
+		return
+	}
+	s.words[id/wordBits] &^= 1 << (uint(id) % wordBits)
+}
+
+// Contains reports whether id is in the set.
+func (s *Set) Contains(id int) bool {
+	if id < 0 || id/wordBits >= len(s.words) {
+		return false
+	}
+	return s.words[id/wordBits]&(1<<(uint(id)%wordBits)) != 0
+}
+
+// Len returns the cardinality |s|.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith adds every element of t to s (s ∪= t).
+func (s *Set) UnionWith(t *Set) {
+	if len(t.words) > len(s.words) {
+		s.grow(len(t.words)*wordBits - 1)
+	}
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith removes from s every element not in t (s ∩= t).
+func (s *Set) IntersectWith(t *Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &= t.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// DifferenceWith removes every element of t from s (s \= t).
+func (s *Set) DifferenceWith(t *Set) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s *Set) Equal(t *Set) bool {
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if long[i] != w {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AndCard returns |s ∧ t|, the number of shared elements.
+func AndCard(s, t *Set) int {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// OrCard returns |s ∨ t|, the size of the union.
+func OrCard(s, t *Set) int {
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	c := 0
+	for i, w := range short {
+		c += bits.OnesCount64(long[i] | w)
+	}
+	for _, w := range long[len(short):] {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// XorCard returns |s ⊕ t|, the number of elements in exactly one set.
+// This is the paper's DIFF() between two entity synopses.
+func XorCard(s, t *Set) int {
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	c := 0
+	for i, w := range short {
+		c += bits.OnesCount64(long[i] ^ w)
+	}
+	for _, w := range long[len(short):] {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndNotCard returns |s ∧ ¬t|, the number of elements of s missing from t.
+func AndNotCard(s, t *Set) int {
+	c := 0
+	for i, w := range s.words {
+		if i < len(t.words) {
+			c += bits.OnesCount64(w &^ t.words[i])
+		} else {
+			c += bits.OnesCount64(w)
+		}
+	}
+	return c
+}
+
+// Intersects reports whether |s ∧ t| > 0 without counting. This is the
+// pruning test sgn(|p ∧ q|) from the paper: a partition p survives pruning
+// for query q iff Intersects(p, q).
+func Intersects(s, t *Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Subset reports whether every element of s is in t.
+func Subset(s, t *Set) bool {
+	return AndNotCard(s, t) == 0
+}
+
+// Elements appends all ids in the set, in increasing order, to dst and
+// returns the extended slice.
+func (s *Set) Elements(dst []int) []int {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, i*wordBits+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return dst
+}
+
+// String renders the set as "{1, 5, 9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, id := range s.Elements(nil) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", id)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

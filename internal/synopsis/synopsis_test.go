@@ -1,0 +1,339 @@
+package synopsis
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if !s.Empty() {
+		t.Fatal("New set should be empty")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Set
+	if s.Contains(5) {
+		t.Fatal("zero set contains 5")
+	}
+	s.Add(5)
+	if !s.Contains(5) {
+		t.Fatal("zero set should grow on Add")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(10)
+	ids := []int{0, 1, 9, 63, 64, 65, 127, 128, 1000}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	for _, id := range ids {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false after Add", id)
+		}
+	}
+	if s.Len() != len(ids) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(ids))
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Contains(64) after Remove")
+	}
+	s.Remove(64) // double remove is a no-op
+	s.Remove(99999)
+	s.Remove(-3)
+	if s.Len() != len(ids)-1 {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(ids)-1)
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	New(4).Add(-1)
+}
+
+func TestOf(t *testing.T) {
+	s := Of(3, 1, 4, 1, 5)
+	want := []int{1, 3, 4, 5}
+	got := s.Elements(nil)
+	if len(got) != len(want) {
+		t.Fatalf("Elements = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOfEmpty(t *testing.T) {
+	s := Of()
+	if !s.Empty() {
+		t.Fatal("Of() should be empty")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := Of(1, 2, 3)
+	c := s.Clone()
+	c.Add(10)
+	c.Remove(2)
+	if !s.Contains(2) || s.Contains(10) {
+		t.Fatal("Clone is not independent")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := Of(1, 2, 3)
+	s.Reset()
+	if !s.Empty() {
+		t.Fatal("Reset did not empty the set")
+	}
+}
+
+func TestCardinalities(t *testing.T) {
+	e := Of(0, 1, 2, 3)    // entity attrs
+	p := Of(2, 3, 4, 5, 6) // partition attrs
+	if got := AndCard(e, p); got != 2 {
+		t.Errorf("|e ∧ p| = %d, want 2", got)
+	}
+	if got := OrCard(e, p); got != 7 {
+		t.Errorf("|e ∨ p| = %d, want 7", got)
+	}
+	if got := XorCard(e, p); got != 5 {
+		t.Errorf("|e ⊕ p| = %d, want 5", got)
+	}
+	if got := AndNotCard(e, p); got != 2 { // attrs entity has, partition lacks
+		t.Errorf("|e ∧ ¬p| = %d, want 2", got)
+	}
+	if got := AndNotCard(p, e); got != 3 { // attrs partition has, entity lacks
+		t.Errorf("|¬e ∧ p| = %d, want 3", got)
+	}
+}
+
+func TestCardinalitiesDifferentLengths(t *testing.T) {
+	small := Of(1)
+	big := Of(1, 300)
+	if got := AndCard(small, big); got != 1 {
+		t.Errorf("AndCard = %d, want 1", got)
+	}
+	if got := OrCard(small, big); got != 2 {
+		t.Errorf("OrCard = %d, want 2", got)
+	}
+	if got := XorCard(small, big); got != 1 {
+		t.Errorf("XorCard = %d, want 1", got)
+	}
+	if got := AndNotCard(big, small); got != 1 {
+		t.Errorf("AndNotCard(big, small) = %d, want 1", got)
+	}
+	if got := AndNotCard(small, big); got != 0 {
+		t.Errorf("AndNotCard(small, big) = %d, want 0", got)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	if Intersects(Of(1, 2), Of(3, 4)) {
+		t.Error("disjoint sets should not intersect")
+	}
+	if !Intersects(Of(1, 2), Of(2, 3)) {
+		t.Error("overlapping sets should intersect")
+	}
+	if Intersects(Of(), Of(1)) {
+		t.Error("empty set intersects nothing")
+	}
+	if !Intersects(Of(500), Of(500)) {
+		t.Error("high-bit intersection missed")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	if !Subset(Of(1, 2), Of(1, 2, 3)) {
+		t.Error("Of(1,2) should be subset of Of(1,2,3)")
+	}
+	if Subset(Of(1, 4), Of(1, 2, 3)) {
+		t.Error("Of(1,4) should not be subset of Of(1,2,3)")
+	}
+	if !Subset(Of(), Of(1)) {
+		t.Error("empty set is subset of everything")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Of(1, 2, 3).Equal(Of(3, 2, 1)) {
+		t.Error("order should not matter")
+	}
+	if Of(1, 2).Equal(Of(1, 2, 3)) {
+		t.Error("different sets reported equal")
+	}
+	// Different word lengths, same content.
+	a := Of(1)
+	b := New(1000)
+	b.Add(1)
+	if !a.Equal(b) {
+		t.Error("sets differing only in capacity should be equal")
+	}
+	if !b.Equal(a) {
+		t.Error("Equal should be symmetric")
+	}
+}
+
+func TestSetOpsInPlace(t *testing.T) {
+	a := Of(1, 2, 3)
+	a.UnionWith(Of(3, 4, 500))
+	if a.Len() != 5 || !a.Contains(500) {
+		t.Fatalf("UnionWith wrong: %v", a)
+	}
+	a.IntersectWith(Of(2, 3, 4))
+	if a.Len() != 3 || a.Contains(1) || a.Contains(500) {
+		t.Fatalf("IntersectWith wrong: %v", a)
+	}
+	a.DifferenceWith(Of(3, 999))
+	if a.Len() != 2 || a.Contains(3) {
+		t.Fatalf("DifferenceWith wrong: %v", a)
+	}
+}
+
+func TestIntersectWithShorter(t *testing.T) {
+	a := Of(1, 500)
+	a.IntersectWith(Of(1))
+	if a.Len() != 1 || a.Contains(500) {
+		t.Fatalf("IntersectWith shorter set wrong: %v", a)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(5, 1).String(); got != "{1, 5}" {
+		t.Errorf("String = %q, want {1, 5}", got)
+	}
+	if got := Of().String(); got != "{}" {
+		t.Errorf("String = %q, want {}", got)
+	}
+}
+
+func TestElementsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New(0)
+	for i := 0; i < 200; i++ {
+		s.Add(rng.Intn(2000))
+	}
+	els := s.Elements(nil)
+	if !sort.IntsAreSorted(els) {
+		t.Fatal("Elements not sorted")
+	}
+	if len(els) != s.Len() {
+		t.Fatalf("len(Elements) = %d, want Len = %d", len(els), s.Len())
+	}
+}
+
+// randomSet builds a set from a raw value for property tests.
+func randomSet(ids []uint16) *Set {
+	s := New(0)
+	for _, id := range ids {
+		s.Add(int(id % 512))
+	}
+	return s
+}
+
+func TestPropInclusionExclusion(t *testing.T) {
+	// |a ∨ b| = |a| + |b| - |a ∧ b|
+	f := func(as, bs []uint16) bool {
+		a, b := randomSet(as), randomSet(bs)
+		return OrCard(a, b) == a.Len()+b.Len()-AndCard(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropXorIdentity(t *testing.T) {
+	// |a ⊕ b| = |a ∧ ¬b| + |b ∧ ¬a| = |a ∨ b| - |a ∧ b|
+	f := func(as, bs []uint16) bool {
+		a, b := randomSet(as), randomSet(bs)
+		x := XorCard(a, b)
+		return x == AndNotCard(a, b)+AndNotCard(b, a) &&
+			x == OrCard(a, b)-AndCard(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIntersectsConsistent(t *testing.T) {
+	f := func(as, bs []uint16) bool {
+		a, b := randomSet(as), randomSet(bs)
+		return Intersects(a, b) == (AndCard(a, b) > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSymmetry(t *testing.T) {
+	f := func(as, bs []uint16) bool {
+		a, b := randomSet(as), randomSet(bs)
+		return AndCard(a, b) == AndCard(b, a) &&
+			OrCard(a, b) == OrCard(b, a) &&
+			XorCard(a, b) == XorCard(b, a) &&
+			Intersects(a, b) == Intersects(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUnionMatchesOrCard(t *testing.T) {
+	f := func(as, bs []uint16) bool {
+		a, b := randomSet(as), randomSet(bs)
+		u := a.Clone()
+		u.UnionWith(b)
+		return u.Len() == OrCard(a, b) && Subset(a, u) && Subset(b, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCloneEqual(t *testing.T) {
+	f := func(as []uint16) bool {
+		a := randomSet(as)
+		return a.Equal(a.Clone())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAndCard(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := New(1024), New(1024)
+	for i := 0; i < 200; i++ {
+		x.Add(rng.Intn(1024))
+		y.Add(rng.Intn(1024))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndCard(x, y)
+	}
+}
+
+func BenchmarkIntersects(b *testing.B) {
+	x, y := Of(1000), Of(1001)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Intersects(x, y)
+	}
+}

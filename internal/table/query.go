@@ -1,0 +1,118 @@
+package table
+
+import (
+	"sort"
+
+	"cinderella/internal/core"
+	"cinderella/internal/entity"
+	"cinderella/internal/storage"
+	"cinderella/internal/synopsis"
+)
+
+// Result is one query hit: the entity id and a decoded copy.
+type Result struct {
+	ID     core.EntityID
+	Entity *entity.Entity
+}
+
+// QueryReport describes one query execution for experiments.
+type QueryReport struct {
+	PartitionsTotal   int
+	PartitionsTouched int
+	PartitionsPruned  int
+	EntitiesScanned   int
+	EntitiesReturned  int
+}
+
+// Select returns all entities instantiating at least one of the given
+// attributes — the paper's
+//
+//	SELECT … WHERE a1 IS NOT NULL OR a2 IS NOT NULL …
+//
+// query shape. Partitions whose attribute synopsis is disjoint from the
+// query are pruned without touching their data.
+func (t *Table) Select(attrs ...int) []Result {
+	res, _ := t.SelectWithReport(synopsis.Of(attrs...))
+	return res
+}
+
+// SelectSynopsis runs Select for a prepared query synopsis.
+func (t *Table) SelectSynopsis(q *synopsis.Set) []Result {
+	res, _ := t.SelectWithReport(q)
+	return res
+}
+
+// SelectWithReport runs the query and also returns execution counters.
+func (t *Table) SelectWithReport(q *synopsis.Set) ([]Result, QueryReport) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	var rep QueryReport
+	var out []Result
+
+	pids := make([]core.PartitionID, 0, len(t.segs))
+	for pid := range t.segs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+
+	rep.PartitionsTotal = len(pids)
+	for _, pid := range pids {
+		syn := t.attrSyn[pid]
+		if syn == nil || !synopsis.Intersects(syn, q) {
+			rep.PartitionsPruned++
+			continue
+		}
+		rep.PartitionsTouched++
+		t.scanPartition(pid, q, &out, &rep)
+	}
+
+	t.queries.Queries++
+	t.queries.PartitionsTouched += int64(rep.PartitionsTouched)
+	t.queries.PartitionsPruned += int64(rep.PartitionsPruned)
+	t.queries.EntitiesReturned += int64(rep.EntitiesReturned)
+	t.queries.EntitiesScanned += int64(rep.EntitiesScanned)
+	return out, rep
+}
+
+// scanPartition scans one partition's segment, decoding every live record
+// (the union branch for this partition) and filtering by the query.
+func (t *Table) scanPartition(pid core.PartitionID, q *synopsis.Set, out *[]Result, rep *QueryReport) {
+	seg := t.segs[pid]
+	seg.Scan(func(rid storage.RecordID, rec []byte) bool {
+		rep.EntitiesScanned++
+		id, e, err := decodeRecord(rec)
+		if err != nil {
+			panic("table: corrupt record during scan: " + err.Error())
+		}
+		if synopsis.Intersects(e.Synopsis(), q) {
+			rep.EntitiesReturned++
+			*out = append(*out, Result{ID: id, Entity: e})
+		}
+		return true
+	})
+}
+
+// ScanAll returns every live entity (a full table scan over all
+// partitions, no pruning possible).
+func (t *Table) ScanAll() []Result {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Result
+	pids := make([]core.PartitionID, 0, len(t.segs))
+	for pid := range t.segs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		t.segs[pid].Scan(func(rid storage.RecordID, rec []byte) bool {
+			id, e, err := decodeRecord(rec)
+			if err != nil {
+				panic("table: corrupt record during scan: " + err.Error())
+			}
+			out = append(out, Result{ID: id, Entity: e})
+			return true
+		})
+	}
+	return out
+}

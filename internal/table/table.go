@@ -1,0 +1,511 @@
+// Package table implements the Cinderella-partitioned universal table: it
+// binds a placement strategy (package core) to per-partition heap
+// segments (package storage) and serves attribute-set queries with
+// synopsis-based partition pruning — the query rewrite to a UNION ALL
+// over relevant partitions that the paper's prototype performed in
+// PostgreSQL.
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cinderella/internal/core"
+	"cinderella/internal/entity"
+	"cinderella/internal/storage"
+	"cinderella/internal/synopsis"
+)
+
+// Synopsizer derives the partitioning synopsis of an entity. Entity-based
+// partitioning uses the attribute set; workload-based partitioning uses
+// the set of queries the entity is relevant to (Section III).
+type Synopsizer interface {
+	Synopsis(e *entity.Entity) *synopsis.Set
+}
+
+// EntityBased is the default Synopsizer: an entity's synopsis is its
+// attribute set.
+type EntityBased struct{}
+
+// Synopsis returns the entity's attribute bitset.
+func (EntityBased) Synopsis(e *entity.Entity) *synopsis.Set { return e.Synopsis() }
+
+// WorkloadBased maps entities to the set of workload queries they are
+// relevant to. Entities relevant to the same queries then cluster
+// together regardless of their concrete attributes.
+type WorkloadBased struct {
+	// Queries are the workload's query synopses; bit i of an entity
+	// synopsis is set iff the entity is relevant to Queries[i].
+	Queries []*synopsis.Set
+}
+
+// Synopsis returns the query-relevance bitset of e.
+func (w WorkloadBased) Synopsis(e *entity.Entity) *synopsis.Set {
+	s := synopsis.New(len(w.Queries))
+	es := e.Synopsis()
+	for i, q := range w.Queries {
+		if synopsis.Intersects(es, q) {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// Config assembles a universal table.
+type Config struct {
+	// Partitioner decides placement. Defaults to Cinderella with
+	// w = 0.5, B = 5000 entities.
+	Partitioner core.Assigner
+	// Dict is the shared attribute dictionary. Defaults to a fresh one.
+	Dict *entity.Dictionary
+	// Stats receives the I/O accounting of all segments. Defaults to a
+	// private counter.
+	Stats *storage.Stats
+	// Synopsizer derives partitioning synopses. Defaults to EntityBased.
+	Synopsizer Synopsizer
+	// Cache, when non-nil, routes all page accesses through a shared
+	// buffer cache for locality measurements.
+	Cache *storage.BufferCache
+}
+
+type rowLoc struct {
+	pid core.PartitionID
+	rid storage.RecordID
+}
+
+// Table is a universal table over irregularly structured entities,
+// horizontally partitioned by the configured strategy. It is safe for
+// concurrent use.
+type Table struct {
+	mu       sync.Mutex
+	dict     *entity.Dictionary
+	assigner core.Assigner
+	synizer  Synopsizer
+	stats    *storage.Stats
+
+	cache *storage.BufferCache
+
+	segs map[core.PartitionID]*storage.Segment
+	rows map[core.EntityID]rowLoc
+	// attrRefs maintains the exact per-partition attribute synopsis for
+	// query pruning; it is independent of the partitioner's synopses,
+	// which may be query-relevance sets under workload-based mode.
+	attrRefs  map[core.PartitionID]map[int]int
+	attrSyn   map[core.PartitionID]*synopsis.Set
+	entityAtt map[core.EntityID]*synopsis.Set // attribute synopsis cache
+	// zones holds per-partition per-attribute value ranges for predicate
+	// pruning (see zonemap.go). Maintained additively.
+	zones map[core.PartitionID]map[int]*zoneEntry
+
+	nextID core.EntityID
+
+	// in-flight insert/update state consumed by the move listener
+	pending      []byte
+	pendingID    core.EntityID
+	pendingAttrs *synopsis.Set
+	pendingDone  bool
+
+	queries QueryStats
+}
+
+// QueryStats aggregates query-side counters.
+type QueryStats struct {
+	Queries           int64
+	PartitionsTouched int64
+	PartitionsPruned  int64
+	EntitiesReturned  int64
+	EntitiesScanned   int64
+}
+
+// New builds a table from cfg.
+func New(cfg Config) *Table {
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = core.NewCinderella(core.Config{Weight: 0.5, MaxSize: 5000})
+	}
+	if cfg.Dict == nil {
+		cfg.Dict = entity.NewDictionary()
+	}
+	if cfg.Stats == nil {
+		cfg.Stats = &storage.Stats{}
+	}
+	if cfg.Synopsizer == nil {
+		cfg.Synopsizer = EntityBased{}
+	}
+	t := &Table{
+		dict:      cfg.Dict,
+		assigner:  cfg.Partitioner,
+		synizer:   cfg.Synopsizer,
+		stats:     cfg.Stats,
+		cache:     cfg.Cache,
+		segs:      make(map[core.PartitionID]*storage.Segment),
+		rows:      make(map[core.EntityID]rowLoc),
+		attrRefs:  make(map[core.PartitionID]map[int]int),
+		attrSyn:   make(map[core.PartitionID]*synopsis.Set),
+		entityAtt: make(map[core.EntityID]*synopsis.Set),
+		zones:     make(map[core.PartitionID]map[int]*zoneEntry),
+	}
+	t.assigner.SetMoveListener(t.onPlacement)
+	return t
+}
+
+// Dict returns the table's attribute dictionary.
+func (t *Table) Dict() *entity.Dictionary { return t.dict }
+
+// Stats returns the I/O counter shared by all segments.
+func (t *Table) Stats() *storage.Stats { return t.stats }
+
+// QueryStats returns a copy of the query counters.
+func (t *Table) QueryStats() QueryStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.queries
+}
+
+// onPlacement reacts to the partitioner's placement stream: it writes the
+// in-flight record on fresh placement and physically moves records on
+// split/update moves.
+func (t *Table) onPlacement(pl core.Placement) {
+	if pl.Entity == 0 {
+		// Partition dropped.
+		seg := t.segs[pl.From]
+		if seg != nil {
+			if seg.NumRecords() != 0 {
+				panic(fmt.Sprintf("table: partitioner dropped non-empty partition %d", pl.From))
+			}
+			seg.DropFromCache()
+		}
+		delete(t.segs, pl.From)
+		delete(t.attrRefs, pl.From)
+		delete(t.attrSyn, pl.From)
+		delete(t.zones, pl.From)
+		return
+	}
+
+	var rec []byte
+	if pl.Entity == t.pendingID && !t.pendingDone {
+		// First physical placement of the in-flight record.
+		rec = t.pending
+		t.pendingDone = true
+	} else {
+		// Relocation of an existing record (split or cascade).
+		loc, ok := t.rows[pl.Entity]
+		if !ok {
+			panic(fmt.Sprintf("table: move of unknown entity %d", pl.Entity))
+		}
+		b, err := t.seg(loc.pid).Read(loc.rid)
+		if err != nil {
+			panic(fmt.Sprintf("table: moving entity %d: %v", pl.Entity, err))
+		}
+		rec = append([]byte(nil), b...)
+		if err := t.seg(loc.pid).Delete(loc.rid); err != nil {
+			panic(fmt.Sprintf("table: deleting moved entity %d: %v", pl.Entity, err))
+		}
+		t.refRemove(loc.pid, t.entityAtt[pl.Entity])
+	}
+
+	rid, err := t.seg(pl.To).Insert(rec)
+	if err != nil {
+		panic(fmt.Sprintf("table: inserting entity %d into partition %d: %v", pl.Entity, pl.To, err))
+	}
+	t.rows[pl.Entity] = rowLoc{pid: pl.To, rid: rid}
+	attrs := t.entityAtt[pl.Entity]
+	if attrs == nil {
+		attrs = t.pendingAttrs
+		t.entityAtt[pl.Entity] = attrs
+	}
+	t.refAdd(pl.To, attrs)
+	if _, e, err := decodeRecord(rec); err == nil {
+		t.zoneWiden(pl.To, e)
+	}
+}
+
+func (t *Table) seg(pid core.PartitionID) *storage.Segment {
+	s, ok := t.segs[pid]
+	if !ok {
+		s = storage.NewSegment(t.stats)
+		if t.cache != nil {
+			s.AttachCache(t.cache)
+		}
+		t.segs[pid] = s
+	}
+	return s
+}
+
+func (t *Table) refAdd(pid core.PartitionID, attrs *synopsis.Set) {
+	refs := t.attrRefs[pid]
+	if refs == nil {
+		refs = make(map[int]int)
+		t.attrRefs[pid] = refs
+		t.attrSyn[pid] = synopsis.New(0)
+	}
+	syn := t.attrSyn[pid]
+	for _, a := range attrs.Elements(nil) {
+		if refs[a] == 0 {
+			syn.Add(a)
+		}
+		refs[a]++
+	}
+}
+
+func (t *Table) refRemove(pid core.PartitionID, attrs *synopsis.Set) {
+	refs := t.attrRefs[pid]
+	syn := t.attrSyn[pid]
+	if refs == nil {
+		return
+	}
+	for _, a := range attrs.Elements(nil) {
+		refs[a]--
+		if refs[a] == 0 {
+			delete(refs, a)
+			syn.Remove(a)
+		}
+	}
+}
+
+// Insert stores e and returns its entity id. The entity is not retained;
+// callers may reuse it.
+func (t *Table) Insert(e *entity.Entity) core.EntityID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := t.nextID
+	t.insertLocked(id, e)
+	return id
+}
+
+// InsertWithID stores e under a caller-chosen id; used by write-ahead-log
+// replay and checkpoint loading, where ids must survive recovery. It
+// panics if id is zero or already live.
+func (t *Table) InsertWithID(id core.EntityID, e *entity.Entity) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id == 0 {
+		panic("table: InsertWithID with id 0")
+	}
+	if _, dup := t.rows[id]; dup {
+		panic(fmt.Sprintf("table: InsertWithID duplicate id %d", id))
+	}
+	if id > t.nextID {
+		t.nextID = id
+	}
+	t.insertLocked(id, e)
+}
+
+func (t *Table) insertLocked(id core.EntityID, e *entity.Entity) {
+	t.beginOp(id, e)
+	t.assigner.Insert(core.Entity{ID: id, Syn: t.synizer.Synopsis(e), Size: e.Size()})
+	t.endOp(id)
+}
+
+// encodeRecord prefixes the marshaled entity with its id so scans can
+// recover identity without a side index.
+func encodeRecord(id core.EntityID, e *entity.Entity) []byte {
+	rec := binary.AppendUvarint(nil, uint64(id))
+	return e.Marshal(rec)
+}
+
+// decodeRecord splits a stored record into entity id and entity.
+func decodeRecord(rec []byte) (core.EntityID, *entity.Entity, error) {
+	id, n := binary.Uvarint(rec)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("table: corrupt record id")
+	}
+	e, _, err := entity.Unmarshal(rec[n:])
+	return core.EntityID(id), e, err
+}
+
+// beginOp stages the record bytes for the placement listener.
+func (t *Table) beginOp(id core.EntityID, e *entity.Entity) {
+	t.pending = encodeRecord(id, e)
+	t.pendingID = id
+	t.pendingAttrs = e.Synopsis().Clone()
+	t.pendingDone = false
+}
+
+// endOp verifies the in-flight record was placed.
+func (t *Table) endOp(id core.EntityID) {
+	if !t.pendingDone {
+		panic(fmt.Sprintf("table: entity %d was never placed", id))
+	}
+	t.pending, t.pendingID, t.pendingAttrs = nil, 0, nil
+}
+
+// Get returns a copy of the entity with the given id.
+func (t *Table) Get(id core.EntityID) (*entity.Entity, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	loc, ok := t.rows[id]
+	if !ok {
+		return nil, false
+	}
+	rec, err := t.seg(loc.pid).Read(loc.rid)
+	if err != nil {
+		return nil, false
+	}
+	gotID, e, err := decodeRecord(rec)
+	if err != nil || gotID != id {
+		panic(fmt.Sprintf("table: corrupt record for entity %d: %v", id, err))
+	}
+	return e, true
+}
+
+// Delete removes the entity. Unknown ids return false.
+func (t *Table) Delete(id core.EntityID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	loc, ok := t.rows[id]
+	if !ok {
+		return false
+	}
+	if err := t.seg(loc.pid).Delete(loc.rid); err != nil {
+		panic(fmt.Sprintf("table: deleting entity %d: %v", id, err))
+	}
+	t.refRemove(loc.pid, t.entityAtt[id])
+	delete(t.rows, id)
+	delete(t.entityAtt, id)
+	t.assigner.Delete(id)
+	return true
+}
+
+// Update replaces the entity's content; the partitioner may move it.
+func (t *Table) Update(id core.EntityID, e *entity.Entity) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	loc, ok := t.rows[id]
+	if !ok {
+		return false
+	}
+	// Remove the old physical record; the listener (or the in-place path
+	// below) writes the new one.
+	if err := t.seg(loc.pid).Delete(loc.rid); err != nil {
+		panic(fmt.Sprintf("table: updating entity %d: %v", id, err))
+	}
+	t.refRemove(loc.pid, t.entityAtt[id])
+	delete(t.rows, id)
+	delete(t.entityAtt, id)
+
+	t.beginOp(id, e)
+	pid := t.assigner.Update(core.Entity{ID: id, Syn: t.synizer.Synopsis(e), Size: e.Size()})
+	if !t.pendingDone {
+		// In-place update: the partitioner kept the entity, no placement
+		// event fired; write the new bytes into the same partition.
+		rid, err := t.seg(pid).Insert(t.pending)
+		if err != nil {
+			panic(fmt.Sprintf("table: rewriting entity %d: %v", id, err))
+		}
+		t.rows[id] = rowLoc{pid: pid, rid: rid}
+		t.entityAtt[id] = t.pendingAttrs
+		t.refAdd(pid, t.pendingAttrs)
+		t.zoneWiden(pid, e)
+		t.pendingDone = true
+	}
+	t.endOp(id)
+	return true
+}
+
+// Compact asks the partitioner to merge underfilled partitions (fill
+// fraction below threshold) into well-fitting peers, physically moving
+// the affected records. It returns the number of merges; partitioners
+// without merge support return 0.
+func (t *Table) Compact(threshold float64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.assigner.(*core.Cinderella)
+	if !ok {
+		return 0
+	}
+	return c.Compact(threshold)
+}
+
+// Vacuum rewrites every segment without tombstones, reclaiming the space
+// left by deletes and updates (which tombstone the old record). It
+// returns the number of pages released.
+func (t *Table) Vacuum() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	released := 0
+	for pid, seg := range t.segs {
+		before := seg.NumPages()
+		remap := seg.Vacuum()
+		released += before - seg.NumPages()
+		for id, loc := range t.rows {
+			if loc.pid != pid {
+				continue
+			}
+			nid, ok := remap[loc.rid]
+			if !ok {
+				panic(fmt.Sprintf("table: entity %d lost during vacuum", id))
+			}
+			t.rows[id] = rowLoc{pid: pid, rid: nid}
+		}
+	}
+	return released
+}
+
+// Len returns the number of live entities.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.rows)
+}
+
+// NumPartitions returns the partition count.
+func (t *Table) NumPartitions() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.segs)
+}
+
+// PartitionView describes one partition for metrics and reporting.
+type PartitionView struct {
+	ID       core.PartitionID
+	Synopsis *synopsis.Set // attribute synopsis (do not modify)
+	Entities int
+	Bytes    int64
+	Pages    int
+}
+
+// Partitions snapshots the physical partitions ordered by id.
+func (t *Table) Partitions() []PartitionView {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PartitionView, 0, len(t.segs))
+	for pid, seg := range t.segs {
+		out = append(out, PartitionView{
+			ID:       pid,
+			Synopsis: t.attrSyn[pid],
+			Entities: seg.NumRecords(),
+			Bytes:    seg.LiveBytes(),
+			Pages:    seg.NumPages(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MemberSynopses returns the attribute synopses of all entities in the
+// given partition (for sparseness metrics).
+func (t *Table) MemberSynopses(pid core.PartitionID) []*synopsis.Set {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*synopsis.Set
+	for id, loc := range t.rows {
+		if loc.pid == pid {
+			out = append(out, t.entityAtt[id])
+		}
+	}
+	return out
+}
+
+// EntitySynopses returns the attribute synopses of all live entities.
+func (t *Table) EntitySynopses() []*synopsis.Set {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*synopsis.Set, 0, len(t.rows))
+	for id := range t.rows {
+		out = append(out, t.entityAtt[id])
+	}
+	return out
+}

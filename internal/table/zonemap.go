@@ -1,0 +1,320 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"cinderella/internal/core"
+	"cinderella/internal/entity"
+	"cinderella/internal/storage"
+	"cinderella/internal/synopsis"
+)
+
+// The paper's future work names "further aspects of physical database
+// design like caching or indexing". Zone maps are the natural first
+// index for a partitioned universal table: per partition and attribute,
+// the min/max of stored values. Value-predicate queries can then prune
+// partitions both by attribute synopsis (the paper's mechanism) and by
+// value range.
+//
+// Zone maps are maintained additively: inserts and move-ins widen them;
+// deletes and move-outs do not shrink them (a conservative over-
+// approximation that never prunes wrongly). RebuildZoneMaps recomputes
+// exact bounds, e.g. after heavy churn.
+
+// zoneEntry is the value range of one attribute within one partition.
+type zoneEntry struct {
+	hasNum         bool
+	minNum, maxNum float64
+	hasStr         bool
+	minStr, maxStr string
+}
+
+func (z *zoneEntry) widen(v entity.Value) {
+	switch v.Kind() {
+	case entity.KindInt, entity.KindFloat:
+		f := v.AsFloat()
+		if !z.hasNum || f < z.minNum {
+			z.minNum = f
+		}
+		if !z.hasNum || f > z.maxNum {
+			z.maxNum = f
+		}
+		z.hasNum = true
+	case entity.KindString:
+		s := v.AsString()
+		if !z.hasStr || s < z.minStr {
+			z.minStr = s
+		}
+		if !z.hasStr || s > z.maxStr {
+			z.maxStr = s
+		}
+		z.hasStr = true
+	}
+}
+
+// CmpOp is a comparison operator for value predicates.
+type CmpOp uint8
+
+// Supported predicate operators.
+const (
+	Eq CmpOp = iota
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String renders the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+// Pred is one value predicate: attr op value. An entity satisfies the
+// predicate only if it instantiates the attribute (SQL-like null
+// semantics: comparisons with an absent attribute are false).
+type Pred struct {
+	Attr  int
+	Op    CmpOp
+	Value entity.Value
+}
+
+// evalValue applies the predicate to a concrete value.
+func (p Pred) evalValue(v entity.Value) bool {
+	// Numeric predicates apply to numeric values, string predicates to
+	// strings; kind mismatches are false.
+	switch p.Value.Kind() {
+	case entity.KindInt, entity.KindFloat:
+		if v.Kind() != entity.KindInt && v.Kind() != entity.KindFloat {
+			return false
+		}
+		a, b := v.AsFloat(), p.Value.AsFloat()
+		return cmpMatch(p.Op, compareFloat(a, b))
+	case entity.KindString:
+		if v.Kind() != entity.KindString {
+			return false
+		}
+		return cmpMatch(p.Op, compareString(v.AsString(), p.Value.AsString()))
+	}
+	return false
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareString(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpMatch(op CmpOp, c int) bool {
+	switch op {
+	case Eq:
+		return c == 0
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	}
+	return false
+}
+
+// overlapZone reports whether any value inside the zone can satisfy the
+// predicate; false allows pruning the partition.
+func (p Pred) overlapZone(z *zoneEntry) bool {
+	if z == nil {
+		return false
+	}
+	switch p.Value.Kind() {
+	case entity.KindInt, entity.KindFloat:
+		if !z.hasNum {
+			return false
+		}
+		b := p.Value.AsFloat()
+		switch p.Op {
+		case Eq:
+			return z.minNum <= b && b <= z.maxNum
+		case Lt:
+			return z.minNum < b
+		case Le:
+			return z.minNum <= b
+		case Gt:
+			return z.maxNum > b
+		case Ge:
+			return z.maxNum >= b
+		}
+	case entity.KindString:
+		if !z.hasStr {
+			return false
+		}
+		b := p.Value.AsString()
+		switch p.Op {
+		case Eq:
+			return z.minStr <= b && b <= z.maxStr
+		case Lt:
+			return z.minStr < b
+		case Le:
+			return z.minStr <= b
+		case Gt:
+			return z.maxStr > b
+		case Ge:
+			return z.maxStr >= b
+		}
+	}
+	return false
+}
+
+// zoneWiden updates the zone maps of pid with an entity's fields.
+func (t *Table) zoneWiden(pid core.PartitionID, e *entity.Entity) {
+	zm := t.zones[pid]
+	if zm == nil {
+		zm = make(map[int]*zoneEntry)
+		t.zones[pid] = zm
+	}
+	for _, f := range e.Fields() {
+		z := zm[f.Attr]
+		if z == nil {
+			z = &zoneEntry{}
+			zm[f.Attr] = z
+		}
+		z.widen(f.Value)
+	}
+}
+
+// RebuildZoneMaps recomputes exact zone maps for every partition by
+// scanning the data. Useful after many deletes or updates have made the
+// additive maps loose.
+func (t *Table) RebuildZoneMaps() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.zones = make(map[core.PartitionID]map[int]*zoneEntry)
+	for pid, seg := range t.segs {
+		pid := pid
+		seg.Scan(func(_ storage.RecordID, rec []byte) bool {
+			_, e, err := decodeRecord(rec)
+			if err != nil {
+				panic("table: corrupt record during zone rebuild: " + err.Error())
+			}
+			t.zoneWiden(pid, e)
+			return true
+		})
+	}
+}
+
+// SelectWhere returns entities satisfying ALL predicates (conjunction).
+// Partitions are pruned when (a) their attribute synopsis misses any
+// predicate attribute or (b) any predicate cannot overlap the
+// partition's value zone for that attribute.
+func (t *Table) SelectWhere(preds []Pred) ([]Result, QueryReport) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	if len(preds) == 0 {
+		panic("table: SelectWhere needs at least one predicate")
+	}
+	need := synopsis.New(0)
+	for _, p := range preds {
+		if p.Attr < 0 {
+			panic(fmt.Sprintf("table: negative attribute %d", p.Attr))
+		}
+		need.Add(p.Attr)
+	}
+
+	var rep QueryReport
+	var out []Result
+	for _, pid := range t.sortedPIDs() {
+		rep.PartitionsTotal++
+		syn := t.attrSyn[pid]
+		if syn == nil || !synopsis.Subset(need, syn) {
+			rep.PartitionsPruned++
+			continue
+		}
+		if !t.zonesOverlap(pid, preds) {
+			rep.PartitionsPruned++
+			continue
+		}
+		rep.PartitionsTouched++
+		t.segs[pid].Scan(func(_ storage.RecordID, rec []byte) bool {
+			rep.EntitiesScanned++
+			id, e, err := decodeRecord(rec)
+			if err != nil {
+				panic("table: corrupt record during scan: " + err.Error())
+			}
+			if entityMatches(e, preds) {
+				rep.EntitiesReturned++
+				out = append(out, Result{ID: id, Entity: e})
+			}
+			return true
+		})
+	}
+	t.queries.Queries++
+	t.queries.PartitionsTouched += int64(rep.PartitionsTouched)
+	t.queries.PartitionsPruned += int64(rep.PartitionsPruned)
+	t.queries.EntitiesReturned += int64(rep.EntitiesReturned)
+	t.queries.EntitiesScanned += int64(rep.EntitiesScanned)
+	return out, rep
+}
+
+func (t *Table) zonesOverlap(pid core.PartitionID, preds []Pred) bool {
+	zm := t.zones[pid]
+	if zm == nil {
+		return false
+	}
+	for _, p := range preds {
+		if !p.overlapZone(zm[p.Attr]) {
+			return false
+		}
+	}
+	return true
+}
+
+func entityMatches(e *entity.Entity, preds []Pred) bool {
+	for _, p := range preds {
+		v, ok := e.Get(p.Attr)
+		if !ok || !p.evalValue(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Table) sortedPIDs() []core.PartitionID {
+	pids := make([]core.PartitionID, 0, len(t.segs))
+	for pid := range t.segs {
+		pids = append(pids, pid)
+	}
+	sortPIDs(pids)
+	return pids
+}
+
+func sortPIDs(pids []core.PartitionID) {
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+}

@@ -1,0 +1,240 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+
+	"cinderella/internal/core"
+	"cinderella/internal/entity"
+)
+
+func predI(attr int, op CmpOp, v int64) Pred {
+	return Pred{Attr: attr, Op: op, Value: entity.Int(v)}
+}
+
+func predS(attr int, op CmpOp, s string) Pred {
+	return Pred{Attr: attr, Op: op, Value: entity.Str(s)}
+}
+
+func TestSelectWhereBasic(t *testing.T) {
+	tbl := newTestTable(0.5, 100)
+	for i := 0; i < 10; i++ {
+		e := &entity.Entity{}
+		e.Set(1, entity.Int(int64(i)))
+		e.Set(2, entity.Str("x"))
+		tbl.Insert(e)
+	}
+	res, _ := tbl.SelectWhere([]Pred{predI(1, Lt, 3)})
+	if len(res) != 3 {
+		t.Fatalf("Lt 3 = %d rows", len(res))
+	}
+	res, _ = tbl.SelectWhere([]Pred{predI(1, Eq, 7)})
+	if len(res) != 1 {
+		t.Fatalf("Eq 7 = %d rows", len(res))
+	}
+	res, _ = tbl.SelectWhere([]Pred{predI(1, Ge, 8), predS(2, Eq, "x")})
+	if len(res) != 2 {
+		t.Fatalf("conjunction = %d rows", len(res))
+	}
+	res, _ = tbl.SelectWhere([]Pred{predI(1, Gt, 100)})
+	if len(res) != 0 {
+		t.Fatalf("Gt 100 = %d rows", len(res))
+	}
+}
+
+func TestSelectWhereMissingAttributeIsFalse(t *testing.T) {
+	tbl := newTestTable(0.5, 100)
+	e := &entity.Entity{}
+	e.Set(1, entity.Int(5))
+	tbl.Insert(e)
+	// Predicate on attribute 9, which the entity lacks.
+	res, _ := tbl.SelectWhere([]Pred{predI(9, Eq, 0)})
+	if len(res) != 0 {
+		t.Fatalf("missing-attr predicate matched %d rows", len(res))
+	}
+}
+
+func TestSelectWhereKindMismatchFalse(t *testing.T) {
+	tbl := newTestTable(0.5, 100)
+	e := &entity.Entity{}
+	e.Set(1, entity.Str("five"))
+	tbl.Insert(e)
+	res, _ := tbl.SelectWhere([]Pred{predI(1, Eq, 5)})
+	if len(res) != 0 {
+		t.Fatalf("numeric pred on string matched %d", len(res))
+	}
+	res, _ = tbl.SelectWhere([]Pred{predS(1, Eq, "five")})
+	if len(res) != 1 {
+		t.Fatalf("string pred = %d", len(res))
+	}
+}
+
+func TestSelectWhereSynopsisPruning(t *testing.T) {
+	tbl := newTestTable(0.5, 100)
+	for i := 0; i < 5; i++ {
+		a := &entity.Entity{}
+		a.Set(1, entity.Int(int64(i)))
+		tbl.Insert(a)
+		b := &entity.Entity{}
+		b.Set(50, entity.Int(int64(i)))
+		tbl.Insert(b)
+	}
+	if tbl.NumPartitions() != 2 {
+		t.Fatalf("setup partitions = %d", tbl.NumPartitions())
+	}
+	_, rep := tbl.SelectWhere([]Pred{predI(1, Ge, 0)})
+	if rep.PartitionsTouched != 1 || rep.PartitionsPruned != 1 {
+		t.Fatalf("synopsis pruning: %+v", rep)
+	}
+}
+
+func TestSelectWhereZonePruning(t *testing.T) {
+	// Two partitions with the SAME attribute but disjoint value ranges
+	// (schemas differ in a secondary attribute so Cinderella separates
+	// them): zone maps must prune by value.
+	tbl := newTestTable(0.5, 100)
+	for i := 0; i < 10; i++ {
+		lo := &entity.Entity{}
+		lo.Set(1, entity.Int(int64(i))) // values 0..9
+		lo.Set(2, entity.Int(1))
+		tbl.Insert(lo)
+		hi := &entity.Entity{}
+		hi.Set(1, entity.Int(int64(1000+i))) // values 1000..1009
+		hi.Set(60, entity.Int(1))
+		tbl.Insert(hi)
+	}
+	if tbl.NumPartitions() != 2 {
+		t.Skipf("setup produced %d partitions", tbl.NumPartitions())
+	}
+	res, rep := tbl.SelectWhere([]Pred{predI(1, Lt, 100)})
+	if len(res) != 10 {
+		t.Fatalf("rows = %d", len(res))
+	}
+	if rep.PartitionsPruned != 1 {
+		t.Fatalf("zone pruning failed: %+v", rep)
+	}
+	// Equality probe into the gap prunes everything.
+	_, rep = tbl.SelectWhere([]Pred{predI(1, Eq, 500)})
+	if rep.PartitionsTouched != 0 {
+		t.Fatalf("gap probe touched %d partitions", rep.PartitionsTouched)
+	}
+}
+
+func TestSelectWhereStringZones(t *testing.T) {
+	tbl := newTestTable(0.5, 100)
+	for _, s := range []string{"apple", "banana", "cherry"} {
+		e := &entity.Entity{}
+		e.Set(1, entity.Str(s))
+		tbl.Insert(e)
+	}
+	res, _ := tbl.SelectWhere([]Pred{predS(1, Ge, "b")})
+	if len(res) != 2 {
+		t.Fatalf("Ge b = %d", len(res))
+	}
+	_, rep := tbl.SelectWhere([]Pred{predS(1, Gt, "zzz")})
+	if rep.PartitionsTouched != 0 {
+		t.Fatalf("out-of-range string probe touched %d", rep.PartitionsTouched)
+	}
+}
+
+func TestSelectWhereEmptyPredsPanics(t *testing.T) {
+	tbl := newTestTable(0.5, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty predicate list accepted")
+		}
+	}()
+	tbl.SelectWhere(nil)
+}
+
+func TestRebuildZoneMapsTightensAfterChurn(t *testing.T) {
+	tbl := newTestTable(0.5, 1000)
+	var wide core.EntityID
+	for i := 0; i < 20; i++ {
+		e := &entity.Entity{}
+		e.Set(1, entity.Int(int64(i)))
+		id := tbl.Insert(e)
+		if i == 19 {
+			wide = id
+		}
+	}
+	// Insert an outlier, then delete it; the additive zone still covers
+	// the outlier until rebuild.
+	out := &entity.Entity{}
+	out.Set(1, entity.Int(1_000_000))
+	oid := tbl.Insert(out)
+	tbl.Delete(oid)
+	_ = wide
+
+	_, rep := tbl.SelectWhere([]Pred{predI(1, Gt, 500_000)})
+	if rep.PartitionsTouched == 0 {
+		t.Fatal("additive zone should still include the deleted outlier")
+	}
+	tbl.RebuildZoneMaps()
+	_, rep = tbl.SelectWhere([]Pred{predI(1, Gt, 500_000)})
+	if rep.PartitionsTouched != 0 {
+		t.Fatalf("rebuild did not tighten zones: %+v", rep)
+	}
+	// Rebuild must not lose live data.
+	res, _ := tbl.SelectWhere([]Pred{predI(1, Ge, 0)})
+	if len(res) != 20 {
+		t.Fatalf("rows after rebuild = %d", len(res))
+	}
+}
+
+func TestSelectWhereAgreesWithBruteForce(t *testing.T) {
+	tbl := newTestTable(0.3, 50)
+	rng := rand.New(rand.NewSource(8))
+	type rec struct {
+		id   core.EntityID
+		vals map[int]int64
+	}
+	var recs []rec
+	for i := 0; i < 800; i++ {
+		e := &entity.Entity{}
+		vals := map[int]int64{}
+		for _, a := range []int{1, 2, 3} {
+			if rng.Float64() < 0.7 {
+				v := int64(rng.Intn(1000))
+				e.Set(a, entity.Int(v))
+				vals[a] = v
+			}
+		}
+		if e.NumAttrs() == 0 {
+			e.Set(1, entity.Int(0))
+			vals[1] = 0
+		}
+		id := tbl.Insert(e)
+		recs = append(recs, rec{id, vals})
+	}
+	for trial := 0; trial < 50; trial++ {
+		attr := 1 + rng.Intn(3)
+		op := CmpOp(rng.Intn(5))
+		val := int64(rng.Intn(1000))
+		res, _ := tbl.SelectWhere([]Pred{predI(attr, op, val)})
+		got := map[core.EntityID]bool{}
+		for _, r := range res {
+			got[r.ID] = true
+		}
+		for _, r := range recs {
+			v, has := r.vals[attr]
+			want := has && cmpMatch(op, compareFloat(float64(v), float64(val)))
+			if got[r.id] != want {
+				t.Fatalf("trial %d: attr=%d op=%v val=%d entity=%d: got %v want %v",
+					trial, attr, op, val, r.id, got[r.id], want)
+			}
+		}
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	ops := map[CmpOp]string{Eq: "=", Lt: "<", Le: "<=", Gt: ">", Ge: ">="}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%v", op)
+		}
+	}
+	if CmpOp(99).String() != "?" {
+		t.Error("unknown op")
+	}
+}

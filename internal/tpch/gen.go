@@ -1,0 +1,268 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cinderella/internal/engine"
+	"cinderella/internal/entity"
+)
+
+// Data holds all generated tables as materialized row sources.
+type Data struct {
+	SF     float64
+	Tables map[string]*engine.SliceSource
+}
+
+// Source returns the row source for a table name.
+func (d *Data) Source(name string) engine.RowSource {
+	s, ok := d.Tables[name]
+	if !ok {
+		panic(fmt.Sprintf("tpch: unknown table %q", name))
+	}
+	return s
+}
+
+// Rows returns the materialized rows of a table.
+func (d *Data) Rows(name string) []engine.Row {
+	return d.Tables[name].Data
+}
+
+func iv(i int64) engine.Value   { return entity.Int(i) }
+func fv(f float64) engine.Value { return entity.Float(f) }
+func sv(s string) engine.Value  { return entity.Str(s) }
+
+// money rounds to cents to keep arithmetic stable across runs.
+func money(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }
+
+// Generate produces a deterministic TPC-H-style data set at scale factor
+// sf. Cardinalities follow the spec: supplier 10k·sf, customer 150k·sf,
+// part 200k·sf, partsupp 4/part, orders 10/customer, lineitem 1–7/order.
+func Generate(sf float64, seed int64) *Data {
+	if sf <= 0 {
+		panic(fmt.Sprintf("tpch: scale factor %v must be positive", sf))
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	nSupp := scaled(10000, sf)
+	nCust := scaled(150000, sf)
+	nPart := scaled(200000, sf)
+
+	d := &Data{SF: sf, Tables: map[string]*engine.SliceSource{}}
+	mk := func(name string) *engine.SliceSource {
+		s := &engine.SliceSource{Cols: Schemas[name]}
+		d.Tables[name] = s
+		return s
+	}
+
+	// region
+	region := mk(Region)
+	for i, name := range regionNames {
+		region.Data = append(region.Data, engine.Row{
+			iv(int64(i)), sv(name), sv(comment(rng)),
+		})
+	}
+
+	// nation
+	nation := mk(Nation)
+	for i, nd := range nationDefs {
+		nation.Data = append(nation.Data, engine.Row{
+			iv(int64(i)), sv(nd.name), iv(nd.region), sv(comment(rng)),
+		})
+	}
+
+	// supplier
+	supplier := mk(Supplier)
+	for i := 1; i <= nSupp; i++ {
+		nat := int64(rng.Intn(25))
+		supplier.Data = append(supplier.Data, engine.Row{
+			iv(int64(i)),
+			sv(fmt.Sprintf("Supplier#%09d", i)),
+			sv(address(rng)),
+			iv(nat),
+			sv(phone(rng, nat)),
+			fv(money(rng.Float64()*10999.98 - 999.99)),
+			sv(supplierComment(rng)),
+		})
+	}
+
+	// customer
+	customer := mk(Customer)
+	for i := 1; i <= nCust; i++ {
+		nat := int64(rng.Intn(25))
+		customer.Data = append(customer.Data, engine.Row{
+			iv(int64(i)),
+			sv(fmt.Sprintf("Customer#%09d", i)),
+			sv(address(rng)),
+			iv(nat),
+			sv(phone(rng, nat)),
+			fv(money(rng.Float64()*10999.98 - 999.99)),
+			sv(segments[rng.Intn(len(segments))]),
+			sv(comment(rng)),
+		})
+	}
+
+	// part
+	part := mk(Part)
+	retail := make([]float64, nPart+1)
+	for i := 1; i <= nPart; i++ {
+		price := money(90000+float64((i/10)%20001)+100*float64(i%1000)) / 100
+		retail[i] = price
+		part.Data = append(part.Data, engine.Row{
+			iv(int64(i)),
+			sv(partName(rng)),
+			sv(fmt.Sprintf("Manufacturer#%d", 1+rng.Intn(5))),
+			sv(fmt.Sprintf("Brand#%d%d", 1+rng.Intn(5), 1+rng.Intn(5))),
+			sv(partType(rng)),
+			iv(int64(1 + rng.Intn(50))),
+			sv(containers1[rng.Intn(len(containers1))] + " " + containers2[rng.Intn(len(containers2))]),
+			fv(price),
+			sv(comment(rng)),
+		})
+	}
+
+	// partsupp: 4 suppliers per part.
+	partsupp := mk(PartSupp)
+	for p := 1; p <= nPart; p++ {
+		for s := 0; s < 4; s++ {
+			supp := int64((p+s*(nSupp/4+1))%nSupp) + 1
+			partsupp.Data = append(partsupp.Data, engine.Row{
+				iv(int64(p)),
+				iv(supp),
+				iv(int64(1 + rng.Intn(9999))),
+				fv(money(1 + rng.Float64()*999)),
+				sv(comment(rng)),
+			})
+		}
+	}
+
+	// orders + lineitem
+	orders := mk(Orders)
+	lineitem := mk(Lineitem)
+	startDate := Date(1992, 1, 1)
+	endDate := Date(1998, 8, 2)
+	cutoff := Date(1995, 6, 17)
+	okey := int64(0)
+	for c := 1; c <= nCust; c++ {
+		// TPC-H places orders for 2/3 of customers, ~15 each on average
+		// over the full population; we give each customer up to 15.
+		n := rng.Intn(16)
+		for o := 0; o < n; o++ {
+			okey++
+			odate := startDate + int64(rng.Intn(int(endDate-startDate)+1))
+			nl := 1 + rng.Intn(7)
+			var total float64
+			allF, allO := true, true
+			for l := 1; l <= nl; l++ {
+				pkey := int64(1 + rng.Intn(nPart))
+				skey := int64((int(pkey)+(l-1)*(nSupp/4+1))%nSupp) + 1
+				qty := float64(1 + rng.Intn(50))
+				ext := money(qty * retail[pkey])
+				disc := float64(rng.Intn(11)) / 100
+				tax := float64(rng.Intn(9)) / 100
+				ship := odate + int64(1+rng.Intn(121))
+				commit := odate + int64(30+rng.Intn(61))
+				receipt := ship + int64(1+rng.Intn(30))
+				var rf, ls string
+				if receipt <= cutoff {
+					if rng.Intn(2) == 0 {
+						rf = "R"
+					} else {
+						rf = "A"
+					}
+				} else {
+					rf = "N"
+				}
+				if ship > cutoff {
+					ls = "O"
+					allF = false
+				} else {
+					ls = "F"
+					allO = false
+				}
+				total += ext * (1 + tax) * (1 - disc)
+				lineitem.Data = append(lineitem.Data, engine.Row{
+					iv(okey), iv(pkey), iv(skey), iv(int64(l)),
+					fv(qty), fv(ext), fv(disc), fv(tax),
+					sv(rf), sv(ls),
+					iv(ship), iv(commit), iv(receipt),
+					sv(shipInstructs[rng.Intn(len(shipInstructs))]),
+					sv(shipModes[rng.Intn(len(shipModes))]),
+					sv(comment(rng)),
+				})
+			}
+			status := "P"
+			if allF {
+				status = "F"
+			} else if allO {
+				status = "O"
+			}
+			orders.Data = append(orders.Data, engine.Row{
+				iv(okey), iv(int64(c)), sv(status), fv(money(total)),
+				iv(odate),
+				sv(priorities[rng.Intn(len(priorities))]),
+				sv(fmt.Sprintf("Clerk#%09d", 1+rng.Intn(1000))),
+				iv(0),
+				sv(comment(rng)),
+			})
+		}
+	}
+	return d
+}
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func comment(rng *rand.Rand) string {
+	words := []string{"carefully", "quickly", "furiously", "slyly", "blithely",
+		"packages", "deposits", "requests", "accounts", "ideas", "foxes",
+		"pending", "final", "express", "regular", "special"}
+	n := 2 + rng.Intn(4)
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += words[rng.Intn(len(words))]
+	}
+	return out
+}
+
+// supplierComment occasionally embeds the "Customer…Complaints" marker
+// that query Q16 filters on.
+func supplierComment(rng *rand.Rand) string {
+	c := comment(rng)
+	if rng.Intn(200) == 0 {
+		return c + " Customer Complaints " + c
+	}
+	return c
+}
+
+func address(rng *rand.Rand) string {
+	return fmt.Sprintf("%d %s street", 1+rng.Intn(9999), partNouns[rng.Intn(len(partNouns))])
+}
+
+func phone(rng *rand.Rand, nation int64) string {
+	return fmt.Sprintf("%d-%03d-%03d-%04d", 10+nation, 100+rng.Intn(900),
+		100+rng.Intn(900), 1000+rng.Intn(9000))
+}
+
+func partName(rng *rand.Rand) string {
+	a := partNouns[rng.Intn(len(partNouns))]
+	b := partNouns[rng.Intn(len(partNouns))]
+	return a + " " + b
+}
+
+func partType(rng *rand.Rand) string {
+	return typeSyl1[rng.Intn(len(typeSyl1))] + " " +
+		typeSyl2[rng.Intn(len(typeSyl2))] + " " +
+		typeSyl3[rng.Intn(len(typeSyl3))]
+}

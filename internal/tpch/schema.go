@@ -1,0 +1,199 @@
+// Package tpch is a from-scratch TPC-H-style substrate: the eight-table
+// schema, a deterministic data generator at arbitrary scale factor, and a
+// universal-table adapter that loads all rows as entities into a
+// Cinderella-partitioned table — the setup of the paper's regular-data
+// experiment (Table I).
+//
+// The generator follows the TPC-H 2.16 schema and value domains closely
+// enough for the 22 analytical queries to exercise realistic joins,
+// predicates, and aggregates, but it is not a certified dbgen clone:
+// comments are short synthetic strings and some value correlations are
+// simplified. See DESIGN.md for the substitution rationale.
+package tpch
+
+import (
+	"time"
+
+	"cinderella/internal/engine"
+)
+
+// Table names.
+const (
+	Region   = "region"
+	Nation   = "nation"
+	Supplier = "supplier"
+	Customer = "customer"
+	Part     = "part"
+	PartSupp = "partsupp"
+	Orders   = "orders"
+	Lineitem = "lineitem"
+)
+
+// TableNames lists all tables in generation order (parents first).
+var TableNames = []string{Region, Nation, Supplier, Customer, Part, PartSupp, Orders, Lineitem}
+
+// Schemas maps each table to its column names (TPC-H order).
+var Schemas = map[string]engine.Schema{
+	Region: {"r_regionkey", "r_name", "r_comment"},
+	Nation: {"n_nationkey", "n_name", "n_regionkey", "n_comment"},
+	Supplier: {
+		"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone",
+		"s_acctbal", "s_comment",
+	},
+	Customer: {
+		"c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
+		"c_acctbal", "c_mktsegment", "c_comment",
+	},
+	Part: {
+		"p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
+		"p_container", "p_retailprice", "p_comment",
+	},
+	PartSupp: {
+		"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost",
+		"ps_comment",
+	},
+	Orders: {
+		"o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+		"o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority",
+		"o_comment",
+	},
+	Lineitem: {
+		"l_orderkey", "l_partkey", "l_suppkey", "l_linenumber",
+		"l_quantity", "l_extendedprice", "l_discount", "l_tax",
+		"l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
+		"l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment",
+	},
+}
+
+// Column index constants, used by the hand-built query plans.
+const (
+	RRegionkey = iota
+	RName
+	RComment
+)
+
+const (
+	NNationkey = iota
+	NName
+	NRegionkey
+	NComment
+)
+
+const (
+	SSuppkey = iota
+	SName
+	SAddress
+	SNationkey
+	SPhone
+	SAcctbal
+	SComment
+)
+
+const (
+	CCustkey = iota
+	CName
+	CAddress
+	CNationkey
+	CPhone
+	CAcctbal
+	CMktsegment
+	CComment
+)
+
+const (
+	PPartkey = iota
+	PName
+	PMfgr
+	PBrand
+	PType
+	PSize
+	PContainer
+	PRetailprice
+	PComment
+)
+
+const (
+	PSPartkey = iota
+	PSSuppkey
+	PSAvailqty
+	PSSupplycost
+	PSComment
+)
+
+const (
+	OOrderkey = iota
+	OCustkey
+	OOrderstatus
+	OTotalprice
+	OOrderdate
+	OOrderpriority
+	OClerk
+	OShippriority
+	OComment
+)
+
+const (
+	LOrderkey = iota
+	LPartkey
+	LSuppkey
+	LLinenumber
+	LQuantity
+	LExtendedprice
+	LDiscount
+	LTax
+	LReturnflag
+	LLinestatus
+	LShipdate
+	LCommitdate
+	LReceiptdate
+	LShipinstruct
+	LShipmode
+	LComment
+)
+
+// Date returns the number of days since the Unix epoch for a calendar
+// date; all TPC-H dates are stored as Int(days) so comparisons are cheap.
+func Date(y, m, d int) int64 {
+	return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC).Unix() / 86400
+}
+
+// regionNames are the five TPC-H regions.
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// nationDefs pairs the 25 TPC-H nations with their region keys.
+var nationDefs = []struct {
+	name   string
+	region int64
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+
+var shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+
+var typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+var containers1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+var containers2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+
+var partNouns = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+	"blanched", "blue", "blush", "brown", "burlywood", "burnished",
+	"chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+	"cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+	"floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+	"green", "grey", "honeydew", "hot", "hotpink", "indian", "ivory",
+}

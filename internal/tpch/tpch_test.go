@@ -1,0 +1,263 @@
+package tpch
+
+import (
+	"testing"
+
+	"cinderella/internal/core"
+	"cinderella/internal/engine"
+	"cinderella/internal/table"
+)
+
+func testData(t *testing.T) *Data {
+	t.Helper()
+	return Generate(0.002, 1)
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	d := testData(t)
+	if len(d.Rows(Region)) != 5 {
+		t.Fatalf("region = %d", len(d.Rows(Region)))
+	}
+	if len(d.Rows(Nation)) != 25 {
+		t.Fatalf("nation = %d", len(d.Rows(Nation)))
+	}
+	if got := len(d.Rows(Supplier)); got != 20 {
+		t.Fatalf("supplier = %d, want 20", got)
+	}
+	if got := len(d.Rows(Customer)); got != 300 {
+		t.Fatalf("customer = %d, want 300", got)
+	}
+	if got := len(d.Rows(Part)); got != 400 {
+		t.Fatalf("part = %d, want 400", got)
+	}
+	if got := len(d.Rows(PartSupp)); got != 1600 {
+		t.Fatalf("partsupp = %d, want 1600", got)
+	}
+	nOrders := len(d.Rows(Orders))
+	if nOrders < 1500 || nOrders > 3000 {
+		t.Fatalf("orders = %d, want ≈ 2250", nOrders)
+	}
+	nLine := len(d.Rows(Lineitem))
+	if nLine < 3*nOrders || nLine > 7*nOrders {
+		t.Fatalf("lineitem = %d for %d orders", nLine, nOrders)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.001, 7)
+	b := Generate(0.001, 7)
+	for _, name := range TableNames {
+		ra, rb := a.Rows(name), b.Rows(name)
+		if len(ra) != len(rb) {
+			t.Fatalf("%s: %d vs %d rows", name, len(ra), len(rb))
+		}
+		for i := range ra {
+			for j := range ra[i] {
+				if !ra[i][j].Equal(rb[i][j]) {
+					t.Fatalf("%s row %d col %d differs", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateBadSFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sf=0 accepted")
+		}
+	}()
+	Generate(0, 1)
+}
+
+func TestSchemasMatchRows(t *testing.T) {
+	d := testData(t)
+	for _, name := range TableNames {
+		w := len(Schemas[name])
+		for i, r := range d.Rows(name) {
+			if len(r) != w {
+				t.Fatalf("%s row %d has %d cols, schema %d", name, i, len(r), w)
+			}
+		}
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	d := testData(t)
+	// nation.regionkey ⊆ region.
+	regions := map[int64]bool{}
+	for _, r := range d.Rows(Region) {
+		regions[r[RRegionkey].AsInt()] = true
+	}
+	for _, n := range d.Rows(Nation) {
+		if !regions[n[NRegionkey].AsInt()] {
+			t.Fatalf("nation %v has dangling region", n[NName])
+		}
+	}
+	// orders.custkey ⊆ customer.
+	custs := map[int64]bool{}
+	for _, c := range d.Rows(Customer) {
+		custs[c[CCustkey].AsInt()] = true
+	}
+	for _, o := range d.Rows(Orders) {
+		if !custs[o[OCustkey].AsInt()] {
+			t.Fatalf("order %v has dangling customer", o[OOrderkey])
+		}
+	}
+	// lineitem.orderkey ⊆ orders; partkey ⊆ part; suppkey ⊆ supplier.
+	ords := map[int64]bool{}
+	for _, o := range d.Rows(Orders) {
+		ords[o[OOrderkey].AsInt()] = true
+	}
+	parts := map[int64]bool{}
+	for _, p := range d.Rows(Part) {
+		parts[p[PPartkey].AsInt()] = true
+	}
+	supps := map[int64]bool{}
+	for _, s := range d.Rows(Supplier) {
+		supps[s[SSuppkey].AsInt()] = true
+	}
+	for _, l := range d.Rows(Lineitem) {
+		if !ords[l[LOrderkey].AsInt()] || !parts[l[LPartkey].AsInt()] || !supps[l[LSuppkey].AsInt()] {
+			t.Fatalf("lineitem %v dangling", l[LOrderkey])
+		}
+	}
+	// partsupp keys valid.
+	for _, ps := range d.Rows(PartSupp) {
+		if !parts[ps[PSPartkey].AsInt()] || !supps[ps[PSSuppkey].AsInt()] {
+			t.Fatal("partsupp dangling")
+		}
+	}
+}
+
+func TestValueDomains(t *testing.T) {
+	d := testData(t)
+	lo, hi := Date(1992, 1, 1), Date(1998, 12, 31)
+	for _, l := range d.Rows(Lineitem) {
+		if q := l[LQuantity].AsFloat(); q < 1 || q > 50 {
+			t.Fatalf("quantity %v out of range", q)
+		}
+		if disc := l[LDiscount].AsFloat(); disc < 0 || disc > 0.10 {
+			t.Fatalf("discount %v out of range", disc)
+		}
+		if tax := l[LTax].AsFloat(); tax < 0 || tax > 0.08 {
+			t.Fatalf("tax %v out of range", tax)
+		}
+		ship := l[LShipdate].AsInt()
+		if ship < lo || ship > hi+200 {
+			t.Fatalf("shipdate %v out of range", ship)
+		}
+		if l[LReceiptdate].AsInt() <= ship {
+			t.Fatal("receiptdate not after shipdate")
+		}
+		rf := l[LReturnflag].AsString()
+		if rf != "R" && rf != "A" && rf != "N" {
+			t.Fatalf("returnflag %q", rf)
+		}
+		ls := l[LLinestatus].AsString()
+		if ls != "O" && ls != "F" {
+			t.Fatalf("linestatus %q", ls)
+		}
+	}
+	for _, o := range d.Rows(Orders) {
+		if o[OTotalprice].AsFloat() <= 0 {
+			t.Fatal("non-positive totalprice")
+		}
+		st := o[OOrderstatus].AsString()
+		if st != "F" && st != "O" && st != "P" {
+			t.Fatalf("orderstatus %q", st)
+		}
+	}
+}
+
+func TestOrderTotalMatchesLineitems(t *testing.T) {
+	d := testData(t)
+	sums := map[int64]float64{}
+	for _, l := range d.Rows(Lineitem) {
+		sums[l[LOrderkey].AsInt()] += l[LExtendedprice].AsFloat() *
+			(1 + l[LTax].AsFloat()) * (1 - l[LDiscount].AsFloat())
+	}
+	for _, o := range d.Rows(Orders) {
+		want := sums[o[OOrderkey].AsInt()]
+		got := o[OTotalprice].AsFloat()
+		if diff := got - want; diff > 0.5 || diff < -0.5 {
+			t.Fatalf("order %v total %v, lineitems %v", o[OOrderkey], got, want)
+		}
+	}
+}
+
+func TestDate(t *testing.T) {
+	if Date(1970, 1, 1) != 0 {
+		t.Fatalf("epoch = %d", Date(1970, 1, 1))
+	}
+	if Date(1970, 1, 2) != 1 {
+		t.Fatal("day arithmetic broken")
+	}
+	if Date(1998, 9, 2)-Date(1998, 8, 2) != 31 {
+		t.Fatal("month arithmetic broken")
+	}
+}
+
+func newUniversal(b int64) *table.Table {
+	return table.New(table.Config{
+		Partitioner: core.NewCinderella(core.Config{Weight: 0.5, MaxSize: b}),
+	})
+}
+
+func TestLoadUniversalAndViews(t *testing.T) {
+	d := Generate(0.001, 1)
+	tbl := newUniversal(500)
+	n := LoadUniversal(d, tbl)
+	if n != tbl.Len() {
+		t.Fatalf("loaded %d, table holds %d", n, tbl.Len())
+	}
+	// Every view must reproduce its table exactly (as a multiset; order
+	// may differ).
+	cat := NewUniversalCatalog(tbl)
+	for _, name := range TableNames {
+		want := d.Rows(name)
+		got := 0
+		seen := map[string]int{}
+		for _, r := range want {
+			seen[rowKey(r)]++
+		}
+		cat.Source(name).Rows(func(r engine.Row) bool {
+			got++
+			k := rowKey(r)
+			seen[k]--
+			if seen[k] < 0 {
+				t.Fatalf("%s: unexpected row %v", name, r)
+			}
+			return true
+		})
+		if got != len(want) {
+			t.Fatalf("%s: view has %d rows, want %d", name, got, len(want))
+		}
+	}
+}
+
+func rowKey(r []engine.Value) string {
+	k := ""
+	for _, v := range r {
+		k += v.String() + "|"
+	}
+	return k
+}
+
+// TestSchemaRecovery reproduces the paper's core Table I observation:
+// loading perfectly regular data, Cinderella finds only partitions that
+// exactly fit the TPC-H schema.
+func TestSchemaRecovery(t *testing.T) {
+	d := Generate(0.001, 1)
+	for _, b := range []int64{500, 2000} {
+		tbl := newUniversal(b)
+		LoadUniversal(d, tbl)
+		pure, total := SchemaPurity(tbl)
+		if pure != total {
+			t.Fatalf("B=%d: only %d of %d partitions schema-pure", b, pure, total)
+		}
+		if total < len(TableNames) {
+			t.Fatalf("B=%d: %d partitions for %d tables", b, total, len(TableNames))
+		}
+	}
+}

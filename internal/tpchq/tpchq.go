@@ -1,0 +1,520 @@
+// Package tpchq contains hand-built query plans for all 22 TPC-H queries
+// against the volcano engine. Each query runs unchanged on a materialized
+// catalog (regular tables) or on a universal-table catalog (Cinderella
+// partition views), which is exactly the comparison of the paper's
+// Table I.
+//
+// Plans follow the TPC-H 2.16 semantics with the standard validation
+// parameter values. Correlated subqueries are implemented by
+// decorrelation: grouped subaggregates materialized and hash-joined back,
+// the textbook transformation.
+package tpchq
+
+import (
+	"strings"
+
+	"cinderella/internal/engine"
+	"cinderella/internal/entity"
+	"cinderella/internal/tpch"
+)
+
+// Query is one runnable TPC-H query.
+type Query struct {
+	Name string
+	Run  func(c tpch.Catalog) []engine.Row
+}
+
+// All lists the 22 queries in order.
+var All = []Query{
+	{"Q1", Q1}, {"Q2", Q2}, {"Q3", Q3}, {"Q4", Q4}, {"Q5", Q5},
+	{"Q6", Q6}, {"Q7", Q7}, {"Q8", Q8}, {"Q9", Q9}, {"Q10", Q10},
+	{"Q11", Q11}, {"Q12", Q12}, {"Q13", Q13}, {"Q14", Q14}, {"Q15", Q15},
+	{"Q16", Q16}, {"Q17", Q17}, {"Q18", Q18}, {"Q19", Q19}, {"Q20", Q20},
+	{"Q21", Q21}, {"Q22", Q22},
+}
+
+// --- small helpers ---
+
+func iv(i int64) engine.Value   { return entity.Int(i) }
+func fv(f float64) engine.Value { return entity.Float(f) }
+func sv(s string) engine.Value  { return entity.Str(s) }
+
+func scan(c tpch.Catalog, name string) engine.Operator {
+	return engine.NewScan(c.Source(name))
+}
+
+func filter(in engine.Operator, p engine.Pred) engine.Operator {
+	return &engine.Filter{In: in, Cond: p}
+}
+
+func join(l, r engine.Operator, lk, rk engine.KeyFunc) engine.Operator {
+	return &engine.HashJoin{Left: l, Right: r, LeftKey: lk, RightKey: rk, Type: engine.Inner}
+}
+
+func semi(l, r engine.Operator, lk, rk engine.KeyFunc) engine.Operator {
+	return &engine.HashJoin{Left: l, Right: r, LeftKey: lk, RightKey: rk, Type: engine.Semi}
+}
+
+func anti(l, r engine.Operator, lk, rk engine.KeyFunc) engine.Operator {
+	return &engine.HashJoin{Left: l, Right: r, LeftKey: lk, RightKey: rk, Type: engine.Anti}
+}
+
+func key(cols ...int) engine.KeyFunc { return engine.KeyCols(cols...) }
+
+func orderLimit(in engine.Operator, less func(a, b engine.Row) bool, n int) []engine.Row {
+	var op engine.Operator = &engine.OrderBy{In: in, Less: less}
+	if n > 0 {
+		op = &engine.Limit{In: op, N: n}
+	}
+	return engine.Collect(op)
+}
+
+// year extracts the calendar year from a day-count value.
+func year(days int64) int64 {
+	// Days since 1970-01-01; derive year via proleptic Gregorian math.
+	// Simpler: walk by quadrennium. TPC-H dates live in 1992–1998, so a
+	// small loop is fine and obviously correct.
+	y := int64(1970)
+	d := days
+	for {
+		ylen := int64(365)
+		if isLeap(y) {
+			ylen = 366
+		}
+		if d < ylen {
+			return y
+		}
+		d -= ylen
+		y++
+	}
+}
+
+func isLeap(y int64) bool {
+	return (y%4 == 0 && y%100 != 0) || y%400 == 0
+}
+
+// --- Q1: pricing summary report ---
+
+// Q1 aggregates lineitems shipped on or before 1998-09-02 by return flag
+// and line status.
+func Q1(c tpch.Catalog) []engine.Row {
+	cutoff := tpch.Date(1998, 12, 1) - 90
+	l := filter(scan(c, tpch.Lineitem), func(r engine.Row) bool {
+		return r[tpch.LShipdate].AsInt() <= cutoff
+	})
+	agg := &engine.HashAggregate{
+		In:      l,
+		GroupBy: []int{tpch.LReturnflag, tpch.LLinestatus},
+		Aggs: []engine.AggSpec{
+			{Kind: engine.Sum, Expr: engine.Col(tpch.LQuantity), Name: "sum_qty"},
+			{Kind: engine.Sum, Expr: engine.Col(tpch.LExtendedprice), Name: "sum_base_price"},
+			{Kind: engine.Sum, Expr: func(r engine.Row) engine.Value {
+				return fv(r[tpch.LExtendedprice].AsFloat() * (1 - r[tpch.LDiscount].AsFloat()))
+			}, Name: "sum_disc_price"},
+			{Kind: engine.Sum, Expr: func(r engine.Row) engine.Value {
+				return fv(r[tpch.LExtendedprice].AsFloat() * (1 - r[tpch.LDiscount].AsFloat()) * (1 + r[tpch.LTax].AsFloat()))
+			}, Name: "sum_charge"},
+			{Kind: engine.Avg, Expr: engine.Col(tpch.LQuantity), Name: "avg_qty"},
+			{Kind: engine.Avg, Expr: engine.Col(tpch.LExtendedprice), Name: "avg_price"},
+			{Kind: engine.Avg, Expr: engine.Col(tpch.LDiscount), Name: "avg_disc"},
+			{Kind: engine.Count, Name: "count_order"},
+		},
+	}
+	return orderLimit(agg, engine.LessBy(0, 1), 0)
+}
+
+// --- Q2: minimum cost supplier ---
+
+// Q2 finds, for size-15 parts of type ending in BRASS, the European
+// supplier with the minimum supply cost.
+func Q2(c tpch.Catalog) []engine.Row {
+	// European suppliers: supplier ⨝ nation ⨝ region('EUROPE').
+	euRegion := filter(scan(c, tpch.Region), func(r engine.Row) bool {
+		return r[tpch.RName].AsString() == "EUROPE"
+	})
+	euNation := join(scan(c, tpch.Nation), euRegion, key(tpch.NRegionkey), key(tpch.RRegionkey))
+	// nation cols 0..3, region cols 4..6.
+	euSupp := join(scan(c, tpch.Supplier), euNation, key(tpch.SNationkey), key(tpch.NNationkey))
+	// supplier 0..6, nation 7..10, region 11..13.
+
+	// partsupp joined with european suppliers.
+	ps := join(scan(c, tpch.PartSupp), euSupp, key(tpch.PSSuppkey), key(7+0 /* s_suppkey */))
+	// partsupp 0..4, supplier 5..11, nation 12..15, region 16..18.
+	psRows := engine.Collect(ps)
+
+	// Min cost per part over european suppliers.
+	minCost := map[int64]float64{}
+	for _, r := range psRows {
+		pk := r[tpch.PSPartkey].AsInt()
+		cost := r[tpch.PSSupplycost].AsFloat()
+		if m, ok := minCost[pk]; !ok || cost < m {
+			minCost[pk] = cost
+		}
+	}
+
+	// Target parts.
+	parts := filter(scan(c, tpch.Part), func(r engine.Row) bool {
+		return r[tpch.PSize].AsInt() == 15 && strings.HasSuffix(r[tpch.PType].AsString(), "BRASS")
+	})
+	partRows := engine.Collect(parts)
+	partByKey := map[int64]engine.Row{}
+	for _, p := range partRows {
+		partByKey[p[tpch.PPartkey].AsInt()] = p
+	}
+
+	var out []engine.Row
+	for _, r := range psRows {
+		pk := r[tpch.PSPartkey].AsInt()
+		p, ok := partByKey[pk]
+		if !ok {
+			continue
+		}
+		if r[tpch.PSSupplycost].AsFloat() != minCost[pk] {
+			continue
+		}
+		// s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+		out = append(out, engine.Row{
+			r[5+tpch.SAcctbal], r[5+tpch.SName], r[12+tpch.NName],
+			p[tpch.PPartkey], p[tpch.PMfgr], r[5+tpch.SAddress],
+			r[5+tpch.SPhone], r[5+tpch.SComment],
+		})
+	}
+	src := &engine.SliceSource{
+		Cols: engine.Schema{"s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr", "s_address", "s_phone", "s_comment"},
+		Data: out,
+	}
+	return orderLimit(engine.NewScan(src), engine.LessBy(-1, 2, 1, 3), 100)
+}
+
+// --- Q3: shipping priority ---
+
+// Q3 ranks unshipped orders of BUILDING customers by revenue.
+func Q3(c tpch.Catalog) []engine.Row {
+	date := tpch.Date(1995, 3, 15)
+	cust := filter(scan(c, tpch.Customer), func(r engine.Row) bool {
+		return r[tpch.CMktsegment].AsString() == "BUILDING"
+	})
+	ord := filter(scan(c, tpch.Orders), func(r engine.Row) bool {
+		return r[tpch.OOrderdate].AsInt() < date
+	})
+	co := join(ord, cust, key(tpch.OCustkey), key(tpch.CCustkey))
+	// orders 0..8, customer 9..16.
+	li := filter(scan(c, tpch.Lineitem), func(r engine.Row) bool {
+		return r[tpch.LShipdate].AsInt() > date
+	})
+	lco := join(li, co, key(tpch.LOrderkey), key(tpch.OOrderkey))
+	// lineitem 0..15, orders 16..24, customer 25..32.
+	agg := &engine.HashAggregate{
+		In:      lco,
+		GroupBy: []int{tpch.LOrderkey, 16 + tpch.OOrderdate, 16 + tpch.OShippriority},
+		Aggs: []engine.AggSpec{{Kind: engine.Sum, Name: "revenue", Expr: func(r engine.Row) engine.Value {
+			return fv(r[tpch.LExtendedprice].AsFloat() * (1 - r[tpch.LDiscount].AsFloat()))
+		}}},
+	}
+	// order by revenue desc, orderdate asc; limit 10.
+	return orderLimit(agg, engine.LessBy(-4, 1), 10)
+}
+
+// --- Q4: order priority checking ---
+
+// Q4 counts Q3-1993 orders with at least one late lineitem, by priority.
+func Q4(c tpch.Catalog) []engine.Row {
+	lo, hi := tpch.Date(1993, 7, 1), tpch.Date(1993, 10, 1)
+	ord := filter(scan(c, tpch.Orders), func(r engine.Row) bool {
+		d := r[tpch.OOrderdate].AsInt()
+		return d >= lo && d < hi
+	})
+	late := filter(scan(c, tpch.Lineitem), func(r engine.Row) bool {
+		return r[tpch.LCommitdate].AsInt() < r[tpch.LReceiptdate].AsInt()
+	})
+	exists := semi(ord, late, key(tpch.OOrderkey), key(tpch.LOrderkey))
+	agg := &engine.HashAggregate{
+		In:      exists,
+		GroupBy: []int{tpch.OOrderpriority},
+		Aggs:    []engine.AggSpec{{Kind: engine.Count, Name: "order_count"}},
+	}
+	return orderLimit(agg, engine.LessBy(0), 0)
+}
+
+// --- Q5: local supplier volume ---
+
+// Q5 sums 1994 revenue in ASIA where customer and supplier share a nation.
+func Q5(c tpch.Catalog) []engine.Row {
+	lo, hi := tpch.Date(1994, 1, 1), tpch.Date(1995, 1, 1)
+	asia := filter(scan(c, tpch.Region), func(r engine.Row) bool {
+		return r[tpch.RName].AsString() == "ASIA"
+	})
+	nat := join(scan(c, tpch.Nation), asia, key(tpch.NRegionkey), key(tpch.RRegionkey))
+	// nation 0..3, region 4..6
+	sup := join(scan(c, tpch.Supplier), nat, key(tpch.SNationkey), key(tpch.NNationkey))
+	// supplier 0..6, nation 7..10, region 11..13
+	li := join(scan(c, tpch.Lineitem), sup, key(tpch.LSuppkey), key(tpch.SSuppkey))
+	// lineitem 0..15, supplier 16..22, nation 23..26, region 27..29
+	ord := filter(scan(c, tpch.Orders), func(r engine.Row) bool {
+		d := r[tpch.OOrderdate].AsInt()
+		return d >= lo && d < hi
+	})
+	lo1 := join(li, ord, key(tpch.LOrderkey), key(tpch.OOrderkey))
+	// ... orders at 30..38
+	const oCust = 30 + tpch.OCustkey
+	const sNation = 16 + tpch.SNationkey
+	// join customer on custkey AND same nation as supplier.
+	final := &engine.HashJoin{
+		Left:     lo1,
+		Right:    scan(c, tpch.Customer),
+		LeftKey:  key(oCust),
+		RightKey: key(tpch.CCustkey),
+		Type:     engine.Inner,
+		Extra: func(l, r engine.Row) bool {
+			return l[sNation].AsInt() == r[tpch.CNationkey].AsInt()
+		},
+	}
+	const nName = 23 + tpch.NName
+	agg := &engine.HashAggregate{
+		In:      final,
+		GroupBy: []int{nName},
+		Aggs: []engine.AggSpec{{Kind: engine.Sum, Name: "revenue", Expr: func(r engine.Row) engine.Value {
+			return fv(r[tpch.LExtendedprice].AsFloat() * (1 - r[tpch.LDiscount].AsFloat()))
+		}}},
+	}
+	return orderLimit(agg, engine.LessBy(-2), 0)
+}
+
+// --- Q6: forecasting revenue change ---
+
+// Q6 sums discount revenue for 1994 lineitems with discount 0.05–0.07 and
+// quantity < 24.
+func Q6(c tpch.Catalog) []engine.Row {
+	lo, hi := tpch.Date(1994, 1, 1), tpch.Date(1995, 1, 1)
+	l := filter(scan(c, tpch.Lineitem), func(r engine.Row) bool {
+		d := r[tpch.LShipdate].AsInt()
+		disc := r[tpch.LDiscount].AsFloat()
+		return d >= lo && d < hi &&
+			disc >= 0.05-1e-9 && disc <= 0.07+1e-9 &&
+			r[tpch.LQuantity].AsFloat() < 24
+	})
+	return []engine.Row{engine.ScalarAgg(l, engine.AggSpec{
+		Kind: engine.Sum, Name: "revenue",
+		Expr: func(r engine.Row) engine.Value {
+			return fv(r[tpch.LExtendedprice].AsFloat() * r[tpch.LDiscount].AsFloat())
+		},
+	})}
+}
+
+// --- Q7: volume shipping ---
+
+// Q7 computes France↔Germany shipping volume by year (1995–1996).
+func Q7(c tpch.Catalog) []engine.Row {
+	lo, hi := tpch.Date(1995, 1, 1), tpch.Date(1996, 12, 31)
+	li := filter(scan(c, tpch.Lineitem), func(r engine.Row) bool {
+		d := r[tpch.LShipdate].AsInt()
+		return d >= lo && d <= hi
+	})
+	sup := join(scan(c, tpch.Supplier), scan(c, tpch.Nation), key(tpch.SNationkey), key(tpch.NNationkey))
+	// supplier 0..6, nation 7..10
+	ls := join(li, sup, key(tpch.LSuppkey), key(tpch.SSuppkey))
+	// lineitem 0..15, supplier 16..22, suppnation 23..26
+	lso := join(ls, scan(c, tpch.Orders), key(tpch.LOrderkey), key(tpch.OOrderkey))
+	// + orders 27..35
+	cust := join(scan(c, tpch.Customer), scan(c, tpch.Nation), key(tpch.CNationkey), key(tpch.NNationkey))
+	// customer 0..7, custnation 8..11
+	full := join(lso, cust, key(27+tpch.OCustkey), key(tpch.CCustkey))
+	// + customer 36..43, custnation 44..47
+	const suppNation = 23 + tpch.NName
+	const custNation = 44 + tpch.NName
+	pairs := filter(full, func(r engine.Row) bool {
+		s, k := r[suppNation].AsString(), r[custNation].AsString()
+		return (s == "FRANCE" && k == "GERMANY") || (s == "GERMANY" && k == "FRANCE")
+	})
+	proj := &engine.Project{
+		In:   pairs,
+		Cols: engine.Schema{"supp_nation", "cust_nation", "l_year", "volume"},
+		Exprs: []engine.Expr{
+			engine.Col(suppNation),
+			engine.Col(custNation),
+			func(r engine.Row) engine.Value { return iv(year(r[tpch.LShipdate].AsInt())) },
+			func(r engine.Row) engine.Value {
+				return fv(r[tpch.LExtendedprice].AsFloat() * (1 - r[tpch.LDiscount].AsFloat()))
+			},
+		},
+	}
+	agg := &engine.HashAggregate{
+		In:      proj,
+		GroupBy: []int{0, 1, 2},
+		Aggs:    []engine.AggSpec{{Kind: engine.Sum, Expr: engine.Col(3), Name: "revenue"}},
+	}
+	return orderLimit(agg, engine.LessBy(0, 1, 2), 0)
+}
+
+// --- Q8: national market share ---
+
+// Q8 computes BRAZIL's share of AMERICA's ECONOMY ANODIZED STEEL market.
+func Q8(c tpch.Catalog) []engine.Row {
+	lo, hi := tpch.Date(1995, 1, 1), tpch.Date(1996, 12, 31)
+	part := filter(scan(c, tpch.Part), func(r engine.Row) bool {
+		return r[tpch.PType].AsString() == "ECONOMY ANODIZED STEEL"
+	})
+	li := join(scan(c, tpch.Lineitem), part, key(tpch.LPartkey), key(tpch.PPartkey))
+	// lineitem 0..15, part 16..24
+	sup := join(scan(c, tpch.Supplier), scan(c, tpch.Nation), key(tpch.SNationkey), key(tpch.NNationkey))
+	lis := join(li, sup, key(tpch.LSuppkey), key(tpch.SSuppkey))
+	// + supplier 25..31, suppnation 32..35
+	ord := filter(scan(c, tpch.Orders), func(r engine.Row) bool {
+		d := r[tpch.OOrderdate].AsInt()
+		return d >= lo && d <= hi
+	})
+	liso := join(lis, ord, key(tpch.LOrderkey), key(tpch.OOrderkey))
+	// + orders 36..44
+	amRegion := filter(scan(c, tpch.Region), func(r engine.Row) bool {
+		return r[tpch.RName].AsString() == "AMERICA"
+	})
+	amNation := join(scan(c, tpch.Nation), amRegion, key(tpch.NRegionkey), key(tpch.RRegionkey))
+	amCust := join(scan(c, tpch.Customer), amNation, key(tpch.CNationkey), key(tpch.NNationkey))
+	full := join(liso, amCust, key(36+tpch.OCustkey), key(tpch.CCustkey))
+	// + customer 45..52, custnation 53..56, region 57..59
+	const suppNationName = 32 + tpch.NName
+	proj := &engine.Project{
+		In:   full,
+		Cols: engine.Schema{"o_year", "volume", "is_brazil"},
+		Exprs: []engine.Expr{
+			func(r engine.Row) engine.Value { return iv(year(r[36+tpch.OOrderdate].AsInt())) },
+			func(r engine.Row) engine.Value {
+				return fv(r[tpch.LExtendedprice].AsFloat() * (1 - r[tpch.LDiscount].AsFloat()))
+			},
+			func(r engine.Row) engine.Value {
+				if r[suppNationName].AsString() == "BRAZIL" {
+					return iv(1)
+				}
+				return iv(0)
+			},
+		},
+	}
+	agg := &engine.HashAggregate{
+		In:      proj,
+		GroupBy: []int{0},
+		Aggs: []engine.AggSpec{
+			{Kind: engine.Sum, Name: "brazil_volume", Expr: func(r engine.Row) engine.Value {
+				if r[2].AsInt() == 1 {
+					return r[1]
+				}
+				return fv(0)
+			}},
+			{Kind: engine.Sum, Expr: engine.Col(1), Name: "total_volume"},
+		},
+	}
+	rows := engine.Collect(&engine.OrderBy{In: agg, Less: engine.LessBy(0)})
+	out := make([]engine.Row, 0, len(rows))
+	for _, r := range rows {
+		share := 0.0
+		if tot := r[2].AsFloat(); tot != 0 {
+			share = r[1].AsFloat() / tot
+		}
+		out = append(out, engine.Row{r[0], fv(share)})
+	}
+	return out
+}
+
+// --- Q9: product type profit measure ---
+
+// Q9 computes profit by nation and year for parts with "green" in the
+// name.
+func Q9(c tpch.Catalog) []engine.Row {
+	part := filter(scan(c, tpch.Part), func(r engine.Row) bool {
+		return strings.Contains(r[tpch.PName].AsString(), "green")
+	})
+	li := join(scan(c, tpch.Lineitem), part, key(tpch.LPartkey), key(tpch.PPartkey))
+	// lineitem 0..15, part 16..24
+	sup := join(scan(c, tpch.Supplier), scan(c, tpch.Nation), key(tpch.SNationkey), key(tpch.NNationkey))
+	lis := join(li, sup, key(tpch.LSuppkey), key(tpch.SSuppkey))
+	// + supplier 25..31, nation 32..35
+	lisp := &engine.HashJoin{
+		Left: lis, Right: scan(c, tpch.PartSupp),
+		LeftKey:  engine.KeyCols(tpch.LPartkey, tpch.LSuppkey),
+		RightKey: engine.KeyCols(tpch.PSPartkey, tpch.PSSuppkey),
+		Type:     engine.Inner,
+	}
+	// + partsupp 36..40
+	lispo := join(lisp, scan(c, tpch.Orders), key(tpch.LOrderkey), key(tpch.OOrderkey))
+	// + orders 41..49
+	proj := &engine.Project{
+		In:   lispo,
+		Cols: engine.Schema{"nation", "o_year", "amount"},
+		Exprs: []engine.Expr{
+			engine.Col(32 + tpch.NName),
+			func(r engine.Row) engine.Value { return iv(year(r[41+tpch.OOrderdate].AsInt())) },
+			func(r engine.Row) engine.Value {
+				return fv(r[tpch.LExtendedprice].AsFloat()*(1-r[tpch.LDiscount].AsFloat()) -
+					r[36+tpch.PSSupplycost].AsFloat()*r[tpch.LQuantity].AsFloat())
+			},
+		},
+	}
+	agg := &engine.HashAggregate{
+		In:      proj,
+		GroupBy: []int{0, 1},
+		Aggs:    []engine.AggSpec{{Kind: engine.Sum, Expr: engine.Col(2), Name: "sum_profit"}},
+	}
+	return orderLimit(agg, engine.LessBy(0, -2), 0)
+}
+
+// --- Q10: returned item reporting ---
+
+// Q10 ranks customers by revenue lost to returned items in Q4 1993.
+func Q10(c tpch.Catalog) []engine.Row {
+	lo, hi := tpch.Date(1993, 10, 1), tpch.Date(1994, 1, 1)
+	ord := filter(scan(c, tpch.Orders), func(r engine.Row) bool {
+		d := r[tpch.OOrderdate].AsInt()
+		return d >= lo && d < hi
+	})
+	li := filter(scan(c, tpch.Lineitem), func(r engine.Row) bool {
+		return r[tpch.LReturnflag].AsString() == "R"
+	})
+	lio := join(li, ord, key(tpch.LOrderkey), key(tpch.OOrderkey))
+	// lineitem 0..15, orders 16..24
+	cust := join(scan(c, tpch.Customer), scan(c, tpch.Nation), key(tpch.CNationkey), key(tpch.NNationkey))
+	// customer 0..7, nation 8..11
+	full := join(lio, cust, key(16+tpch.OCustkey), key(tpch.CCustkey))
+	// + customer 25..32, nation 33..36
+	agg := &engine.HashAggregate{
+		In: full,
+		GroupBy: []int{
+			25 + tpch.CCustkey, 25 + tpch.CName, 25 + tpch.CAcctbal,
+			25 + tpch.CPhone, 33 + tpch.NName, 25 + tpch.CAddress,
+			25 + tpch.CComment,
+		},
+		Aggs: []engine.AggSpec{{Kind: engine.Sum, Name: "revenue", Expr: func(r engine.Row) engine.Value {
+			return fv(r[tpch.LExtendedprice].AsFloat() * (1 - r[tpch.LDiscount].AsFloat()))
+		}}},
+	}
+	return orderLimit(agg, engine.LessBy(-8), 20)
+}
+
+// --- Q11: important stock identification ---
+
+// Q11 finds German partsupp value concentrations above 1/10000 of total.
+func Q11(c tpch.Catalog) []engine.Row {
+	germany := filter(scan(c, tpch.Nation), func(r engine.Row) bool {
+		return r[tpch.NName].AsString() == "GERMANY"
+	})
+	sup := join(scan(c, tpch.Supplier), germany, key(tpch.SNationkey), key(tpch.NNationkey))
+	ps := join(scan(c, tpch.PartSupp), sup, key(tpch.PSSuppkey), key(tpch.SSuppkey))
+	value := func(r engine.Row) engine.Value {
+		return fv(r[tpch.PSSupplycost].AsFloat() * float64(r[tpch.PSAvailqty].AsInt()))
+	}
+	rows := engine.Collect(ps)
+	var total float64
+	perPart := map[int64]float64{}
+	for _, r := range rows {
+		v := value(r).AsFloat()
+		total += v
+		perPart[r[tpch.PSPartkey].AsInt()] += v
+	}
+	threshold := total * 0.0001
+	var out []engine.Row
+	for pk, v := range perPart {
+		if v > threshold {
+			out = append(out, engine.Row{iv(pk), fv(v)})
+		}
+	}
+	src := &engine.SliceSource{Cols: engine.Schema{"ps_partkey", "value"}, Data: out}
+	return orderLimit(engine.NewScan(src), engine.LessBy(-2, 0), 0)
+}

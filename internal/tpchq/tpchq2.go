@@ -1,0 +1,437 @@
+package tpchq
+
+import (
+	"strings"
+
+	"cinderella/internal/engine"
+	"cinderella/internal/tpch"
+)
+
+// --- Q12: shipping modes and order priority ---
+
+// Q12 counts late-committed lineitems shipped by MAIL/SHIP in 1994 split
+// into high- and low-priority orders.
+func Q12(c tpch.Catalog) []engine.Row {
+	lo, hi := tpch.Date(1994, 1, 1), tpch.Date(1995, 1, 1)
+	li := filter(scan(c, tpch.Lineitem), func(r engine.Row) bool {
+		m := r[tpch.LShipmode].AsString()
+		rd := r[tpch.LReceiptdate].AsInt()
+		return (m == "MAIL" || m == "SHIP") &&
+			r[tpch.LCommitdate].AsInt() < rd &&
+			r[tpch.LShipdate].AsInt() < r[tpch.LCommitdate].AsInt() &&
+			rd >= lo && rd < hi
+	})
+	lio := join(li, scan(c, tpch.Orders), key(tpch.LOrderkey), key(tpch.OOrderkey))
+	const oPrio = 16 + tpch.OOrderpriority
+	agg := &engine.HashAggregate{
+		In:      lio,
+		GroupBy: []int{tpch.LShipmode},
+		Aggs: []engine.AggSpec{
+			{Kind: engine.Sum, Name: "high_line_count", Expr: func(r engine.Row) engine.Value {
+				p := r[oPrio].AsString()
+				if p == "1-URGENT" || p == "2-HIGH" {
+					return iv(1)
+				}
+				return iv(0)
+			}},
+			{Kind: engine.Sum, Name: "low_line_count", Expr: func(r engine.Row) engine.Value {
+				p := r[oPrio].AsString()
+				if p != "1-URGENT" && p != "2-HIGH" {
+					return iv(1)
+				}
+				return iv(0)
+			}},
+		},
+	}
+	return orderLimit(agg, engine.LessBy(0), 0)
+}
+
+// --- Q13: customer distribution ---
+
+// Q13 histograms customers by their count of non-special orders.
+func Q13(c tpch.Catalog) []engine.Row {
+	ord := filter(scan(c, tpch.Orders), func(r engine.Row) bool {
+		cm := r[tpch.OComment].AsString()
+		i := strings.Index(cm, "special")
+		return i < 0 || !strings.Contains(cm[i:], "requests")
+	})
+	lj := &engine.HashJoin{
+		Left:     scan(c, tpch.Customer),
+		Right:    ord,
+		LeftKey:  key(tpch.CCustkey),
+		RightKey: key(tpch.OCustkey),
+		Type:     engine.LeftOuter,
+	}
+	// customer 0..7, orders 8..16
+	perCust := &engine.HashAggregate{
+		In:      lj,
+		GroupBy: []int{tpch.CCustkey},
+		Aggs: []engine.AggSpec{{
+			Kind: engine.Count, Expr: engine.Col(8 + tpch.OOrderkey), Name: "c_count",
+		}},
+	}
+	hist := &engine.HashAggregate{
+		In:      perCust,
+		GroupBy: []int{1},
+		Aggs:    []engine.AggSpec{{Kind: engine.Count, Name: "custdist"}},
+	}
+	return orderLimit(hist, engine.LessBy(-2, -1), 0)
+}
+
+// --- Q14: promotion effect ---
+
+// Q14 computes the promo revenue percentage for September 1995.
+func Q14(c tpch.Catalog) []engine.Row {
+	lo, hi := tpch.Date(1995, 9, 1), tpch.Date(1995, 10, 1)
+	li := filter(scan(c, tpch.Lineitem), func(r engine.Row) bool {
+		d := r[tpch.LShipdate].AsInt()
+		return d >= lo && d < hi
+	})
+	lp := join(li, scan(c, tpch.Part), key(tpch.LPartkey), key(tpch.PPartkey))
+	const pType = 16 + tpch.PType
+	row := engine.ScalarAgg(lp,
+		engine.AggSpec{Kind: engine.Sum, Name: "promo", Expr: func(r engine.Row) engine.Value {
+			if strings.HasPrefix(r[pType].AsString(), "PROMO") {
+				return fv(r[tpch.LExtendedprice].AsFloat() * (1 - r[tpch.LDiscount].AsFloat()))
+			}
+			return fv(0)
+		}},
+		engine.AggSpec{Kind: engine.Sum, Name: "total", Expr: func(r engine.Row) engine.Value {
+			return fv(r[tpch.LExtendedprice].AsFloat() * (1 - r[tpch.LDiscount].AsFloat()))
+		}},
+	)
+	pct := 0.0
+	if t := row[1].AsFloat(); t != 0 {
+		pct = 100 * row[0].AsFloat() / t
+	}
+	return []engine.Row{{fv(pct)}}
+}
+
+// --- Q15: top supplier ---
+
+// Q15 finds the supplier(s) with maximal Q1-1996 revenue.
+func Q15(c tpch.Catalog) []engine.Row {
+	lo, hi := tpch.Date(1996, 1, 1), tpch.Date(1996, 4, 1)
+	li := filter(scan(c, tpch.Lineitem), func(r engine.Row) bool {
+		d := r[tpch.LShipdate].AsInt()
+		return d >= lo && d < hi
+	})
+	rev := &engine.HashAggregate{
+		In:      li,
+		GroupBy: []int{tpch.LSuppkey},
+		Aggs: []engine.AggSpec{{Kind: engine.Sum, Name: "total_revenue", Expr: func(r engine.Row) engine.Value {
+			return fv(r[tpch.LExtendedprice].AsFloat() * (1 - r[tpch.LDiscount].AsFloat()))
+		}}},
+	}
+	revRows := engine.Collect(rev)
+	maxRev := 0.0
+	for _, r := range revRows {
+		if v := r[1].AsFloat(); v > maxRev {
+			maxRev = v
+		}
+	}
+	top := &engine.SliceSource{Cols: engine.Schema{"supplier_no", "total_revenue"}}
+	for _, r := range revRows {
+		if r[1].AsFloat() == maxRev {
+			top.Data = append(top.Data, r)
+		}
+	}
+	j := join(scan(c, tpch.Supplier), engine.NewScan(top), key(tpch.SSuppkey), key(0))
+	// supplier 0..6, revenue view 7..8
+	proj := &engine.Project{
+		In:   j,
+		Cols: engine.Schema{"s_suppkey", "s_name", "s_address", "s_phone", "total_revenue"},
+		Exprs: []engine.Expr{
+			engine.Col(tpch.SSuppkey), engine.Col(tpch.SName),
+			engine.Col(tpch.SAddress), engine.Col(tpch.SPhone), engine.Col(8),
+		},
+	}
+	return orderLimit(proj, engine.LessBy(0), 0)
+}
+
+// --- Q16: parts/supplier relationship ---
+
+// Q16 counts distinct acceptable suppliers per brand/type/size bucket.
+func Q16(c tpch.Catalog) []engine.Row {
+	sizes := map[int64]bool{49: true, 14: true, 23: true, 45: true, 19: true, 3: true, 36: true, 9: true}
+	part := filter(scan(c, tpch.Part), func(r engine.Row) bool {
+		return r[tpch.PBrand].AsString() != "Brand#45" &&
+			!strings.HasPrefix(r[tpch.PType].AsString(), "MEDIUM POLISHED") &&
+			sizes[r[tpch.PSize].AsInt()]
+	})
+	complainers := filter(scan(c, tpch.Supplier), func(r engine.Row) bool {
+		cm := r[tpch.SComment].AsString()
+		i := strings.Index(cm, "Customer")
+		return i >= 0 && strings.Contains(cm[i:], "Complaints")
+	})
+	ps := anti(scan(c, tpch.PartSupp), complainers, key(tpch.PSSuppkey), key(tpch.SSuppkey))
+	psp := join(ps, part, key(tpch.PSPartkey), key(tpch.PPartkey))
+	// partsupp 0..4, part 5..13
+	agg := &engine.HashAggregate{
+		In:      psp,
+		GroupBy: []int{5 + tpch.PBrand, 5 + tpch.PType, 5 + tpch.PSize},
+		Aggs: []engine.AggSpec{{
+			Kind: engine.CountDistinct, Expr: engine.Col(tpch.PSSuppkey), Name: "supplier_cnt",
+		}},
+	}
+	return orderLimit(agg, engine.LessBy(-4, 0, 1, 2), 0)
+}
+
+// --- Q17: small-quantity-order revenue ---
+
+// Q17 averages yearly revenue lost if small orders of Brand#23 MED BOX
+// parts were not filled.
+func Q17(c tpch.Catalog) []engine.Row {
+	part := filter(scan(c, tpch.Part), func(r engine.Row) bool {
+		return r[tpch.PBrand].AsString() == "Brand#23" &&
+			r[tpch.PContainer].AsString() == "MED BOX"
+	})
+	lp := join(scan(c, tpch.Lineitem), part, key(tpch.LPartkey), key(tpch.PPartkey))
+	rows := engine.Collect(lp)
+	// avg quantity per part (decorrelated subquery).
+	sum := map[int64]float64{}
+	cnt := map[int64]int64{}
+	lineAll := engine.Collect(scan(c, tpch.Lineitem))
+	for _, r := range lineAll {
+		pk := r[tpch.LPartkey].AsInt()
+		sum[pk] += r[tpch.LQuantity].AsFloat()
+		cnt[pk]++
+	}
+	var total float64
+	for _, r := range rows {
+		pk := r[tpch.LPartkey].AsInt()
+		if cnt[pk] == 0 {
+			continue
+		}
+		if r[tpch.LQuantity].AsFloat() < 0.2*sum[pk]/float64(cnt[pk]) {
+			total += r[tpch.LExtendedprice].AsFloat()
+		}
+	}
+	return []engine.Row{{fv(total / 7.0)}}
+}
+
+// --- Q18: large volume customer ---
+
+// Q18 lists customers with orders totalling more than 300 units.
+func Q18(c tpch.Catalog) []engine.Row {
+	perOrder := &engine.HashAggregate{
+		In:      scan(c, tpch.Lineitem),
+		GroupBy: []int{tpch.LOrderkey},
+		Aggs:    []engine.AggSpec{{Kind: engine.Sum, Expr: engine.Col(tpch.LQuantity), Name: "qty"}},
+	}
+	big := filter(perOrder, func(r engine.Row) bool { return r[1].AsFloat() > 300 })
+	ord := join(scan(c, tpch.Orders), big, key(tpch.OOrderkey), key(0))
+	// orders 0..8, agg 9..10
+	oc := join(ord, scan(c, tpch.Customer), key(tpch.OCustkey), key(tpch.CCustkey))
+	// + customer 11..18
+	proj := &engine.Project{
+		In: oc,
+		Cols: engine.Schema{
+			"c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice", "sum_qty",
+		},
+		Exprs: []engine.Expr{
+			engine.Col(11 + tpch.CName), engine.Col(11 + tpch.CCustkey),
+			engine.Col(tpch.OOrderkey), engine.Col(tpch.OOrderdate),
+			engine.Col(tpch.OTotalprice), engine.Col(10),
+		},
+	}
+	return orderLimit(proj, engine.LessBy(-5, 3), 100)
+}
+
+// --- Q19: discounted revenue ---
+
+// Q19 sums revenue matching three brand/container/quantity OR branches.
+func Q19(c tpch.Catalog) []engine.Row {
+	lp := &engine.HashJoin{
+		Left:     scan(c, tpch.Lineitem),
+		Right:    scan(c, tpch.Part),
+		LeftKey:  key(tpch.LPartkey),
+		RightKey: key(tpch.PPartkey),
+		Type:     engine.Inner,
+	}
+	const p = 16
+	sm := map[string]bool{"SM CASE": true, "SM BOX": true, "SM PACK": true, "SM PKG": true}
+	med := map[string]bool{"MED BAG": true, "MED BOX": true, "MED PKG": true, "MED PACK": true}
+	lg := map[string]bool{"LG CASE": true, "LG BOX": true, "LG PACK": true, "LG PKG": true}
+	match := filter(lp, func(r engine.Row) bool {
+		mode := r[tpch.LShipmode].AsString()
+		if (mode != "AIR" && mode != "REG AIR") ||
+			r[tpch.LShipinstruct].AsString() != "DELIVER IN PERSON" {
+			return false
+		}
+		qty := r[tpch.LQuantity].AsFloat()
+		brand := r[p+tpch.PBrand].AsString()
+		cont := r[p+tpch.PContainer].AsString()
+		size := r[p+tpch.PSize].AsInt()
+		switch {
+		case brand == "Brand#12" && sm[cont] && qty >= 1 && qty <= 11 && size >= 1 && size <= 5:
+			return true
+		case brand == "Brand#23" && med[cont] && qty >= 10 && qty <= 20 && size >= 1 && size <= 10:
+			return true
+		case brand == "Brand#34" && lg[cont] && qty >= 20 && qty <= 30 && size >= 1 && size <= 15:
+			return true
+		}
+		return false
+	})
+	return []engine.Row{engine.ScalarAgg(match, engine.AggSpec{
+		Kind: engine.Sum, Name: "revenue",
+		Expr: func(r engine.Row) engine.Value {
+			return fv(r[tpch.LExtendedprice].AsFloat() * (1 - r[tpch.LDiscount].AsFloat()))
+		},
+	})}
+}
+
+// --- Q20: potential part promotion ---
+
+// Q20 lists Canadian suppliers holding excess stock of "forest" parts.
+func Q20(c tpch.Catalog) []engine.Row {
+	// Shipped quantity per (part, supp) in 1994.
+	lo, hi := tpch.Date(1994, 1, 1), tpch.Date(1995, 1, 1)
+	li := filter(scan(c, tpch.Lineitem), func(r engine.Row) bool {
+		d := r[tpch.LShipdate].AsInt()
+		return d >= lo && d < hi
+	})
+	shipped := &engine.HashAggregate{
+		In:      li,
+		GroupBy: []int{tpch.LPartkey, tpch.LSuppkey},
+		Aggs:    []engine.AggSpec{{Kind: engine.Sum, Expr: engine.Col(tpch.LQuantity), Name: "qty"}},
+	}
+	// Forest parts.
+	forest := filter(scan(c, tpch.Part), func(r engine.Row) bool {
+		return strings.HasPrefix(r[tpch.PName].AsString(), "forest")
+	})
+	// partsupp restricted to forest parts, joined with shipped agg on
+	// (part, supp), availqty > 0.5 * qty.
+	psForest := semi(scan(c, tpch.PartSupp), forest, key(tpch.PSPartkey), key(tpch.PPartkey))
+	psq := &engine.HashJoin{
+		Left:     psForest,
+		Right:    shipped,
+		LeftKey:  engine.KeyCols(tpch.PSPartkey, tpch.PSSuppkey),
+		RightKey: engine.KeyCols(0, 1),
+		Type:     engine.Inner,
+		Extra: func(l, r engine.Row) bool {
+			return float64(l[tpch.PSAvailqty].AsInt()) > 0.5*r[2].AsFloat()
+		},
+	}
+	canada := filter(scan(c, tpch.Nation), func(r engine.Row) bool {
+		return r[tpch.NName].AsString() == "CANADA"
+	})
+	supCanada := join(scan(c, tpch.Supplier), canada, key(tpch.SNationkey), key(tpch.NNationkey))
+	final := semi(supCanada, psq, key(tpch.SSuppkey), key(tpch.PSSuppkey))
+	proj := &engine.Project{
+		In:    final,
+		Cols:  engine.Schema{"s_name", "s_address"},
+		Exprs: []engine.Expr{engine.Col(tpch.SName), engine.Col(tpch.SAddress)},
+	}
+	return orderLimit(proj, engine.LessBy(0), 0)
+}
+
+// --- Q21: suppliers who kept orders waiting ---
+
+// Q21 counts, per Saudi supplier, multi-supplier F-orders where only that
+// supplier delivered late.
+func Q21(c tpch.Catalog) []engine.Row {
+	saudi := filter(scan(c, tpch.Nation), func(r engine.Row) bool {
+		return r[tpch.NName].AsString() == "SAUDI ARABIA"
+	})
+	sup := join(scan(c, tpch.Supplier), saudi, key(tpch.SNationkey), key(tpch.NNationkey))
+	// supplier 0..6, nation 7..10
+	l1 := filter(scan(c, tpch.Lineitem), func(r engine.Row) bool {
+		return r[tpch.LReceiptdate].AsInt() > r[tpch.LCommitdate].AsInt()
+	})
+	ls := join(l1, sup, key(tpch.LSuppkey), key(tpch.SSuppkey))
+	// lineitem 0..15, supplier 16..22, nation 23..26
+	fOrders := filter(scan(c, tpch.Orders), func(r engine.Row) bool {
+		return r[tpch.OOrderstatus].AsString() == "F"
+	})
+	lso := join(ls, fOrders, key(tpch.LOrderkey), key(tpch.OOrderkey))
+	// + orders 27..35
+
+	// exists l2: another supplier on the same order.
+	l2 := scan(c, tpch.Lineitem)
+	withOther := &engine.HashJoin{
+		Left:     lso,
+		Right:    l2,
+		LeftKey:  key(tpch.LOrderkey),
+		RightKey: key(tpch.LOrderkey),
+		Type:     engine.Semi,
+		Extra: func(l, r engine.Row) bool {
+			return r[tpch.LSuppkey].AsInt() != l[tpch.LSuppkey].AsInt()
+		},
+	}
+	// not exists l3: another supplier late on the same order.
+	l3 := filter(scan(c, tpch.Lineitem), func(r engine.Row) bool {
+		return r[tpch.LReceiptdate].AsInt() > r[tpch.LCommitdate].AsInt()
+	})
+	onlyUs := &engine.HashJoin{
+		Left:     withOther,
+		Right:    l3,
+		LeftKey:  key(tpch.LOrderkey),
+		RightKey: key(tpch.LOrderkey),
+		Type:     engine.Anti,
+		Extra: func(l, r engine.Row) bool {
+			return r[tpch.LSuppkey].AsInt() != l[tpch.LSuppkey].AsInt()
+		},
+	}
+	agg := &engine.HashAggregate{
+		In:      onlyUs,
+		GroupBy: []int{16 + tpch.SName},
+		Aggs:    []engine.AggSpec{{Kind: engine.Count, Name: "numwait"}},
+	}
+	return orderLimit(agg, engine.LessBy(-2, 0), 100)
+}
+
+// --- Q22: global sales opportunity ---
+
+// Q22 profiles wealthy inactive customers by phone country code.
+func Q22(c tpch.Catalog) []engine.Row {
+	codes := map[string]bool{"13": true, "31": true, "23": true, "29": true, "30": true, "18": true, "17": true}
+	cc := func(phone string) string {
+		if i := strings.IndexByte(phone, '-'); i > 0 {
+			return phone[:i]
+		}
+		return ""
+	}
+	cust := filter(scan(c, tpch.Customer), func(r engine.Row) bool {
+		return codes[cc(r[tpch.CPhone].AsString())]
+	})
+	custRows := engine.Collect(cust)
+
+	// avg positive acctbal among those customers.
+	var sum float64
+	var n int64
+	for _, r := range custRows {
+		if b := r[tpch.CAcctbal].AsFloat(); b > 0 {
+			sum += b
+			n++
+		}
+	}
+	avg := 0.0
+	if n > 0 {
+		avg = sum / float64(n)
+	}
+	rich := &engine.SliceSource{Cols: tpch.Schemas[tpch.Customer]}
+	for _, r := range custRows {
+		if r[tpch.CAcctbal].AsFloat() > avg {
+			rich.Data = append(rich.Data, r)
+		}
+	}
+	noOrders := anti(engine.NewScan(rich), scan(c, tpch.Orders), key(tpch.CCustkey), key(tpch.OCustkey))
+	proj := &engine.Project{
+		In:   noOrders,
+		Cols: engine.Schema{"cntrycode", "c_acctbal"},
+		Exprs: []engine.Expr{
+			func(r engine.Row) engine.Value { return sv(cc(r[tpch.CPhone].AsString())) },
+			engine.Col(tpch.CAcctbal),
+		},
+	}
+	agg := &engine.HashAggregate{
+		In:      proj,
+		GroupBy: []int{0},
+		Aggs: []engine.AggSpec{
+			{Kind: engine.Count, Name: "numcust"},
+			{Kind: engine.Sum, Expr: engine.Col(1), Name: "totacctbal"},
+		},
+	}
+	return orderLimit(agg, engine.LessBy(0), 0)
+}

@@ -1,0 +1,389 @@
+package tpchq
+
+import (
+	"sync"
+	"testing"
+
+	"cinderella/internal/core"
+	"cinderella/internal/engine"
+	"cinderella/internal/table"
+	"cinderella/internal/tpch"
+)
+
+var (
+	dataOnce sync.Once
+	data     *tpch.Data
+	uniCat   *tpch.UniversalCatalog
+)
+
+func catalogs(t *testing.T) (*tpch.Data, *tpch.UniversalCatalog) {
+	t.Helper()
+	dataOnce.Do(func() {
+		data = tpch.Generate(0.002, 1)
+		tbl := table.New(table.Config{
+			Partitioner: core.NewCinderella(core.Config{Weight: 0.5, MaxSize: 1000}),
+		})
+		tpch.LoadUniversal(data, tbl)
+		uniCat = tpch.NewUniversalCatalog(tbl)
+	})
+	return data, uniCat
+}
+
+func rowsEqual(a, b []engine.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			x, y := a[i][j], b[i][j]
+			if x.Kind() != y.Kind() {
+				return false
+			}
+			// Floats accumulated in different orders can differ in the
+			// last ulps; compare with a tolerance.
+			if fx, fy := x.AsFloat(), y.AsFloat(); x.Kind() == y.Kind() && !x.IsNull() && x.String() != y.String() {
+				diff := fx - fy
+				if diff < 0 {
+					diff = -diff
+				}
+				scale := fx
+				if scale < 0 {
+					scale = -scale
+				}
+				if scale < 1 {
+					scale = 1
+				}
+				if diff/scale > 1e-9 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestQueriesAgreeAcrossCatalogs is the load-bearing correctness test of
+// the TPC-H reproduction: every query must return identical results on
+// the regular tables and on the Cinderella universal-table views.
+func TestQueriesAgreeAcrossCatalogs(t *testing.T) {
+	d, u := catalogs(t)
+	for _, q := range All {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			want := q.Run(d)
+			got := q.Run(u)
+			if !rowsEqual(want, got) {
+				t.Fatalf("%s: universal-table result differs\nregular:   %v rows\nuniversal: %v rows", q.Name, len(want), len(got))
+			}
+		})
+	}
+}
+
+func TestAllHas22Queries(t *testing.T) {
+	if len(All) != 22 {
+		t.Fatalf("All = %d queries, want 22", len(All))
+	}
+	seen := map[string]bool{}
+	for _, q := range All {
+		if seen[q.Name] {
+			t.Fatalf("duplicate query %s", q.Name)
+		}
+		seen[q.Name] = true
+		if q.Run == nil {
+			t.Fatalf("%s has nil Run", q.Name)
+		}
+	}
+}
+
+func TestQ1Shape(t *testing.T) {
+	d, _ := catalogs(t)
+	rows := Q1(d)
+	// Return flag × line status yields at most 4 populated combinations
+	// (R/F, A/F, N/F, N/O).
+	if len(rows) == 0 || len(rows) > 4 {
+		t.Fatalf("Q1 groups = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r[2].AsFloat() <= 0 { // sum_qty
+			t.Fatalf("Q1 non-positive sum_qty: %v", r)
+		}
+		if r[9].AsInt() <= 0 { // count_order
+			t.Fatalf("Q1 non-positive count: %v", r)
+		}
+		// avg_qty = sum_qty / count.
+		if diff := r[6].AsFloat() - r[2].AsFloat()/float64(r[9].AsInt()); diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("Q1 avg inconsistent: %v", r)
+		}
+	}
+}
+
+func TestQ1CutoffRespected(t *testing.T) {
+	d, _ := catalogs(t)
+	cutoff := tpch.Date(1998, 12, 1) - 90
+	var inCount int64
+	for _, l := range d.Rows(tpch.Lineitem) {
+		if l[tpch.LShipdate].AsInt() <= cutoff {
+			inCount++
+		}
+	}
+	rows := Q1(d)
+	var total int64
+	for _, r := range rows {
+		total += r[9].AsInt()
+	}
+	if total != inCount {
+		t.Fatalf("Q1 counted %d lineitems, want %d", total, inCount)
+	}
+}
+
+func TestQ3Ordering(t *testing.T) {
+	d, _ := catalogs(t)
+	rows := Q3(d)
+	if len(rows) > 10 {
+		t.Fatalf("Q3 rows = %d, limit 10", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i][3].AsFloat() > rows[i-1][3].AsFloat() {
+			t.Fatal("Q3 not ordered by revenue desc")
+		}
+	}
+}
+
+func TestQ4PrioritiesComplete(t *testing.T) {
+	d, _ := catalogs(t)
+	rows := Q4(d)
+	if len(rows) == 0 || len(rows) > 5 {
+		t.Fatalf("Q4 groups = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r[1].AsInt() <= 0 {
+			t.Fatalf("Q4 non-positive count: %v", r)
+		}
+	}
+}
+
+func TestQ6ManualCheck(t *testing.T) {
+	d, _ := catalogs(t)
+	lo, hi := tpch.Date(1994, 1, 1), tpch.Date(1995, 1, 1)
+	var want float64
+	for _, l := range d.Rows(tpch.Lineitem) {
+		dte := l[tpch.LShipdate].AsInt()
+		disc := l[tpch.LDiscount].AsFloat()
+		if dte >= lo && dte < hi && disc >= 0.05-1e-9 && disc <= 0.07+1e-9 &&
+			l[tpch.LQuantity].AsFloat() < 24 {
+			want += l[tpch.LExtendedprice].AsFloat() * disc
+		}
+	}
+	got := Q6(d)[0][0].AsFloat()
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("Q6 = %v, manual = %v", got, want)
+	}
+}
+
+func TestQ13IncludesZeroOrderCustomers(t *testing.T) {
+	d, _ := catalogs(t)
+	rows := Q13(d)
+	var totalCust int64
+	for _, r := range rows {
+		totalCust += r[1].AsInt()
+	}
+	if totalCust != int64(len(d.Rows(tpch.Customer))) {
+		t.Fatalf("Q13 covers %d customers, want %d", totalCust, len(d.Rows(tpch.Customer)))
+	}
+}
+
+func TestQ14PercentBounds(t *testing.T) {
+	d, _ := catalogs(t)
+	pct := Q14(d)[0][0].AsFloat()
+	if pct < 0 || pct > 100 {
+		t.Fatalf("Q14 percent = %v", pct)
+	}
+}
+
+func TestQ15MaxRevenue(t *testing.T) {
+	d, _ := catalogs(t)
+	rows := Q15(d)
+	if len(rows) == 0 {
+		t.Skip("no Q1-1996 revenue at this scale")
+	}
+	rev := rows[0][4].AsFloat()
+	for _, r := range rows {
+		if r[4].AsFloat() != rev {
+			t.Fatal("Q15 returned suppliers with non-maximal revenue")
+		}
+	}
+}
+
+func TestQ18ThresholdRespected(t *testing.T) {
+	d, _ := catalogs(t)
+	for _, r := range Q18(d) {
+		if r[5].AsFloat() <= 300 {
+			t.Fatalf("Q18 included order with qty %v", r[5])
+		}
+	}
+}
+
+func TestQ22OnlyInactiveCustomers(t *testing.T) {
+	d, _ := catalogs(t)
+	// Customers counted must have no orders: total counted ≤ customers
+	// without orders.
+	hasOrder := map[int64]bool{}
+	for _, o := range d.Rows(tpch.Orders) {
+		hasOrder[o[tpch.OCustkey].AsInt()] = true
+	}
+	inactive := 0
+	for _, c := range d.Rows(tpch.Customer) {
+		if !hasOrder[c[tpch.CCustkey].AsInt()] {
+			inactive++
+		}
+	}
+	var counted int64
+	for _, r := range Q22(d) {
+		counted += r[1].AsInt()
+	}
+	if counted > int64(inactive) {
+		t.Fatalf("Q22 counted %d, only %d inactive customers exist", counted, inactive)
+	}
+}
+
+func TestYearHelper(t *testing.T) {
+	cases := []struct {
+		y, m, d int
+		want    int64
+	}{
+		{1970, 1, 1, 1970}, {1992, 12, 31, 1992}, {1996, 2, 29, 1996},
+		{1998, 1, 1, 1998}, {2000, 6, 15, 2000},
+	}
+	for _, c := range cases {
+		if got := year(tpch.Date(c.y, c.m, c.d)); got != c.want {
+			t.Errorf("year(%d-%d-%d) = %d", c.y, c.m, c.d, got)
+		}
+	}
+}
+
+func TestQ2MinCostOnly(t *testing.T) {
+	d, _ := catalogs(t)
+	rows := Q2(d)
+	if len(rows) > 100 {
+		t.Fatalf("Q2 rows = %d, limit 100", len(rows))
+	}
+	// Ordered by acctbal desc first.
+	for i := 1; i < len(rows); i++ {
+		if rows[i][0].AsFloat() > rows[i-1][0].AsFloat() {
+			t.Fatal("Q2 not ordered by s_acctbal desc")
+		}
+	}
+}
+
+func TestQ5RevenuePositive(t *testing.T) {
+	d, _ := catalogs(t)
+	for _, r := range Q5(d) {
+		if r[1].AsFloat() <= 0 {
+			t.Fatalf("Q5 non-positive revenue: %v", r)
+		}
+	}
+}
+
+func TestQ7OnlyFranceGermany(t *testing.T) {
+	d, _ := catalogs(t)
+	for _, r := range Q7(d) {
+		s, c := r[0].AsString(), r[1].AsString()
+		if !((s == "FRANCE" && c == "GERMANY") || (s == "GERMANY" && c == "FRANCE")) {
+			t.Fatalf("Q7 pair %s/%s", s, c)
+		}
+		if y := r[2].AsInt(); y != 1995 && y != 1996 {
+			t.Fatalf("Q7 year %d", y)
+		}
+	}
+}
+
+func TestQ8ShareBounds(t *testing.T) {
+	d, _ := catalogs(t)
+	for _, r := range Q8(d) {
+		if s := r[1].AsFloat(); s < 0 || s > 1 {
+			t.Fatalf("Q8 share %v", s)
+		}
+	}
+}
+
+func TestQ10Limit20(t *testing.T) {
+	d, _ := catalogs(t)
+	rows := Q10(d)
+	if len(rows) > 20 {
+		t.Fatalf("Q10 rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i][7].AsFloat() > rows[i-1][7].AsFloat() {
+			t.Fatal("Q10 not ordered by revenue desc")
+		}
+	}
+}
+
+func TestQ11AboveThreshold(t *testing.T) {
+	d, _ := catalogs(t)
+	rows := Q11(d)
+	// Recompute the threshold and confirm all rows exceed it.
+	var total float64
+	germanSupp := map[int64]bool{}
+	for _, n := range d.Rows(tpch.Nation) {
+		if n[tpch.NName].AsString() == "GERMANY" {
+			for _, s := range d.Rows(tpch.Supplier) {
+				if s[tpch.SNationkey].AsInt() == n[tpch.NNationkey].AsInt() {
+					germanSupp[s[tpch.SSuppkey].AsInt()] = true
+				}
+			}
+		}
+	}
+	for _, ps := range d.Rows(tpch.PartSupp) {
+		if germanSupp[ps[tpch.PSSuppkey].AsInt()] {
+			total += ps[tpch.PSSupplycost].AsFloat() * float64(ps[tpch.PSAvailqty].AsInt())
+		}
+	}
+	for _, r := range rows {
+		if r[1].AsFloat() <= total*0.0001 {
+			t.Fatalf("Q11 row below threshold: %v", r)
+		}
+	}
+}
+
+func TestQ12OnlyMailShip(t *testing.T) {
+	d, _ := catalogs(t)
+	rows := Q12(d)
+	if len(rows) > 2 {
+		t.Fatalf("Q12 groups = %d", len(rows))
+	}
+	for _, r := range rows {
+		m := r[0].AsString()
+		if m != "MAIL" && m != "SHIP" {
+			t.Fatalf("Q12 mode %q", m)
+		}
+	}
+}
+
+func TestQ16ExcludesBrand45(t *testing.T) {
+	d, _ := catalogs(t)
+	for _, r := range Q16(d) {
+		if r[0].AsString() == "Brand#45" {
+			t.Fatal("Q16 included Brand#45")
+		}
+		if r[3].AsInt() <= 0 {
+			t.Fatalf("Q16 non-positive supplier count: %v", r)
+		}
+	}
+}
+
+func TestQ21OrderedAndBounded(t *testing.T) {
+	d, _ := catalogs(t)
+	rows := Q21(d)
+	if len(rows) > 100 {
+		t.Fatalf("Q21 rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i][1].AsInt() > rows[i-1][1].AsInt() {
+			t.Fatal("Q21 not ordered by numwait desc")
+		}
+	}
+}

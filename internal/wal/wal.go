@@ -1,0 +1,203 @@
+// Package wal implements a minimal write-ahead log giving the universal
+// table crash-safe durability. Each mutating operation (insert, update,
+// delete) is appended as one checksummed record; recovery replays the
+// log through the partitioner, which is deterministic, so the partition
+// layout after recovery matches the layout before the crash.
+//
+// Record layout (little endian):
+//
+//	crc32(payload) uint32 | payloadLen uint32 | payload
+//	payload: kind byte | id uvarint | data …
+//
+// A torn tail (partial final record after a crash) is detected by length
+// or checksum mismatch and discarded; everything before it is replayed.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Kind tags an operation in the log.
+type Kind byte
+
+// Logged operation kinds.
+const (
+	// KindInsert carries the record bytes of a new entity.
+	KindInsert Kind = 1
+	// KindUpdate carries the replacement record bytes for an entity.
+	KindUpdate Kind = 2
+	// KindDelete carries no data.
+	KindDelete Kind = 3
+	// KindAttr registers an attribute name (Data) under a dense id (ID),
+	// making the log self-describing for dictionary-encoded records.
+	KindAttr Kind = 4
+	// KindCompact records a partition compaction; ID carries the float64
+	// bits of the fill threshold. Compaction is deterministic, so replay
+	// reproduces the merged partitioning.
+	KindCompact Kind = 5
+)
+
+// Op is one logged operation.
+type Op struct {
+	Kind Kind
+	ID   uint64
+	Data []byte
+}
+
+// ErrCorrupt is returned by Reader.Next for a record that fails its
+// checksum mid-log (not at the tail, which is silently truncated).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Writer appends operations to a log file.
+type Writer struct {
+	f   *os.File
+	buf *bufio.Writer
+	scr []byte
+}
+
+// Create opens path for appending (creating it if missing).
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{f: f, buf: bufio.NewWriter(f)}, nil
+}
+
+// Append writes one operation to the log buffer. Call Sync to make it
+// durable.
+func (w *Writer) Append(op Op) error {
+	payload := w.scr[:0]
+	payload = append(payload, byte(op.Kind))
+	payload = binary.AppendUvarint(payload, op.ID)
+	payload = append(payload, op.Data...)
+	w.scr = payload
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	if _, err := w.buf.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.buf.Write(payload)
+	return err
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (w *Writer) Sync() error {
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close flushes, syncs, and closes the log.
+func (w *Writer) Close() error {
+	if err := w.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Reader iterates a log file from the start.
+type Reader struct {
+	r    *bufio.Reader
+	c    io.Closer
+	done bool
+}
+
+// Open opens path for replay. A missing file yields an empty reader.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &Reader{done: true}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{r: bufio.NewReader(f), c: f}, nil
+}
+
+// Next returns the next operation, io.EOF at a clean end (including a
+// truncated tail, which is treated as the end of the durable prefix), or
+// ErrCorrupt for a checksum failure that is followed by more data.
+func (r *Reader) Next() (Op, error) {
+	if r.done {
+		return Op{}, io.EOF
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		r.done = true
+		return Op{}, io.EOF // clean end or torn header: durable prefix ends here
+	}
+	crc := binary.LittleEndian.Uint32(hdr[0:4])
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > 1<<30 {
+		r.done = true
+		return Op{}, io.EOF // implausible length: torn tail
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		r.done = true
+		return Op{}, io.EOF // torn payload
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		// Distinguish a torn tail (nothing follows) from mid-log rot.
+		if _, err := r.r.Peek(1); err != nil {
+			r.done = true
+			return Op{}, io.EOF
+		}
+		r.done = true
+		return Op{}, ErrCorrupt
+	}
+	if len(payload) < 2 {
+		r.done = true
+		return Op{}, fmt.Errorf("wal: short payload")
+	}
+	kind := Kind(payload[0])
+	id, k := binary.Uvarint(payload[1:])
+	if k <= 0 {
+		r.done = true
+		return Op{}, fmt.Errorf("wal: corrupt id")
+	}
+	data := payload[1+k:]
+	return Op{Kind: kind, ID: id, Data: data}, nil
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error {
+	if r.c != nil {
+		return r.c.Close()
+	}
+	return nil
+}
+
+// Rewrite atomically replaces the log at path with exactly ops (used by
+// checkpointing: the live data set re-expressed as inserts). It writes
+// to a temp file, syncs, and renames over the original.
+func Rewrite(path string, ops []Op) error {
+	tmp := path + ".tmp"
+	w, err := Create(tmp)
+	if err != nil {
+		return err
+	}
+	for _, op := range ops {
+		if err := w.Append(op); err != nil {
+			w.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

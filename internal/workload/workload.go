@@ -1,0 +1,159 @@
+// Package workload generates the paper's synthetic query workload
+// (Section V-B): one query per individual attribute, plus pairs and
+// triples combined from the 20 most frequent attributes. Every query has
+// the form
+//
+//	SELECT a1, a2, … FROM universalTable
+//	WHERE a1 IS NOT NULL OR a2 IS NOT NULL …
+//
+// so an entity is relevant iff it instantiates at least one queried
+// attribute, and a query's synopsis is simply its attribute set. The
+// package also measures query selectivity against a data set and picks
+// representative queries per selectivity bucket, as the paper does
+// ("three representative queries for each selectivity").
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"cinderella/internal/synopsis"
+)
+
+// Query is one attribute-set query.
+type Query struct {
+	Attrs *synopsis.Set
+	// Selectivity is the fraction of entities relevant to the query,
+	// filled by Measure.
+	Selectivity float64
+}
+
+// String renders the query's attribute set.
+func (q Query) String() string {
+	return fmt.Sprintf("q%v sel=%.3f", q.Attrs, q.Selectivity)
+}
+
+// Generate builds the full query set for the given entity synopses:
+// singletons over every occurring attribute, pairs and triples over the
+// topK most frequent attributes (the paper uses topK = 20).
+func Generate(entities []*synopsis.Set, topK int) []Query {
+	freq := map[int]int{}
+	for _, e := range entities {
+		for _, a := range e.Elements(nil) {
+			freq[a]++
+		}
+	}
+	attrs := make([]int, 0, len(freq))
+	for a := range freq {
+		attrs = append(attrs, a)
+	}
+	// Sort by descending frequency, ties by id for determinism.
+	sort.Slice(attrs, func(i, j int) bool {
+		if freq[attrs[i]] != freq[attrs[j]] {
+			return freq[attrs[i]] > freq[attrs[j]]
+		}
+		return attrs[i] < attrs[j]
+	})
+
+	var queries []Query
+	// Singletons: every attribute.
+	for _, a := range attrs {
+		queries = append(queries, Query{Attrs: synopsis.Of(a)})
+	}
+	// Pairs and triples of the topK.
+	k := topK
+	if k > len(attrs) {
+		k = len(attrs)
+	}
+	top := attrs[:k]
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			queries = append(queries, Query{Attrs: synopsis.Of(top[i], top[j])})
+		}
+	}
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			for l := j + 1; l < len(top); l++ {
+				queries = append(queries, Query{Attrs: synopsis.Of(top[i], top[j], top[l])})
+			}
+		}
+	}
+	return queries
+}
+
+// Measure fills Selectivity for every query: the fraction of entities
+// with at least one queried attribute.
+func Measure(queries []Query, entities []*synopsis.Set) {
+	if len(entities) == 0 {
+		return
+	}
+	for i := range queries {
+		hits := 0
+		for _, e := range entities {
+			if synopsis.Intersects(e, queries[i].Attrs) {
+				hits++
+			}
+		}
+		queries[i].Selectivity = float64(hits) / float64(len(entities))
+	}
+}
+
+// Representatives buckets the measured queries by selectivity and returns
+// up to perBucket queries per bucket, covering the full selectivity
+// range. Buckets are [i/n, (i+1)/n) over [0,1]. Queries inside a bucket
+// are chosen deterministically (spread across the bucket).
+func Representatives(queries []Query, buckets, perBucket int) []Query {
+	if buckets <= 0 || perBucket <= 0 {
+		return nil
+	}
+	byBucket := make([][]Query, buckets)
+	for _, q := range queries {
+		b := int(q.Selectivity * float64(buckets))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		byBucket[b] = append(byBucket[b], q)
+	}
+	var out []Query
+	for _, qs := range byBucket {
+		if len(qs) == 0 {
+			continue
+		}
+		sort.Slice(qs, func(i, j int) bool {
+			if qs[i].Selectivity != qs[j].Selectivity {
+				return qs[i].Selectivity < qs[j].Selectivity
+			}
+			return qs[i].Attrs.String() < qs[j].Attrs.String()
+		})
+		if len(qs) <= perBucket {
+			out = append(out, qs...)
+			continue
+		}
+		step := float64(len(qs)-1) / float64(perBucket-1)
+		if perBucket == 1 {
+			out = append(out, qs[len(qs)/2])
+			continue
+		}
+		prev := -1
+		for i := 0; i < perBucket; i++ {
+			idx := int(float64(i) * step)
+			if idx == prev {
+				continue
+			}
+			prev = idx
+			out = append(out, qs[idx])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Selectivity < out[j].Selectivity })
+	return out
+}
+
+// Synopses extracts the attribute sets of a query list, the form the
+// efficiency metric and workload-based partitioning consume.
+func Synopses(queries []Query) []*synopsis.Set {
+	out := make([]*synopsis.Set, len(queries))
+	for i, q := range queries {
+		out[i] = q.Attrs
+	}
+	return out
+}

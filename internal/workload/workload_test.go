@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"testing"
+
+	"cinderella/internal/synopsis"
+)
+
+func testEntities() []*synopsis.Set {
+	// Attribute 0 on all, 1 on half, 2 on one, 3 never queried directly.
+	return []*synopsis.Set{
+		synopsis.Of(0, 1),
+		synopsis.Of(0, 1),
+		synopsis.Of(0, 2),
+		synopsis.Of(0),
+	}
+}
+
+func TestGenerateSingletonsAndCombos(t *testing.T) {
+	qs := Generate(testEntities(), 3)
+	// 3 occurring attributes -> 3 singletons; top-3 -> C(3,2)=3 pairs,
+	// C(3,3)=1 triple.
+	if len(qs) != 3+3+1 {
+		t.Fatalf("queries = %d, want 7", len(qs))
+	}
+	sizes := map[int]int{}
+	for _, q := range qs {
+		sizes[q.Attrs.Len()]++
+	}
+	if sizes[1] != 3 || sizes[2] != 3 || sizes[3] != 1 {
+		t.Fatalf("query sizes = %v", sizes)
+	}
+}
+
+func TestGenerateTopKLimited(t *testing.T) {
+	qs := Generate(testEntities(), 2)
+	// 3 singletons + 1 pair + 0 triples.
+	if len(qs) != 4 {
+		t.Fatalf("queries = %d, want 4", len(qs))
+	}
+}
+
+func TestGenerateTopKOrderByFrequency(t *testing.T) {
+	qs := Generate(testEntities(), 2)
+	// The single pair must combine the two most frequent attributes 0,1.
+	var pair *Query
+	for i := range qs {
+		if qs[i].Attrs.Len() == 2 {
+			pair = &qs[i]
+		}
+	}
+	if pair == nil || !pair.Attrs.Equal(synopsis.Of(0, 1)) {
+		t.Fatalf("pair = %v, want {0, 1}", pair)
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	if qs := Generate(nil, 20); len(qs) != 0 {
+		t.Fatalf("queries from empty data = %d", len(qs))
+	}
+}
+
+func TestMeasureSelectivity(t *testing.T) {
+	es := testEntities()
+	qs := Generate(es, 3)
+	Measure(qs, es)
+	bySyn := map[string]float64{}
+	for _, q := range qs {
+		bySyn[q.Attrs.String()] = q.Selectivity
+	}
+	if bySyn["{0}"] != 1.0 {
+		t.Errorf("sel({0}) = %v, want 1", bySyn["{0}"])
+	}
+	if bySyn["{1}"] != 0.5 {
+		t.Errorf("sel({1}) = %v, want 0.5", bySyn["{1}"])
+	}
+	if bySyn["{2}"] != 0.25 {
+		t.Errorf("sel({2}) = %v, want 0.25", bySyn["{2}"])
+	}
+	// OR semantics: {1,2} matches 3 of 4.
+	if bySyn["{1, 2}"] != 0.75 {
+		t.Errorf("sel({1,2}) = %v, want 0.75", bySyn["{1, 2}"])
+	}
+}
+
+func TestMeasureEmptyEntities(t *testing.T) {
+	qs := []Query{{Attrs: synopsis.Of(1)}}
+	Measure(qs, nil) // must not divide by zero
+	if qs[0].Selectivity != 0 {
+		t.Fatalf("selectivity = %v", qs[0].Selectivity)
+	}
+}
+
+func TestRepresentativesCoverage(t *testing.T) {
+	// Synthetic measured queries spread over [0,1].
+	var qs []Query
+	for i := 0; i < 100; i++ {
+		qs = append(qs, Query{Attrs: synopsis.Of(i), Selectivity: float64(i) / 100})
+	}
+	reps := Representatives(qs, 10, 3)
+	if len(reps) != 30 {
+		t.Fatalf("representatives = %d, want 30", len(reps))
+	}
+	// Sorted by selectivity and covering the range.
+	for i := 1; i < len(reps); i++ {
+		if reps[i].Selectivity < reps[i-1].Selectivity {
+			t.Fatal("representatives not sorted")
+		}
+	}
+	if reps[0].Selectivity > 0.1 || reps[len(reps)-1].Selectivity < 0.9 {
+		t.Fatalf("range not covered: %v .. %v", reps[0].Selectivity, reps[len(reps)-1].Selectivity)
+	}
+}
+
+func TestRepresentativesSparseBuckets(t *testing.T) {
+	qs := []Query{
+		{Attrs: synopsis.Of(1), Selectivity: 0.05},
+		{Attrs: synopsis.Of(2), Selectivity: 0.95},
+	}
+	reps := Representatives(qs, 10, 3)
+	if len(reps) != 2 {
+		t.Fatalf("representatives = %d, want 2", len(reps))
+	}
+	if reps := Representatives(qs, 0, 3); reps != nil {
+		t.Fatal("bad bucket count accepted")
+	}
+	if reps := Representatives(qs, 10, 1); len(reps) != 2 {
+		t.Fatalf("perBucket=1: %d", len(reps))
+	}
+}
+
+func TestRepresentativesDeterministic(t *testing.T) {
+	es := testEntities()
+	qs1 := Generate(es, 3)
+	Measure(qs1, es)
+	qs2 := Generate(es, 3)
+	Measure(qs2, es)
+	r1 := Representatives(qs1, 5, 2)
+	r2 := Representatives(qs2, 5, 2)
+	if len(r1) != len(r2) {
+		t.Fatal("nondeterministic representative count")
+	}
+	for i := range r1 {
+		if !r1[i].Attrs.Equal(r2[i].Attrs) {
+			t.Fatal("nondeterministic representatives")
+		}
+	}
+}
+
+func TestSynopses(t *testing.T) {
+	qs := []Query{{Attrs: synopsis.Of(1, 2)}, {Attrs: synopsis.Of(3)}}
+	ss := Synopses(qs)
+	if len(ss) != 2 || !ss[0].Equal(synopsis.Of(1, 2)) {
+		t.Fatalf("synopses = %v", ss)
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := Query{Attrs: synopsis.Of(1), Selectivity: 0.25}
+	if q.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,75 @@
+package cinderella
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Vacuum rewrites all partition storage without tombstones, reclaiming
+// the space left behind by deletes and updates. It returns the number of
+// pages released.
+func (t *Table) Vacuum() int { return t.inner.Vacuum() }
+
+// ImportJSONL reads newline-delimited JSON objects and inserts each as a
+// document. JSON numbers become float64 attributes, strings stay
+// strings, booleans become int 0/1, and null values are skipped; nested
+// objects or arrays are rejected (universal tables are flat). It returns
+// the ids of the inserted documents; on error, documents inserted so far
+// remain in the table.
+func (t *Table) ImportJSONL(r io.Reader) ([]ID, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var ids []ID
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(raw, &obj); err != nil {
+			return ids, fmt.Errorf("cinderella: line %d: %w", line, err)
+		}
+		doc := make(Doc, len(obj))
+		for k, v := range obj {
+			switch x := v.(type) {
+			case nil:
+				// skip
+			case float64:
+				doc[k] = x
+			case string:
+				doc[k] = x
+			case bool:
+				if x {
+					doc[k] = 1
+				} else {
+					doc[k] = 0
+				}
+			default:
+				return ids, fmt.Errorf("cinderella: line %d: attribute %q has non-scalar value", line, k)
+			}
+		}
+		ids = append(ids, t.Insert(doc))
+	}
+	return ids, sc.Err()
+}
+
+// ExportJSONL writes every live document as one JSON object per line,
+// ordered by id. Round trip: ExportJSONL followed by ImportJSONL yields
+// the same documents (ints become JSON numbers and re-import as floats).
+func (t *Table) ExportJSONL(w io.Writer) error {
+	results := t.inner.ScanAll()
+	sort.Slice(results, func(i, j int) bool { return results[i].ID < results[j].ID })
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range results {
+		if err := enc.Encode(t.toDoc(r.Entity)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

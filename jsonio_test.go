@@ -1,0 +1,106 @@
+package cinderella
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestImportJSONL(t *testing.T) {
+	tbl := Open(Config{})
+	in := strings.Join([]string{
+		`{"name":"camera","aperture":2.0,"wifi":true}`,
+		``,
+		`{"name":"disk","rotation":7200,"note":null}`,
+	}, "\n")
+	ids, err := tbl.ImportJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || tbl.Len() != 2 {
+		t.Fatalf("imported %d docs", len(ids))
+	}
+	doc, _ := tbl.Get(ids[0])
+	if doc["aperture"] != 2.0 || doc["wifi"] != int64(1) {
+		t.Fatalf("doc = %v", doc)
+	}
+	if _, has := doc["note"]; has {
+		t.Fatal("null attribute imported")
+	}
+	if res := tbl.Query("rotation"); len(res) != 1 {
+		t.Fatalf("Query = %d", len(res))
+	}
+}
+
+func TestImportJSONLErrors(t *testing.T) {
+	tbl := Open(Config{})
+	if _, err := tbl.ImportJSONL(strings.NewReader(`{"a": 1}` + "\nnot json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	// Documents before the error remain.
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if _, err := tbl.ImportJSONL(strings.NewReader(`{"a": [1,2]}`)); err == nil {
+		t.Fatal("nested value accepted")
+	}
+	if _, err := tbl.ImportJSONL(strings.NewReader(`{"a": {"b":1}}`)); err == nil {
+		t.Fatal("object value accepted")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tbl := Open(Config{PartitionSizeLimit: 10})
+	for i := 0; i < 50; i++ {
+		tbl.Insert(Doc{"n": float64(i), "tag": "x"})
+	}
+	var buf bytes.Buffer
+	if err := tbl.ExportJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 50 {
+		t.Fatalf("exported %d lines", got)
+	}
+	tbl2 := Open(Config{})
+	ids, err := tbl2.ImportJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 50 {
+		t.Fatalf("reimported %d", len(ids))
+	}
+	if res := tbl2.Query("tag"); len(res) != 50 {
+		t.Fatalf("Query = %d", len(res))
+	}
+	// Values survive.
+	var sum float64
+	for _, r := range tbl2.Query("n") {
+		sum += r.Doc["n"].(float64)
+	}
+	if sum != 49*50/2 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestVacuumFacade(t *testing.T) {
+	tbl := Open(Config{})
+	var ids []ID
+	for i := 0; i < 3000; i++ {
+		ids = append(ids, tbl.Insert(Doc{"a": i, "pad": "xxxxxxxxxxxxxxxxxxxxxxxx"}))
+	}
+	for i, id := range ids {
+		if i%4 != 0 {
+			tbl.Delete(id)
+		}
+	}
+	if released := tbl.Vacuum(); released <= 0 {
+		t.Fatalf("released = %d", released)
+	}
+	if got := len(tbl.Query("a")); got != 750 {
+		t.Fatalf("Query after vacuum = %d", got)
+	}
+	got, ok := tbl.Get(ids[0])
+	if !ok || got["a"] != int64(0) {
+		t.Fatalf("doc after vacuum = %v, %v", got, ok)
+	}
+}
