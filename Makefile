@@ -1,0 +1,27 @@
+# Tier-1 verification and hot-path bench harness.
+
+GO ?= go
+
+.PHONY: verify build vet test race bench-hotpath
+
+# verify is the tier-1 gate: build everything, vet, full test suite under
+# the race detector.
+verify:
+	./scripts/verify.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-hotpath regenerates the hot-path baseline the repo tracks in
+# BENCH_hotpath.json (see cmd/cinderella-bench -exp hotpath).
+bench-hotpath:
+	$(GO) run ./cmd/cinderella-bench -exp hotpath -entities 50000 -json BENCH_hotpath.json

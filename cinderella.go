@@ -89,6 +89,10 @@ type Config struct {
 	// simulated LRU buffer cache of that many pages; CacheStats reports
 	// hit ratios. Zero disables the cache.
 	CachePages int
+	// Parallelism bounds the worker pool that scans non-pruned partitions
+	// in Query/QueryWhere. 0 (default) uses GOMAXPROCS; 1 scans serially.
+	// Results and reports are identical either way.
+	Parallelism int
 }
 
 // Table is a partitioned universal table. It is safe for concurrent use.
@@ -136,7 +140,7 @@ func Open(cfg Config) *Table {
 	}
 
 	dict := entity.NewDictionary()
-	tcfg := table.Config{Partitioner: assigner, Dict: dict}
+	tcfg := table.Config{Partitioner: assigner, Dict: dict, Parallelism: cfg.Parallelism}
 	var cache *storage.BufferCache
 	if cfg.CachePages > 0 {
 		cache = storage.NewBufferCache(cfg.CachePages)

@@ -4,14 +4,20 @@
 //
 // Usage:
 //
-//	cinderella-bench [-exp all|fig4|fig5|fig6|fig7|fig8|tab1|efficiency]
-//	                 [-entities N] [-sf F] [-seed S]
+//	cinderella-bench [-exp all|fig4|fig5|fig6|fig7|fig8|tab1|efficiency|hotpath]
+//	                 [-entities N] [-sf F] [-seed S] [-json FILE]
 //
 // The defaults reproduce the paper's scale (100 000 DBpedia-like
 // entities); use -entities to run faster at smaller scale.
+//
+// The hotpath experiment benchmarks the fused rating kernel, the insert
+// path, and the serial-vs-parallel query scan; -json writes its result as
+// a machine-readable baseline (the repo tracks one in BENCH_hotpath.json)
+// so successive PRs can compare trajectories.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,10 +27,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath")
 	entities := flag.Int("entities", 100000, "DBpedia-like entity count")
 	sf := flag.Float64("sf", 0.02, "TPC-H-style scale factor for tab1")
 	seed := flag.Int64("seed", 1, "PRNG seed")
+	jsonPath := flag.String("json", "", "write the hotpath baseline as JSON to this file")
 	flag.Parse()
 
 	o := experiments.Options{Entities: *entities, Seed: *seed, TPCHSF: *sf}
@@ -70,6 +77,24 @@ func main() {
 	}
 	if want("cache") {
 		run("cache", func() { experiments.CacheLocality(o).Print(os.Stdout) })
+	}
+	if want("hotpath") {
+		run("hotpath", func() {
+			r := experiments.Hotpath(o)
+			r.Print(os.Stdout)
+			if *jsonPath != "" {
+				b, err := json.MarshalIndent(r, "", "  ")
+				if err != nil {
+					panic(err)
+				}
+				b = append(b, '\n')
+				if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", *jsonPath)
+			}
+		})
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

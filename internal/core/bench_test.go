@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cinderella/internal/synopsis"
+)
+
+// benchEntities builds n entities with DBpedia-like synopses: a handful of
+// common attributes plus a sample from a class-specific block, over a
+// universe of 1024 attribute ids.
+func benchEntities(n int, seed int64) []Entity {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Entity, n)
+	for i := range out {
+		s := synopsis.New(1024)
+		s.Add(0)
+		s.Add(1)
+		class := rng.Intn(8)
+		base := 8 + class*120
+		for j := 0; j < 12; j++ {
+			s.Add(base + rng.Intn(120))
+		}
+		out[i] = Entity{ID: EntityID(i + 1), Syn: s}
+	}
+	return out
+}
+
+func benchCatalog(b *testing.B, useIndex bool) (*Cinderella, []Entity) {
+	b.Helper()
+	c := NewCinderella(Config{Weight: 0.5, MaxSize: 100, UseCatalogIndex: useIndex})
+	for _, e := range benchEntities(5000, 1) {
+		c.Insert(e)
+	}
+	probes := benchEntities(256, 2)
+	return c, probes
+}
+
+// BenchmarkFindBest measures the steady-state insert-path scan: rating one
+// incoming entity against the catalog. The regression target is 0
+// allocs/op — the scan reuses the incrementally maintained ordered
+// catalog, the epoch-stamped visited buffer, and the elements scratch
+// instead of allocating per call.
+func BenchmarkFindBest(b *testing.B) {
+	run := func(b *testing.B, useIndex bool) {
+		c, probes := benchCatalog(b, useIndex)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := &probes[i%len(probes)]
+			best, _ := c.findBest(p, nil)
+			if best == nil {
+				b.Fatal("findBest found no partition")
+			}
+		}
+	}
+	b.Run("scan", func(b *testing.B) { run(b, false) })
+	b.Run("catalog-index", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkInsert covers the full insert path (placement + synopsis
+// maintenance + occasional splits), the end-to-end cost the paper's
+// Figure 7 tracks.
+func BenchmarkInsert(b *testing.B) {
+	run := func(b *testing.B, useIndex bool) {
+		ents := benchEntities(b.N, 3)
+		c := NewCinderella(Config{Weight: 0.5, MaxSize: 100, UseCatalogIndex: useIndex})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Insert(ents[i])
+		}
+	}
+	b.Run("scan", func(b *testing.B) { run(b, false) })
+	b.Run("catalog-index", func(b *testing.B) { run(b, true) })
+}

@@ -19,9 +19,23 @@ type Cinderella struct {
 	moved  MoveListener
 	rng    *rand.Rand
 
+	// ordered is the catalog in ascending partition-id order, maintained
+	// incrementally: ids are monotonic so creation appends, and drops
+	// splice by binary search. Catalog scans read it directly instead of
+	// re-sorting the map on every insert.
+	ordered []*partition
+
 	// attrIndex maps attribute id -> partitions whose synopsis contains it
-	// (only when cfg.UseCatalogIndex).
-	attrIndex map[int]map[PartitionID]struct{}
+	// (only when cfg.UseCatalogIndex). The partition pointer rides along so
+	// candidate rating needs no parts-map lookup.
+	attrIndex map[int]map[PartitionID]*partition
+
+	// Insert-path scratch, reused across operations so the steady-state
+	// findBest allocates nothing: visited de-duplicates index candidates by
+	// epoch stamp (bumped per scan) and elemScratch backs Syn.Elements.
+	visited     map[PartitionID]uint64
+	visitEpoch  uint64
+	elemScratch []int
 
 	stats OpStats
 }
@@ -59,7 +73,8 @@ func NewCinderella(cfg Config) *Cinderella {
 		rng:   rand.New(rand.NewSource(seed)),
 	}
 	if cfg.UseCatalogIndex {
-		c.attrIndex = make(map[int]map[PartitionID]struct{})
+		c.attrIndex = make(map[int]map[PartitionID]*partition)
+		c.visited = make(map[PartitionID]uint64)
 	}
 	return c
 }
@@ -84,11 +99,10 @@ func (c *Cinderella) Locate(id EntityID) (PartitionID, bool) {
 
 // Partitions snapshots all partition descriptors, ordered by id.
 func (c *Cinderella) Partitions() []PartitionInfo {
-	out := make([]PartitionInfo, 0, len(c.parts))
-	for _, p := range c.parts {
+	out := make([]PartitionInfo, 0, len(c.ordered))
+	for _, p := range c.ordered {
 		out = append(out, p.info())
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -179,40 +193,36 @@ func (c *Cinderella) findBest(ent *Entity, restrict []*partition) (*partition, f
 		// exists or all rate negative, a new partition is opened, which is
 		// exactly what a full scan would conclude (any disjoint partition
 		// also rates negative).
-		seen := make(map[PartitionID]struct{})
-		for _, a := range ent.Syn.Elements(nil) {
-			for pid := range c.attrIndex[a] {
-				if _, dup := seen[pid]; dup {
+		//
+		// Candidates are de-duplicated with the epoch-stamped visited
+		// buffer (reused across inserts) instead of a fresh map, and the
+		// index hands back the *partition directly — the steady-state scan
+		// allocates nothing.
+		c.visitEpoch++
+		epoch := c.visitEpoch
+		c.elemScratch = ent.Syn.Elements(c.elemScratch[:0])
+		for _, a := range c.elemScratch {
+			for pid, p := range c.attrIndex[a] {
+				if c.visited[pid] == epoch {
 					continue
 				}
-				seen[pid] = struct{}{}
-				consider(c.parts[pid])
+				c.visited[pid] = epoch
+				consider(p)
 			}
 		}
 		if best == nil && c.cfg.Weight == 1 {
 			// w=1 ignores negative evidence; disjoint partitions rate 0 and
 			// are admissible. Fall back to a full scan for correctness.
-			for _, p := range c.sortedParts() {
+			for _, p := range c.ordered {
 				consider(p)
 			}
 		}
 	default:
-		for _, p := range c.sortedParts() {
+		for _, p := range c.ordered {
 			consider(p)
 		}
 	}
 	return best, bestRating
-}
-
-// sortedParts returns partitions ordered by id so that catalog scans are
-// deterministic (map iteration order is randomized in Go).
-func (c *Cinderella) sortedParts() []*partition {
-	out := make([]*partition, 0, len(c.parts))
-	for _, p := range c.parts {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
 }
 
 // split reorganizes full partition p around its split starters and places
@@ -424,6 +434,9 @@ func (c *Cinderella) newPartition() *partition {
 	c.stats.NewPartitions++
 	p := newPartition(c.nextID)
 	c.parts[p.id] = p
+	// Ids are monotonically increasing, so appending keeps the catalog
+	// slice id-sorted without re-sorting.
+	c.ordered = append(c.ordered, p)
 	return p
 }
 
@@ -433,6 +446,12 @@ func (c *Cinderella) dropPartition(p *partition) {
 	}
 	c.stats.DropPartitions++
 	delete(c.parts, p.id)
+	if i := sort.Search(len(c.ordered), func(i int) bool { return c.ordered[i].id >= p.id }); i < len(c.ordered) && c.ordered[i].id == p.id {
+		c.ordered = append(c.ordered[:i], c.ordered[i+1:]...)
+	}
+	if c.visited != nil {
+		delete(c.visited, p.id)
+	}
 	c.indexRemoveAll(p)
 	c.notify(Placement{Entity: 0, From: p.id, To: NoPartition})
 }
@@ -451,14 +470,14 @@ func (c *Cinderella) indexAdd(p *partition, syn *synopsis.Set) {
 	if c.attrIndex == nil {
 		return
 	}
-	for _, a := range syn.Elements(nil) {
+	syn.ForEach(func(a int) {
 		m := c.attrIndex[a]
 		if m == nil {
-			m = make(map[PartitionID]struct{})
+			m = make(map[PartitionID]*partition)
 			c.attrIndex[a] = m
 		}
-		m[p.id] = struct{}{}
-	}
+		m[p.id] = p
+	})
 }
 
 // indexRebuild re-derives index membership for p after attribute refcounts

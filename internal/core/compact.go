@@ -74,7 +74,7 @@ func (c *Cinderella) bestMergeTarget(small *partition) *partition {
 	sizeSmall := small.size
 	var best *partition
 	bestRating := math.Inf(-1)
-	for _, p := range c.sortedParts() {
+	for _, p := range c.ordered {
 		if p.id == small.id || p.size+sizeSmall > c.cfg.MaxSize {
 			continue
 		}

@@ -36,12 +36,12 @@ func (p *partition) add(e *Entity, size int64) {
 	p.order = append(p.order, e.ID)
 	p.size += size
 	p.bytes += e.Size
-	for _, a := range e.Syn.Elements(nil) {
+	e.Syn.ForEach(func(a int) {
 		if p.refs[a] == 0 {
 			p.syn.Add(a)
 		}
 		p.refs[a]++
-	}
+	})
 }
 
 // remove unregisters the member with the given id and returns it.
@@ -53,13 +53,13 @@ func (p *partition) remove(id EntityID, size int64) *Entity {
 	delete(p.members, id)
 	p.size -= size
 	p.bytes -= e.Size
-	for _, a := range e.Syn.Elements(nil) {
+	e.Syn.ForEach(func(a int) {
 		p.refs[a]--
 		if p.refs[a] == 0 {
 			delete(p.refs, a)
 			p.syn.Remove(a)
 		}
-	}
+	})
 	if p.starterA == id {
 		p.starterA = 0
 	}

@@ -16,11 +16,14 @@ type Rating struct {
 
 // rate computes the Section IV rating of entity e against partition p.
 // sizeE and sizeP are SIZE(e) and SIZE(p) in the configured units.
+// All four cardinalities come from the fused single-pass kernel: the
+// rating is the insert-path inner loop (it runs once per candidate
+// partition per insert), so one traversal instead of four matters.
 func rate(w float64, e *Entity, pSyn *synopsis.Set, sizeE, sizeP int64) Rating {
-	and := int64(synopsis.AndCard(e.Syn, pSyn))
-	or := int64(synopsis.OrCard(e.Syn, pSyn))
-	missE := int64(synopsis.AndNotCard(pSyn, e.Syn)) // |¬e ∧ p|
-	missP := int64(synopsis.AndNotCard(e.Syn, pSyn)) // |e ∧ ¬p|
+	andC, orC, missEC, missPC := synopsis.RateCards(e.Syn, pSyn)
+	and, or := int64(andC), int64(orC)
+	missE := int64(missEC) // |¬e ∧ p|
+	missP := int64(missPC) // |e ∧ ¬p|
 
 	r := Rating{
 		Homogeneity:     (sizeP + sizeE) * and,

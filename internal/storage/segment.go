@@ -55,8 +55,15 @@ func (s *Stats) addWrite(pages, bytes int64) {
 }
 
 // Segment is a heap file: an append-oriented chain of slotted pages. One
-// segment backs one partition. Segments are not safe for concurrent use;
-// the table layer serializes access.
+// segment backs one partition.
+//
+// Concurrency: mutations (Insert, Delete, Vacuum) require exclusive
+// access, but any number of readers may call Read and Scan concurrently
+// with each other — the page chain and page contents are only read, and
+// the shared mutable state they touch (the Stats counters and the
+// optional BufferCache) is internally synchronized. The table layer
+// relies on this: its parallel query workers scan disjoint segments under
+// a shared read lock that excludes writers.
 type Segment struct {
 	pages   []*Page
 	stats   *Stats

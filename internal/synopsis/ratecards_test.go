@@ -1,0 +1,124 @@
+package synopsis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRateCardsBasic(t *testing.T) {
+	e := Of(0, 1, 2, 3)    // entity attrs
+	p := Of(2, 3, 4, 5, 6) // partition attrs
+	and, or, missE, missP := RateCards(e, p)
+	if and != 2 || or != 7 || missE != 3 || missP != 2 {
+		t.Fatalf("RateCards = (%d,%d,%d,%d), want (2,7,3,2)", and, or, missE, missP)
+	}
+}
+
+func TestRateCardsEmpty(t *testing.T) {
+	and, or, missE, missP := RateCards(Of(), Of())
+	if and != 0 || or != 0 || missE != 0 || missP != 0 {
+		t.Fatalf("RateCards on empty sets = (%d,%d,%d,%d), want zeros", and, or, missE, missP)
+	}
+	and, or, missE, missP = RateCards(Of(), Of(1, 900))
+	if and != 0 || or != 2 || missE != 2 || missP != 0 {
+		t.Fatalf("RateCards(∅,p) = (%d,%d,%d,%d), want (0,2,2,0)", and, or, missE, missP)
+	}
+}
+
+// TestPropRateCardsMatchesFourCalls: the fused kernel agrees with the four
+// separate counting calls on random sets, including sets whose word arrays
+// have different lengths (zero-extension semantics).
+func TestPropRateCardsMatchesFourCalls(t *testing.T) {
+	f := func(as, bs []uint16, widenA, widenB bool) bool {
+		a, b := randomSet(as), randomSet(bs)
+		// Force unequal word-array lengths in both directions so the tail
+		// loops are exercised, not just the common prefix.
+		if widenA {
+			a.Add(2048 + int(len(as)%7)*64)
+		}
+		if widenB {
+			b.Add(4096 + int(len(bs)%5)*64)
+		}
+		and, or, missE, missP := RateCards(a, b)
+		return and == AndCard(a, b) &&
+			or == OrCard(a, b) &&
+			missE == AndNotCard(b, a) &&
+			missP == AndNotCard(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropRateCardsIdentities: internal consistency of the fused result —
+// inclusion/exclusion and the xor decomposition hold.
+func TestPropRateCardsIdentities(t *testing.T) {
+	f := func(as, bs []uint16) bool {
+		a, b := randomSet(as), randomSet(bs)
+		and, or, missE, missP := RateCards(a, b)
+		return or == and+missE+missP &&
+			XorCard(a, b) == missE+missP &&
+			a.Len() == and+missP &&
+			b.Len() == and+missE
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// benchPair builds two ~200-element sets over a 1024 universe, the shape
+// of a DBpedia-like entity/partition synopsis pair.
+func benchPair() (*Set, *Set) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := New(1024), New(1024)
+	for i := 0; i < 200; i++ {
+		x.Add(rng.Intn(1024))
+		y.Add(rng.Intn(1024))
+	}
+	return x, y
+}
+
+var sinkInt int
+
+// BenchmarkRate compares the fused single-pass kernel against the
+// four-call baseline the rating previously performed.
+func BenchmarkRate(b *testing.B) {
+	x, y := benchPair()
+	b.Run("fourcall", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := AndCard(x, y)
+			s += OrCard(x, y)
+			s += AndNotCard(y, x)
+			s += AndNotCard(x, y)
+			sinkInt = s
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			and, or, missE, missP := RateCards(x, y)
+			sinkInt = and + or + missE + missP
+		}
+	})
+}
+
+func TestForEachMatchesElements(t *testing.T) {
+	f := func(as []uint16) bool {
+		a := randomSet(as)
+		var got []int
+		a.ForEach(func(id int) { got = append(got, id) })
+		want := a.Elements(nil)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -227,6 +227,47 @@ func AndNotCard(s, t *Set) int {
 	return c
 }
 
+// RateCards computes, in a single traversal of both word arrays, the four
+// cardinalities the Section IV rating needs for an entity synopsis e
+// against a partition synopsis p:
+//
+//	and   = |e ∧ p|   shared elements
+//	or    = |e ∨ p|   union size
+//	missE = |¬e ∧ p|  elements of p the entity lacks (entity heterogeneity)
+//	missP = |e ∧ ¬p|  elements of e the partition lacks (partition heterogeneity)
+//
+// It is equivalent to AndCard(e,p), OrCard(e,p), AndNotCard(p,e),
+// AndNotCard(e,p) but touches each word pair exactly once, which roughly
+// quarters the memory traffic of the insert-path hot loop.
+func RateCards(e, p *Set) (and, or, missE, missP int) {
+	n := len(e.words)
+	if len(p.words) < n {
+		n = len(p.words)
+	}
+	for i := 0; i < n; i++ {
+		ew, pw := e.words[i], p.words[i]
+		both := bits.OnesCount64(ew & pw)
+		onlyE := bits.OnesCount64(ew &^ pw)
+		onlyP := bits.OnesCount64(pw &^ ew)
+		and += both
+		or += both + onlyE + onlyP
+		missE += onlyP
+		missP += onlyE
+	}
+	// Tail of the longer set: all elements there are exclusive to it.
+	for _, w := range e.words[n:] {
+		c := bits.OnesCount64(w)
+		or += c
+		missP += c
+	}
+	for _, w := range p.words[n:] {
+		c := bits.OnesCount64(w)
+		or += c
+		missE += c
+	}
+	return and, or, missE, missP
+}
+
 // Intersects reports whether |s ∧ t| > 0 without counting. This is the
 // pruning test sgn(|p ∧ q|) from the paper: a partition p survives pruning
 // for query q iff Intersects(p, q).
@@ -246,6 +287,19 @@ func Intersects(s, t *Set) bool {
 // Subset reports whether every element of s is in t.
 func Subset(s, t *Set) bool {
 	return AndNotCard(s, t) == 0
+}
+
+// ForEach calls fn for every id in the set in increasing order. Unlike
+// Elements it never allocates, making it the right choice for hot-path
+// maintenance loops (partition refcounts, inverted index updates).
+func (s *Set) ForEach(fn func(id int)) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(i*wordBits + b)
+			w &^= 1 << uint(b)
+		}
+	}
 }
 
 // Elements appends all ids in the set, in increasing order, to dst and

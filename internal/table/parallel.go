@@ -1,0 +1,116 @@
+package table
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cinderella/internal/core"
+	"cinderella/internal/storage"
+	"cinderella/internal/synopsis"
+)
+
+// Parallel partition scans.
+//
+// Queries that survive pruning scan each remaining partition
+// independently: segments are disjoint, and under the table's read lock
+// no writer can mutate them, so the scans are embarrassingly parallel.
+// runScans fans the per-partition work out over a bounded worker pool.
+// Determinism is preserved by construction — worker i-th unit writes only
+// slot i of a pre-sized result array, and the caller concatenates slots in
+// ascending partition-id order, so the result bytes and every QueryReport
+// counter are identical to a serial scan regardless of scheduling.
+
+// runScans executes scan(i) for every i in [0, n), using up to
+// t.parallelism workers (Config.Parallelism; 1 opts out). scan must write
+// only state owned by its index.
+func (t *Table) runScans(n int, scan func(i int)) {
+	workers := t.parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			scan(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				scan(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// partScan is one partition's private scan buffer: hits in storage order
+// plus the records-visited counter.
+type partScan struct {
+	hits    []Result
+	scanned int
+}
+
+// scanPartition scans one partition's segment, decoding every live record
+// (the union branch for this partition) and filtering by the query
+// synopsis. A nil q keeps every record (full scan).
+func (t *Table) scanPartition(pid core.PartitionID, q *synopsis.Set) partScan {
+	var ps partScan
+	t.segs[pid].Scan(func(rid storage.RecordID, rec []byte) bool {
+		ps.scanned++
+		id, e, err := decodeRecord(rec)
+		if err != nil {
+			panic("table: corrupt record during scan: " + err.Error())
+		}
+		if q == nil || synopsis.Intersects(e.Synopsis(), q) {
+			ps.hits = append(ps.hits, Result{ID: id, Entity: e})
+		}
+		return true
+	})
+	return ps
+}
+
+// scanPartitionWhere scans one partition's segment filtering by value
+// predicates (conjunction).
+func (t *Table) scanPartitionWhere(pid core.PartitionID, preds []Pred) partScan {
+	var ps partScan
+	t.segs[pid].Scan(func(_ storage.RecordID, rec []byte) bool {
+		ps.scanned++
+		id, e, err := decodeRecord(rec)
+		if err != nil {
+			panic("table: corrupt record during scan: " + err.Error())
+		}
+		if entityMatches(e, preds) {
+			ps.hits = append(ps.hits, Result{ID: id, Entity: e})
+		}
+		return true
+	})
+	return ps
+}
+
+// mergeScans concatenates per-partition buffers in slot (= partition-id)
+// order and folds their counters into rep.
+func mergeScans(parts []partScan, rep *QueryReport) []Result {
+	var out []Result
+	total := 0
+	for i := range parts {
+		total += len(parts[i].hits)
+	}
+	if total > 0 {
+		out = make([]Result, 0, total)
+	}
+	for i := range parts {
+		rep.EntitiesScanned += parts[i].scanned
+		rep.EntitiesReturned += len(parts[i].hits)
+		out = append(out, parts[i].hits...)
+	}
+	return out
+}

@@ -1,11 +1,8 @@
 package table
 
 import (
-	"sort"
-
 	"cinderella/internal/core"
 	"cinderella/internal/entity"
-	"cinderella/internal/storage"
 	"cinderella/internal/synopsis"
 )
 
@@ -43,76 +40,49 @@ func (t *Table) SelectSynopsis(q *synopsis.Set) []Result {
 }
 
 // SelectWithReport runs the query and also returns execution counters.
+// Surviving partitions are scanned by the worker pool (see parallel.go);
+// results arrive in ascending partition-id order, identical to a serial
+// scan.
 func (t *Table) SelectWithReport(q *synopsis.Set) ([]Result, QueryReport) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 
 	var rep QueryReport
-	var out []Result
-
-	pids := make([]core.PartitionID, 0, len(t.segs))
-	for pid := range t.segs {
-		pids = append(pids, pid)
-	}
-	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
-
+	pids := t.sortedPIDs()
 	rep.PartitionsTotal = len(pids)
+	survivors := pids[:0]
 	for _, pid := range pids {
 		syn := t.attrSyn[pid]
 		if syn == nil || !synopsis.Intersects(syn, q) {
 			rep.PartitionsPruned++
 			continue
 		}
-		rep.PartitionsTouched++
-		t.scanPartition(pid, q, &out, &rep)
+		survivors = append(survivors, pid)
 	}
+	rep.PartitionsTouched = len(survivors)
 
-	t.queries.Queries++
-	t.queries.PartitionsTouched += int64(rep.PartitionsTouched)
-	t.queries.PartitionsPruned += int64(rep.PartitionsPruned)
-	t.queries.EntitiesReturned += int64(rep.EntitiesReturned)
-	t.queries.EntitiesScanned += int64(rep.EntitiesScanned)
+	parts := make([]partScan, len(survivors))
+	t.runScans(len(survivors), func(i int) {
+		parts[i] = t.scanPartition(survivors[i], q)
+	})
+	out := mergeScans(parts, &rep)
+
+	t.noteQuery(rep)
 	return out, rep
 }
 
-// scanPartition scans one partition's segment, decoding every live record
-// (the union branch for this partition) and filtering by the query.
-func (t *Table) scanPartition(pid core.PartitionID, q *synopsis.Set, out *[]Result, rep *QueryReport) {
-	seg := t.segs[pid]
-	seg.Scan(func(rid storage.RecordID, rec []byte) bool {
-		rep.EntitiesScanned++
-		id, e, err := decodeRecord(rec)
-		if err != nil {
-			panic("table: corrupt record during scan: " + err.Error())
-		}
-		if synopsis.Intersects(e.Synopsis(), q) {
-			rep.EntitiesReturned++
-			*out = append(*out, Result{ID: id, Entity: e})
-		}
-		return true
-	})
-}
-
 // ScanAll returns every live entity (a full table scan over all
-// partitions, no pruning possible).
+// partitions, no pruning possible). Partitions are scanned in parallel
+// like Select; the result order is ascending partition id, then storage
+// order within the partition.
 func (t *Table) ScanAll() []Result {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var out []Result
-	pids := make([]core.PartitionID, 0, len(t.segs))
-	for pid := range t.segs {
-		pids = append(pids, pid)
-	}
-	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
-	for _, pid := range pids {
-		t.segs[pid].Scan(func(rid storage.RecordID, rec []byte) bool {
-			id, e, err := decodeRecord(rec)
-			if err != nil {
-				panic("table: corrupt record during scan: " + err.Error())
-			}
-			out = append(out, Result{ID: id, Entity: e})
-			return true
-		})
-	}
-	return out
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	pids := t.sortedPIDs()
+	parts := make([]partScan, len(pids))
+	t.runScans(len(pids), func(i int) {
+		parts[i] = t.scanPartition(pids[i], nil)
+	})
+	var rep QueryReport
+	return mergeScans(parts, &rep)
 }

@@ -9,6 +9,7 @@ package table
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -68,6 +69,12 @@ type Config struct {
 	// Cache, when non-nil, routes all page accesses through a shared
 	// buffer cache for locality measurements.
 	Cache *storage.BufferCache
+	// Parallelism bounds the worker pool used to scan non-pruned
+	// partitions in Select/SelectWhere. 0 (default) means GOMAXPROCS;
+	// 1 (or negative) opts out and scans serially. Results and
+	// QueryReport counters are identical either way: per-worker buffers
+	// are merged back in partition-id order.
+	Parallelism int
 }
 
 type rowLoc struct {
@@ -77,13 +84,20 @@ type rowLoc struct {
 
 // Table is a universal table over irregularly structured entities,
 // horizontally partitioned by the configured strategy. It is safe for
-// concurrent use.
+// concurrent use: mutations serialize behind the write lock, while
+// read-only queries (Get, Select*, SelectWhere, ScanAll, and the
+// snapshot accessors) share a read lock and run concurrently with each
+// other.
 type Table struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	dict     *entity.Dictionary
 	assigner core.Assigner
 	synizer  Synopsizer
 	stats    *storage.Stats
+
+	// parallelism is the worker bound for partition scans (resolved from
+	// Config.Parallelism; 1 = serial).
+	parallelism int
 
 	cache *storage.BufferCache
 
@@ -107,6 +121,9 @@ type Table struct {
 	pendingAttrs *synopsis.Set
 	pendingDone  bool
 
+	// qmu guards queries: query counters are updated by readers holding
+	// only the shared read lock, so they need their own mutex.
+	qmu     sync.Mutex
 	queries QueryStats
 }
 
@@ -133,18 +150,26 @@ func New(cfg Config) *Table {
 	if cfg.Synopsizer == nil {
 		cfg.Synopsizer = EntityBased{}
 	}
+	par := cfg.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par < 1 {
+		par = 1
+	}
 	t := &Table{
-		dict:      cfg.Dict,
-		assigner:  cfg.Partitioner,
-		synizer:   cfg.Synopsizer,
-		stats:     cfg.Stats,
-		cache:     cfg.Cache,
-		segs:      make(map[core.PartitionID]*storage.Segment),
-		rows:      make(map[core.EntityID]rowLoc),
-		attrRefs:  make(map[core.PartitionID]map[int]int),
-		attrSyn:   make(map[core.PartitionID]*synopsis.Set),
-		entityAtt: make(map[core.EntityID]*synopsis.Set),
-		zones:     make(map[core.PartitionID]map[int]*zoneEntry),
+		dict:        cfg.Dict,
+		assigner:    cfg.Partitioner,
+		synizer:     cfg.Synopsizer,
+		stats:       cfg.Stats,
+		cache:       cfg.Cache,
+		parallelism: par,
+		segs:        make(map[core.PartitionID]*storage.Segment),
+		rows:        make(map[core.EntityID]rowLoc),
+		attrRefs:    make(map[core.PartitionID]map[int]int),
+		attrSyn:     make(map[core.PartitionID]*synopsis.Set),
+		entityAtt:   make(map[core.EntityID]*synopsis.Set),
+		zones:       make(map[core.PartitionID]map[int]*zoneEntry),
 	}
 	t.assigner.SetMoveListener(t.onPlacement)
 	return t
@@ -153,14 +178,37 @@ func New(cfg Config) *Table {
 // Dict returns the table's attribute dictionary.
 func (t *Table) Dict() *entity.Dictionary { return t.dict }
 
+// SetParallelism adjusts the partition-scan worker bound at runtime (see
+// Config.Parallelism). n <= 0 restores the GOMAXPROCS default; 1 scans
+// serially.
+func (t *Table) SetParallelism(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	t.parallelism = n
+}
+
 // Stats returns the I/O counter shared by all segments.
 func (t *Table) Stats() *storage.Stats { return t.stats }
 
 // QueryStats returns a copy of the query counters.
 func (t *Table) QueryStats() QueryStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.qmu.Lock()
+	defer t.qmu.Unlock()
 	return t.queries
+}
+
+// noteQuery folds one query's counters into the table-wide totals.
+func (t *Table) noteQuery(rep QueryReport) {
+	t.qmu.Lock()
+	t.queries.Queries++
+	t.queries.PartitionsTouched += int64(rep.PartitionsTouched)
+	t.queries.PartitionsPruned += int64(rep.PartitionsPruned)
+	t.queries.EntitiesReturned += int64(rep.EntitiesReturned)
+	t.queries.EntitiesScanned += int64(rep.EntitiesScanned)
+	t.qmu.Unlock()
 }
 
 // onPlacement reacts to the partitioner's placement stream: it writes the
@@ -334,13 +382,13 @@ func (t *Table) endOp(id core.EntityID) {
 
 // Get returns a copy of the entity with the given id.
 func (t *Table) Get(id core.EntityID) (*entity.Entity, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	loc, ok := t.rows[id]
 	if !ok {
 		return nil, false
 	}
-	rec, err := t.seg(loc.pid).Read(loc.rid)
+	rec, err := t.segs[loc.pid].Read(loc.rid)
 	if err != nil {
 		return nil, false
 	}
@@ -446,15 +494,15 @@ func (t *Table) Vacuum() int {
 
 // Len returns the number of live entities.
 func (t *Table) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return len(t.rows)
 }
 
 // NumPartitions returns the partition count.
 func (t *Table) NumPartitions() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return len(t.segs)
 }
 
@@ -469,8 +517,8 @@ type PartitionView struct {
 
 // Partitions snapshots the physical partitions ordered by id.
 func (t *Table) Partitions() []PartitionView {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]PartitionView, 0, len(t.segs))
 	for pid, seg := range t.segs {
 		out = append(out, PartitionView{
@@ -488,8 +536,8 @@ func (t *Table) Partitions() []PartitionView {
 // MemberSynopses returns the attribute synopses of all entities in the
 // given partition (for sparseness metrics).
 func (t *Table) MemberSynopses(pid core.PartitionID) []*synopsis.Set {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var out []*synopsis.Set
 	for id, loc := range t.rows {
 		if loc.pid == pid {
@@ -501,8 +549,8 @@ func (t *Table) MemberSynopses(pid core.PartitionID) []*synopsis.Set {
 
 // EntitySynopses returns the attribute synopses of all live entities.
 func (t *Table) EntitySynopses() []*synopsis.Set {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]*synopsis.Set, 0, len(t.rows))
 	for id := range t.rows {
 		out = append(out, t.entityAtt[id])

@@ -234,8 +234,8 @@ func (t *Table) RebuildZoneMaps() {
 // predicate attribute or (b) any predicate cannot overlap the
 // partition's value zone for that attribute.
 func (t *Table) SelectWhere(preds []Pred) ([]Result, QueryReport) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 
 	if len(preds) == 0 {
 		panic("table: SelectWhere needs at least one predicate")
@@ -249,37 +249,26 @@ func (t *Table) SelectWhere(preds []Pred) ([]Result, QueryReport) {
 	}
 
 	var rep QueryReport
-	var out []Result
-	for _, pid := range t.sortedPIDs() {
-		rep.PartitionsTotal++
+	pids := t.sortedPIDs()
+	rep.PartitionsTotal = len(pids)
+	survivors := pids[:0]
+	for _, pid := range pids {
 		syn := t.attrSyn[pid]
-		if syn == nil || !synopsis.Subset(need, syn) {
+		if syn == nil || !synopsis.Subset(need, syn) || !t.zonesOverlap(pid, preds) {
 			rep.PartitionsPruned++
 			continue
 		}
-		if !t.zonesOverlap(pid, preds) {
-			rep.PartitionsPruned++
-			continue
-		}
-		rep.PartitionsTouched++
-		t.segs[pid].Scan(func(_ storage.RecordID, rec []byte) bool {
-			rep.EntitiesScanned++
-			id, e, err := decodeRecord(rec)
-			if err != nil {
-				panic("table: corrupt record during scan: " + err.Error())
-			}
-			if entityMatches(e, preds) {
-				rep.EntitiesReturned++
-				out = append(out, Result{ID: id, Entity: e})
-			}
-			return true
-		})
+		survivors = append(survivors, pid)
 	}
-	t.queries.Queries++
-	t.queries.PartitionsTouched += int64(rep.PartitionsTouched)
-	t.queries.PartitionsPruned += int64(rep.PartitionsPruned)
-	t.queries.EntitiesReturned += int64(rep.EntitiesReturned)
-	t.queries.EntitiesScanned += int64(rep.EntitiesScanned)
+	rep.PartitionsTouched = len(survivors)
+
+	parts := make([]partScan, len(survivors))
+	t.runScans(len(survivors), func(i int) {
+		parts[i] = t.scanPartitionWhere(survivors[i], preds)
+	})
+	out := mergeScans(parts, &rep)
+
+	t.noteQuery(rep)
 	return out, rep
 }
 

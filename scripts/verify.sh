@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build, vet, and the full test suite under the race
+# detector. Run from the repo root (make verify does).
+set -eu
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
