@@ -1,8 +1,9 @@
 # Tier-1 verification and hot-path bench harness.
 
 GO ?= go
+OBS_PORT ?= 8080
 
-.PHONY: verify build vet test race bench-hotpath
+.PHONY: verify build vet test race bench-hotpath bench-obs obs-demo
 
 # verify is the tier-1 gate: build everything, vet, full test suite under
 # the race detector.
@@ -25,3 +26,18 @@ race:
 # BENCH_hotpath.json (see cmd/cinderella-bench -exp hotpath).
 bench-hotpath:
 	$(GO) run ./cmd/cinderella-bench -exp hotpath -entities 50000 -json BENCH_hotpath.json
+
+# bench-obs measures the telemetry layer's overhead (instrumented vs.
+# uninstrumented load + query replay) and regenerates BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/cinderella-bench -exp obs -entities 50000 -json BENCH_obs.json
+
+# obs-demo loads synthetic data with the ops endpoint live, curls
+# /metrics, and exits — the README "Operations" walkthrough.
+obs-demo:
+	$(GO) build -o /tmp/cinderella-load ./cmd/cinderella-load
+	/tmp/cinderella-load -entities 20000 -obs :$(OBS_PORT) -hold & \
+	pid=$$!; \
+	sleep 8; \
+	curl -s localhost:$(OBS_PORT)/metrics | head -40; \
+	kill $$pid

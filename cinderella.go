@@ -29,6 +29,7 @@ import (
 
 	"cinderella/internal/core"
 	"cinderella/internal/entity"
+	"cinderella/internal/obs"
 	"cinderella/internal/storage"
 	"cinderella/internal/synopsis"
 	"cinderella/internal/table"
@@ -93,6 +94,11 @@ type Config struct {
 	// in Query/QueryWhere. 0 (default) uses GOMAXPROCS; 1 scans serially.
 	// Results and reports are identical either way.
 	Parallelism int
+	// Obs, when non-nil, attaches a telemetry registry: operation and
+	// query counters, latency histograms, the streaming EFFICIENCY
+	// estimator, and the partitioner event trace. See internal/obs. A nil
+	// registry costs one pointer check per operation.
+	Obs *obs.Registry
 }
 
 // Table is a partitioned universal table. It is safe for concurrent use.
@@ -100,6 +106,7 @@ type Table struct {
 	inner *table.Table
 	dict  *entity.Dictionary
 	cache *storage.BufferCache
+	obsr  *obs.Registry
 }
 
 // Open creates a new in-memory table from cfg.
@@ -140,7 +147,7 @@ func Open(cfg Config) *Table {
 	}
 
 	dict := entity.NewDictionary()
-	tcfg := table.Config{Partitioner: assigner, Dict: dict, Parallelism: cfg.Parallelism}
+	tcfg := table.Config{Partitioner: assigner, Dict: dict, Parallelism: cfg.Parallelism, Obs: cfg.Obs}
 	var cache *storage.BufferCache
 	if cfg.CachePages > 0 {
 		cache = storage.NewBufferCache(cfg.CachePages)
@@ -157,8 +164,27 @@ func Open(cfg Config) *Table {
 		}
 		tcfg.Synopsizer = table.WorkloadBased{Queries: queries}
 	}
-	return &Table{inner: table.New(tcfg), dict: dict, cache: cache}
+	return &Table{inner: table.New(tcfg), dict: dict, cache: cache, obsr: cfg.Obs}
 }
+
+// SetObserver attaches (or replaces) a telemetry registry after Open —
+// useful to exclude a bulk load from the measured window. Safe with
+// concurrent readers and writers.
+func (t *Table) SetObserver(r *obs.Registry) {
+	t.obsr = r
+	t.inner.SetObserver(r)
+}
+
+// Observer returns the attached telemetry registry (nil if none).
+func (t *Table) Observer() *obs.Registry { return t.obsr }
+
+// NewObserver returns a telemetry registry with default options (256-query
+// efficiency window, 4096-event trace ring), ready to pass as Config.Obs
+// or to SetObserver. The obs package itself is internal, so this is the
+// way to create a registry from outside the module; every method on the
+// returned value (Serve, Mux, Snapshot, Efficiency, TraceDump, ...) is
+// callable through it.
+func NewObserver() *obs.Registry { return obs.New(obs.Options{}) }
 
 // CacheStats returns the buffer cache's cumulative hits and misses; zeros
 // when no cache is configured.

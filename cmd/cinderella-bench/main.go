@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	cinderella-bench [-exp all|fig4|fig5|fig6|fig7|fig8|tab1|efficiency|hotpath]
-//	                 [-entities N] [-sf F] [-seed S] [-json FILE]
+//	cinderella-bench [-exp all|fig4|fig5|fig6|fig7|fig8|tab1|efficiency|hotpath|obs]
+//	                 [-entities N] [-sf F] [-seed S] [-json FILE] [-obs :PORT]
 //
 // The defaults reproduce the paper's scale (100 000 DBpedia-like
 // entities); use -entities to run faster at smaller scale.
@@ -13,7 +13,10 @@
 // The hotpath experiment benchmarks the fused rating kernel, the insert
 // path, and the serial-vs-parallel query scan; -json writes its result as
 // a machine-readable baseline (the repo tracks one in BENCH_hotpath.json)
-// so successive PRs can compare trajectories.
+// so successive PRs can compare trajectories. The obs experiment measures
+// the telemetry layer's overhead (instrumented vs. uninstrumented; the
+// repo tracks BENCH_obs.json). With -obs :PORT the process serves the ops
+// endpoint (/metrics, /debug/vars, /debug/pprof) while experiments run.
 package main
 
 import (
@@ -24,17 +27,45 @@ import (
 	"time"
 
 	"cinderella/internal/experiments"
+	"cinderella/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath, obs")
 	entities := flag.Int("entities", 100000, "DBpedia-like entity count")
 	sf := flag.Float64("sf", 0.02, "TPC-H-style scale factor for tab1")
 	seed := flag.Int64("seed", 1, "PRNG seed")
-	jsonPath := flag.String("json", "", "write the hotpath baseline as JSON to this file")
+	jsonPath := flag.String("json", "", "write the hotpath/obs result as JSON to this file")
+	obsAddr := flag.String("obs", "", "serve the ops endpoint on this address (e.g. :8080) while running")
 	flag.Parse()
 
 	o := experiments.Options{Entities: *entities, Seed: *seed, TPCHSF: *sf}
+	if *obsAddr != "" {
+		reg := obs.New(obs.Options{})
+		o.Obs = reg
+		go func() {
+			if err := reg.Serve(*obsAddr); err != nil {
+				fmt.Fprintf(os.Stderr, "obs endpoint: %v\n", err)
+			}
+		}()
+		fmt.Printf("ops endpoint on %s (/metrics /debug/vars /debug/pprof)\n\n", *obsAddr)
+	}
+
+	writeJSON := func(v any) {
+		if *jsonPath == "" {
+			return
+		}
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 
 	run := func(name string, f func()) {
 		start := time.Now()
@@ -82,18 +113,14 @@ func main() {
 		run("hotpath", func() {
 			r := experiments.Hotpath(o)
 			r.Print(os.Stdout)
-			if *jsonPath != "" {
-				b, err := json.MarshalIndent(r, "", "  ")
-				if err != nil {
-					panic(err)
-				}
-				b = append(b, '\n')
-				if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
-					os.Exit(1)
-				}
-				fmt.Printf("wrote %s\n", *jsonPath)
-			}
+			writeJSON(r)
+		})
+	}
+	if want("obs") {
+		run("obs", func() {
+			r := experiments.ObsOverhead(o)
+			r.Print(os.Stdout)
+			writeJSON(r)
 		})
 	}
 	if !any {

@@ -8,6 +8,14 @@
 //
 //	cinderella-load [-entities N] [-w W] [-b B] [-json FILE]
 //	                [-strategy cinderella|universal|hash|roundrobin|schemaexact]
+//	                [-obs :PORT] [-hold]
+//
+// With -obs the process serves the live ops endpoint (Prometheus
+// /metrics, /debug/vars, /debug/pprof) while loading and probing; -hold
+// keeps it serving after the report so the endpoint can be inspected:
+//
+//	cinderella-load -obs :8080 -hold &
+//	curl localhost:8080/metrics
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"cinderella/internal/datagen"
 	"cinderella/internal/entity"
 	"cinderella/internal/metrics"
+	"cinderella/internal/obs"
 	"cinderella/internal/synopsis"
 	"cinderella/internal/table"
 )
@@ -78,7 +87,21 @@ func main() {
 	strategy := flag.String("strategy", "cinderella", "partitioning strategy")
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	jsonl := flag.String("json", "", "load newline-delimited JSON from this file instead of synthetic data")
+	obsAddr := flag.String("obs", "", "serve the ops endpoint on this address (e.g. :8080)")
+	hold := flag.Bool("hold", false, "with -obs: keep serving after the report until interrupted")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.New(obs.Options{})
+		go func() {
+			if err := reg.Serve(*obsAddr); err != nil {
+				fmt.Fprintf(os.Stderr, "obs endpoint: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("ops endpoint on %s (/metrics /debug/vars /debug/pprof)\n", *obsAddr)
+	}
 
 	var ds *datagen.Dataset
 	if *jsonl != "" {
@@ -115,7 +138,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	tbl := table.New(table.Config{Dict: ds.Dict, Partitioner: assigner})
+	tbl := table.New(table.Config{Dict: ds.Dict, Partitioner: assigner, Obs: reg})
 	start := time.Now()
 	for _, e := range ds.Entities {
 		tbl.Insert(e)
@@ -154,5 +177,18 @@ func main() {
 		fmt.Printf("  %-14s rows=%-6d touched=%-4d pruned=%-4d read=%dKB time=%v\n",
 			name, rep.EntitiesReturned, rep.PartitionsTouched, rep.PartitionsPruned,
 			bytes/1024, d.Round(time.Microsecond))
+	}
+
+	if reg != nil {
+		winEff, winN := reg.WindowEfficiency()
+		fmt.Printf("\ntelemetry: efficiency=%.4f (window %.4f over %d queries) "+
+			"ratings=%d splits=%d partitions=%d trace-events=%d\n",
+			reg.Efficiency(), winEff, winN,
+			reg.Counter(obs.CRatings), reg.Counter(obs.CSplits),
+			reg.Partitions(), reg.TraceSeq())
+		if *hold {
+			fmt.Printf("holding; ops endpoint stays on %s (interrupt to exit)\n", *obsAddr)
+			select {}
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"cinderella/internal/core"
 	"cinderella/internal/entity"
+	"cinderella/internal/obs"
 	"cinderella/internal/wal"
 )
 
@@ -58,8 +59,20 @@ func OpenFile(path string, cfg Config) (*DurableTable, error) {
 	if err != nil {
 		return nil, err
 	}
+	if t.obsr != nil {
+		w.SetObserver(t.obsr)
+	}
 	d.w = w
 	return d, nil
+}
+
+// SetObserver attaches (or replaces) a telemetry registry, covering both
+// the in-memory table and the WAL writer.
+func (d *DurableTable) SetObserver(r *obs.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.Table.SetObserver(r)
+	d.w.SetObserver(r)
 }
 
 // apply executes one replayed operation against the in-memory table.
@@ -208,6 +221,9 @@ func (d *DurableTable) Checkpoint() error {
 	w, err := wal.Create(d.path)
 	if err != nil {
 		return err
+	}
+	if d.obsr != nil {
+		w.SetObserver(d.obsr)
 	}
 	d.w = w
 	d.logged = d.dict.Len()

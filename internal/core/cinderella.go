@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"cinderella/internal/obs"
 	"cinderella/internal/synopsis"
 )
 
@@ -38,6 +39,13 @@ type Cinderella struct {
 	elemScratch []int
 
 	stats OpStats
+
+	// obs, when set, receives live telemetry: counter deltas published
+	// once per public operation (see publish) and structured decision
+	// trace events. Nil means uninstrumented; the hot paths then pay only
+	// nil checks and findBest stays allocation-free either way.
+	obs     *obs.Registry
+	lastPub OpStats
 }
 
 // OpStats counts partitioner events for the experiments (Figure 8 reports
@@ -82,6 +90,44 @@ func NewCinderella(cfg Config) *Cinderella {
 // SetMoveListener registers the placement observer.
 func (c *Cinderella) SetMoveListener(l MoveListener) { c.moved = l }
 
+// SetObserver attaches (or detaches, with nil) a telemetry registry.
+// Counter publication starts from the current stats, so attaching to a
+// live partitioner does not replay history.
+func (c *Cinderella) SetObserver(r *obs.Registry) {
+	c.obs = r
+	c.lastPub = c.stats
+}
+
+// publish pushes the operation-counter deltas accumulated since the last
+// publication into the registry: one batch of atomic adds per public
+// operation instead of one per event, keeping instrumentation off the
+// findBest inner loop.
+func (c *Cinderella) publish() {
+	if c.obs == nil {
+		return
+	}
+	cur, prev := c.stats, c.lastPub
+	c.lastPub = cur
+	c.obs.Add(obs.CInserts, cur.Inserts-prev.Inserts)
+	c.obs.Add(obs.CDeletes, cur.Deletes-prev.Deletes)
+	c.obs.Add(obs.CUpdates, cur.Updates-prev.Updates)
+	c.obs.Add(obs.CUpdateMoves, cur.UpdateMoves-prev.UpdateMoves)
+	c.obs.Add(obs.CSplits, cur.Splits-prev.Splits)
+	c.obs.Add(obs.CSplitCascades, cur.SplitCascades-prev.SplitCascades)
+	c.obs.Add(obs.CSplitMoves, cur.SplitMoves-prev.SplitMoves)
+	c.obs.Add(obs.CMerges, cur.Merges-prev.Merges)
+	c.obs.Add(obs.CPartitionsCreated, cur.NewPartitions-prev.NewPartitions)
+	c.obs.Add(obs.CPartitionsDropped, cur.DropPartitions-prev.DropPartitions)
+	c.obs.Add(obs.CRatings, cur.RatedPairs-prev.RatedPairs)
+}
+
+// trace appends a decision event when a registry is attached.
+func (c *Cinderella) trace(ev obs.Event) {
+	if c.obs != nil {
+		c.obs.TraceEvent(ev)
+	}
+}
+
 // Config returns the active configuration.
 func (c *Cinderella) Config() Config { return c.cfg }
 
@@ -116,7 +162,9 @@ func (c *Cinderella) Insert(e Entity) PartitionID {
 	}
 	c.stats.Inserts++
 	ent := e // private copy; synopsis is shared but treated immutably
-	return c.insert(&ent, nil, NoPartition)
+	pid := c.insert(&ent, nil, NoPartition)
+	c.publish()
+	return pid
 }
 
 // insert places ent. If restrict is non-nil, only those partitions are
@@ -135,6 +183,7 @@ func (c *Cinderella) insert(ent *Entity, restrict []*partition, prev PartitionID
 		p.starterA = ent.ID
 		c.indexAdd(p, ent.Syn)
 		c.loc[ent.ID] = p.id
+		c.trace(obs.Event{Kind: obs.EvInsert, Entity: uint64(ent.ID), To: uint64(p.id)})
 		c.notify(Placement{Entity: ent.ID, From: prev, To: p.id})
 		return p.id
 	}
@@ -154,6 +203,9 @@ func (c *Cinderella) insert(ent *Entity, restrict []*partition, prev PartitionID
 	c.indexAdd(best, ent.Syn)
 	best.add(ent, c.cfg.entitySize(ent))
 	c.loc[ent.ID] = best.id
+	if restrict == nil {
+		c.trace(obs.Event{Kind: obs.EvInsert, Entity: uint64(ent.ID), To: uint64(best.id), Rating: bestRating})
+	}
 	c.notify(Placement{Entity: ent.ID, From: prev, To: best.id})
 	return best.id
 }
@@ -289,6 +341,22 @@ func (c *Cinderella) split(p *partition, ent *Entity, prev PartitionID) Partitio
 		result = c.insert(ent, c.liveTargets(targets), prev)
 	}
 
+	if c.obs != nil {
+		ev := obs.Event{
+			Kind: obs.EvSplit, Entity: uint64(ent.ID), From: uint64(p.id),
+			To: uint64(pa.id), To2: uint64(pb.id),
+			StarterA: uint64(starterA.ID), StarterB: uint64(starterB.ID),
+		}
+		// Resulting synopsis sizes; a cascade may have replaced a target.
+		if _, live := c.parts[pa.id]; live {
+			ev.SynA = pa.syn.Len()
+		}
+		if _, live := c.parts[pb.id]; live {
+			ev.SynB = pb.syn.Len()
+		}
+		c.trace(ev)
+	}
+
 	// The old partition is empty now; drop it (its id disappears from the
 	// catalog, like the paper's DROP of the split table).
 	c.dropPartition(p)
@@ -387,9 +455,11 @@ func (c *Cinderella) Delete(id EntityID) {
 	p.remove(id, c.cfg.entitySize(e))
 	delete(c.loc, id)
 	c.indexRebuild(p)
+	c.trace(obs.Event{Kind: obs.EvDelete, Entity: uint64(id), From: uint64(pid)})
 	if len(p.members) == 0 {
 		c.dropPartition(p)
 	}
+	c.publish()
 }
 
 // Update re-runs the insert rating for a changed entity; the entity moves
@@ -417,6 +487,8 @@ func (c *Cinderella) Update(e Entity) PartitionID {
 		p.updateStarters(&ent)
 		c.indexAdd(p, ent.Syn)
 		c.loc[e.ID] = pid
+		c.trace(obs.Event{Kind: obs.EvUpdate, Entity: uint64(e.ID), From: uint64(pid), To: uint64(pid), Rating: bestRating})
+		c.publish()
 		return pid
 	}
 	// A different partition (or a fresh one) wins: move via insert. The
@@ -426,6 +498,8 @@ func (c *Cinderella) Update(e Entity) PartitionID {
 	if op, ok := c.parts[pid]; ok && len(op.members) == 0 {
 		c.dropPartition(op)
 	}
+	c.trace(obs.Event{Kind: obs.EvUpdate, Entity: uint64(e.ID), From: uint64(pid), To: uint64(newPID)})
+	c.publish()
 	return newPID
 }
 
@@ -437,6 +511,7 @@ func (c *Cinderella) newPartition() *partition {
 	// Ids are monotonically increasing, so appending keeps the catalog
 	// slice id-sorted without re-sorting.
 	c.ordered = append(c.ordered, p)
+	c.trace(obs.Event{Kind: obs.EvNewPartition, To: uint64(p.id)})
 	return p
 }
 
@@ -453,12 +528,17 @@ func (c *Cinderella) dropPartition(p *partition) {
 		delete(c.visited, p.id)
 	}
 	c.indexRemoveAll(p)
+	c.trace(obs.Event{Kind: obs.EvDrop, From: uint64(p.id)})
 	c.notify(Placement{Entity: 0, From: p.id, To: NoPartition})
 }
 
 // notify reports a placement if a listener is registered. A Placement
-// with Entity==0 signals that partition From was dropped.
+// with Entity==0 signals that partition From was dropped. Relocations of
+// existing entities (From set) are traced as moves.
 func (c *Cinderella) notify(pl Placement) {
+	if pl.Entity != 0 && pl.From != NoPartition {
+		c.trace(obs.Event{Kind: obs.EvMove, Entity: uint64(pl.Entity), From: uint64(pl.From), To: uint64(pl.To)})
+	}
 	if c.moved != nil {
 		c.moved(pl)
 	}

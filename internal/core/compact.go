@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"sort"
+
+	"cinderella/internal/obs"
 )
 
 // Compact merges underfilled partitions into well-fitting peers. The
@@ -28,6 +30,7 @@ func (c *Cinderella) Compact(threshold float64) int {
 	for {
 		merged := c.compactOnce(limit)
 		if !merged {
+			c.publish()
 			return merges
 		}
 		merges++
@@ -111,5 +114,6 @@ func (c *Cinderella) merge(src, dst *partition) {
 		c.notify(Placement{Entity: id, From: src.id, To: dst.id})
 	}
 	c.stats.Merges++
+	c.trace(obs.Event{Kind: obs.EvMerge, From: uint64(src.id), To: uint64(dst.id)})
 	c.dropPartition(src)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cinderella/internal/core"
+	"cinderella/internal/obs"
 	"cinderella/internal/synopsis"
 	"cinderella/internal/table"
 	"cinderella/internal/workload"
@@ -44,6 +45,12 @@ type HotpathResult struct {
 	ParallelMsPerQuery float64 `json:"parallel_ms_per_query"`
 	SelectSpeedup      float64 `json:"select_speedup"`
 	ParallelismWorkers int     `json:"parallelism_workers"`
+
+	// Obs is the telemetry snapshot of one instrumented replay of the
+	// query workload (registry attached after load, so the insert timings
+	// above stay comparable across PRs): query counters and the streaming
+	// EFFICIENCY of the final partitioning.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // Hotpath runs the hot-path benchmarks at o's scale.
@@ -99,6 +106,19 @@ func Hotpath(o Options) HotpathResult {
 	if res.ParallelMsPerQuery > 0 {
 		res.SelectSpeedup = res.SerialMsPerQuery / res.ParallelMsPerQuery
 	}
+
+	// One instrumented replay for the telemetry snapshot. The registry is
+	// attached only now, after all timing comparisons are done.
+	reg := o.Obs
+	if reg == nil {
+		reg = obs.New(obs.Options{})
+	}
+	tblScan.SetObserver(reg)
+	for _, q := range queries {
+		tblScan.SelectSynopsis(q.Attrs)
+	}
+	snap := reg.Snapshot()
+	res.Obs = &snap
 	return res
 }
 
@@ -162,4 +182,10 @@ func (r HotpathResult) Print(w io.Writer) {
 		r.InsertScanNsPerOp, r.InsertIndexNsPerOp)
 	fprintf(w, "  query scan:      serial %.3f ms/q vs parallel %.3f ms/q (%.2fx, %d workers, %d queries)\n",
 		r.SerialMsPerQuery, r.ParallelMsPerQuery, r.SelectSpeedup, r.ParallelismWorkers, r.Queries)
+	if r.Obs != nil {
+		fprintf(w, "  telemetry:       efficiency=%.4f (bytes %.4f), %d partitions scanned, %d pruned\n",
+			r.Obs.Efficiency, r.Obs.EfficiencyBytes,
+			r.Obs.Counters["cinderella_partitions_scanned_total"],
+			r.Obs.Counters["cinderella_partitions_pruned_total"])
+	}
 }

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"io"
+	"runtime"
+	"time"
+
+	"cinderella/internal/datagen"
+	"cinderella/internal/obs"
+	"cinderella/internal/table"
+	"cinderella/internal/workload"
+)
+
+// ObsOverhead measures what the telemetry layer costs: the same load and
+// query workload runs on an uninstrumented table (nil registry — the
+// production default) and on a fully instrumented one (counters,
+// histograms, streaming EFFICIENCY, event trace). The acceptance budget
+// for this repo is < 5 % on the insert path; cmd/cinderella-bench
+// serializes the result as BENCH_obs.json.
+
+// ObsOverheadResult compares instrumented against uninstrumented runs.
+type ObsOverheadResult struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Entities   int `json:"entities"`
+	Queries    int `json:"queries"`
+
+	UninstrumentedNsPerInsert float64 `json:"uninstrumented_ns_per_insert"`
+	InstrumentedNsPerInsert   float64 `json:"instrumented_ns_per_insert"`
+	InsertOverheadPct         float64 `json:"insert_overhead_pct"`
+
+	UninstrumentedMsPerQuery float64 `json:"uninstrumented_ms_per_query"`
+	InstrumentedMsPerQuery   float64 `json:"instrumented_ms_per_query"`
+	QueryOverheadPct         float64 `json:"query_overhead_pct"`
+
+	// Snapshot is the instrumented run's final registry state, proving
+	// the counters, histograms, and EFFICIENCY estimator were live while
+	// the overhead above was measured.
+	Snapshot obs.Snapshot `json:"snapshot"`
+}
+
+// ObsOverhead runs the comparison at o's scale. Each variant is loaded
+// and queried rounds times; the best round counts, which filters
+// allocator and scheduler noise the same way the hotpath baseline does.
+func ObsOverhead(o Options) ObsOverheadResult {
+	o = o.withDefaults()
+	res := ObsOverheadResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Entities:   o.Entities,
+	}
+
+	ds := dataset(o)
+	queries := buildWorkload(ds, o)
+	res.Queries = len(queries)
+
+	const rounds = 3
+	var lastReg *obs.Registry
+	for i := 0; i < rounds; i++ {
+		// Alternate the order inside each round so neither variant
+		// systematically benefits from a warmer heap.
+		plainIns, plainQ := obsRun(ds, queries, nil)
+		reg := obs.New(obs.Options{})
+		instrIns, instrQ := obsRun(ds, queries, reg)
+		lastReg = reg
+
+		if res.UninstrumentedNsPerInsert == 0 || plainIns < res.UninstrumentedNsPerInsert {
+			res.UninstrumentedNsPerInsert = plainIns
+		}
+		if res.InstrumentedNsPerInsert == 0 || instrIns < res.InstrumentedNsPerInsert {
+			res.InstrumentedNsPerInsert = instrIns
+		}
+		if res.UninstrumentedMsPerQuery == 0 || plainQ < res.UninstrumentedMsPerQuery {
+			res.UninstrumentedMsPerQuery = plainQ
+		}
+		if res.InstrumentedMsPerQuery == 0 || instrQ < res.InstrumentedMsPerQuery {
+			res.InstrumentedMsPerQuery = instrQ
+		}
+	}
+	if res.UninstrumentedNsPerInsert > 0 {
+		res.InsertOverheadPct = 100 * (res.InstrumentedNsPerInsert - res.UninstrumentedNsPerInsert) /
+			res.UninstrumentedNsPerInsert
+	}
+	if res.UninstrumentedMsPerQuery > 0 {
+		res.QueryOverheadPct = 100 * (res.InstrumentedMsPerQuery - res.UninstrumentedMsPerQuery) /
+			res.UninstrumentedMsPerQuery
+	}
+	res.Snapshot = lastReg.Snapshot()
+	return res
+}
+
+// obsRun loads a fresh table (instrumented iff reg != nil) and replays
+// the query workload, returning mean ns/insert and mean ms/query.
+func obsRun(ds *datagen.Dataset, queries []workload.Query, reg *obs.Registry) (nsPerInsert, msPerQuery float64) {
+	tbl := table.New(table.Config{Dict: ds.Dict, Partitioner: cind(0.5, 5000), Obs: reg})
+	start := time.Now()
+	for _, e := range ds.Entities {
+		tbl.Insert(e.Clone())
+	}
+	nsPerInsert = float64(time.Since(start).Nanoseconds()) / float64(len(ds.Entities))
+	msPerQuery = meanQueryMs(tbl, queries)
+	return
+}
+
+// Print renders the comparison like the other experiment reports.
+func (r ObsOverheadResult) Print(w io.Writer) {
+	fprintf(w, "OBSERVABILITY overhead (GOMAXPROCS=%d, %d entities, %d queries)\n",
+		r.GOMAXPROCS, r.Entities, r.Queries)
+	fprintf(w, "  insert path:  uninstrumented %.0f ns/op, instrumented %.0f ns/op (%+.2f%%)\n",
+		r.UninstrumentedNsPerInsert, r.InstrumentedNsPerInsert, r.InsertOverheadPct)
+	fprintf(w, "  query path:   uninstrumented %.3f ms/q, instrumented %.3f ms/q (%+.2f%%)\n",
+		r.UninstrumentedMsPerQuery, r.InstrumentedMsPerQuery, r.QueryOverheadPct)
+	fprintf(w, "  instrumented run: efficiency=%.4f partitions=%d ratings=%d trace-events=%d\n",
+		r.Snapshot.Efficiency, r.Snapshot.Partitions,
+		r.Snapshot.Counters["cinderella_ratings_total"], r.Snapshot.TraceEvents)
+}

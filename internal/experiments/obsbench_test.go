@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestObsOverhead(t *testing.T) {
+	r := ObsOverhead(small())
+	if r.UninstrumentedNsPerInsert <= 0 || r.InstrumentedNsPerInsert <= 0 {
+		t.Fatalf("insert timings missing: %+v", r)
+	}
+	if r.UninstrumentedMsPerQuery <= 0 || r.InstrumentedMsPerQuery <= 0 {
+		t.Fatalf("query timings missing: %+v", r)
+	}
+	if r.Queries == 0 {
+		t.Fatal("no queries recorded")
+	}
+
+	// The instrumented run's snapshot must prove the telemetry was live:
+	// every insert counted, the estimator fed, the trace populated.
+	s := r.Snapshot
+	if got := s.Counters["cinderella_inserts_total"]; got != int64(r.Entities) {
+		t.Fatalf("snapshot inserts = %d, want %d", got, r.Entities)
+	}
+	if s.Counters["cinderella_queries_total"] == 0 {
+		t.Fatal("snapshot saw no queries")
+	}
+	if s.Efficiency <= 0 || s.Efficiency > 1 {
+		t.Fatalf("snapshot efficiency = %v, want (0,1]", s.Efficiency)
+	}
+	if s.Partitions == 0 {
+		t.Fatal("snapshot has no partitions")
+	}
+	if s.TraceEvents == 0 {
+		t.Fatal("snapshot has no trace events")
+	}
+
+	// The result is what cinderella-bench -json serializes; it must
+	// marshal cleanly (no Inf/NaN ratios at any scale).
+	if _, err := json.Marshal(r); err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "OBSERVABILITY") {
+		t.Fatalf("Print output wrong: %q", buf.String())
+	}
+}
+
+// TestHotpathObsSnapshot: the hotpath baseline embeds a telemetry
+// snapshot of the instrumented query replay.
+func TestHotpathObsSnapshot(t *testing.T) {
+	r := Hotpath(small())
+	if r.Obs == nil {
+		t.Fatal("hotpath result has no obs snapshot")
+	}
+	if r.Obs.Counters["cinderella_queries_total"] != int64(r.Queries) {
+		t.Fatalf("snapshot queries = %d, want %d",
+			r.Obs.Counters["cinderella_queries_total"], r.Queries)
+	}
+	if r.Obs.Efficiency <= 0 || r.Obs.Efficiency > 1 {
+		t.Fatalf("snapshot efficiency = %v, want (0,1]", r.Obs.Efficiency)
+	}
+}

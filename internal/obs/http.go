@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+)
+
+// The ops endpoint. Serve (or Mux, for embedding) exposes:
+//
+//	/metrics     Prometheus text exposition format, no external deps
+//	/debug/vars  expvar (the registry snapshot is published as "cinderella")
+//	/debug/pprof net/http/pprof profiles
+//
+// cmd/cinderella-load and cmd/cinderella-bench wire it behind -obs :PORT.
+
+// expvarReg is the registry backing the published "cinderella" expvar;
+// the latest registry to call Mux/Serve wins.
+var expvarReg atomic.Pointer[Registry]
+
+var publishExpvar = func() func() {
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			expvar.Publish("cinderella", expvar.Func(func() any {
+				return expvarReg.Load().Snapshot()
+			}))
+		}
+	}
+}()
+
+// Mux returns an http.ServeMux serving the ops endpoint for r.
+func (r *Registry) Mux() *http.ServeMux {
+	expvarReg.Store(r)
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteMetrics(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "cinderella ops endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve blocks serving the ops endpoint on addr (e.g. ":8080").
+func (r *Registry) Serve(addr string) error {
+	return http.ListenAndServe(addr, r.Mux())
+}
+
+// WriteMetrics writes the registry in the Prometheus text exposition
+// format: every counter, the gauges (partition count and the streaming
+// EFFICIENCY estimates), and the latency histograms with cumulative
+// buckets in seconds.
+func (r *Registry) WriteMetrics(w io.Writer) {
+	for c := Counter(0); c < numCounters; c++ {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			counterNames[c], counterHelp[c], counterNames[c], counterNames[c], r.Counter(c))
+	}
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			name, help, name, name, formatFloat(v))
+	}
+	gauge("cinderella_partitions", "Current partition count.", float64(r.Partitions()))
+	gauge("cinderella_efficiency",
+		"Streaming EFFICIENCY (Definition 1, entity-count units) over all queries.",
+		r.Efficiency())
+	winEff, winN := r.WindowEfficiency()
+	gauge("cinderella_efficiency_window",
+		"Streaming EFFICIENCY over the last-N-queries window.", winEff)
+	gauge("cinderella_efficiency_window_queries",
+		"Number of queries currently in the EFFICIENCY window.", float64(winN))
+	gauge("cinderella_efficiency_bytes",
+		"Streaming EFFICIENCY with SIZE() in record bytes: relevant bytes / bytes read.",
+		r.EfficiencyBytes())
+
+	for _, nh := range r.histograms() {
+		writeHistogram(w, nh.name, nh.help, nh.hist)
+	}
+}
+
+// writeHistogram renders one histogram family with cumulative buckets.
+func writeHistogram(w io.Writer, name, help string, h *Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, b := range h.boundsNs {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(float64(b)/1e9), cum)
+	}
+	cum += h.counts[len(h.boundsNs)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(h.SumNs())/1e9))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

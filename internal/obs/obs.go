@@ -1,0 +1,395 @@
+// Package obs is the live telemetry layer: a zero-allocation-in-steady-
+// state instrumentation registry threaded through the insert path, the
+// query path, storage, and the write-ahead log.
+//
+// The paper's entire argument rests on one number — EFFICIENCY
+// (Definition 1: relevant bytes / bytes read) — which package metrics
+// computes offline after a run ends. The Registry maintains the same
+// numerator and denominator incrementally per query, so the metric is
+// readable at any moment: cumulative since start, and windowed over the
+// last N queries. Around it sit atomic counters and fixed-bucket latency
+// histograms for the hot operations, a bounded event trace recording
+// structured partitioner decisions (see trace.go), and an opt-in HTTP
+// ops endpoint (see http.go) exposing Prometheus text metrics, expvar,
+// and pprof without external dependencies.
+//
+// Every producer-side method is nil-safe: a nil *Registry is a no-op, so
+// the library layers stay dependency-free and uninstrumented hot paths
+// pay only a nil check.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter identifies one monotonic counter in the registry.
+type Counter uint8
+
+// Registry counters. The partitioner-side counters (inserts through
+// ratings) are published by core.Cinderella; the query-side counters are
+// published by the table layer; the WAL counters by wal.Writer.
+const (
+	CInserts Counter = iota
+	CUpdates
+	CDeletes
+	CUpdateMoves
+	CSplits
+	CSplitCascades
+	CSplitMoves // entities relocated by splits or merges
+	CMerges
+	CPartitionsCreated
+	CPartitionsDropped
+	CRatings // entity/partition ratings computed
+
+	CQueries
+	CPartitionsScanned
+	CPartitionsPruned
+	CEntitiesScanned
+	CEntitiesReturned
+	CBytesRead     // live record bytes scanned by queries
+	CBytesRelevant // live record bytes of returned (relevant) records
+
+	CWALAppends
+	CWALAppendBytes
+	CWALSyncs
+
+	numCounters
+)
+
+// counterNames maps counters to their Prometheus metric names.
+var counterNames = [numCounters]string{
+	CInserts:           "cinderella_inserts_total",
+	CUpdates:           "cinderella_updates_total",
+	CDeletes:           "cinderella_deletes_total",
+	CUpdateMoves:       "cinderella_update_moves_total",
+	CSplits:            "cinderella_splits_total",
+	CSplitCascades:     "cinderella_split_cascades_total",
+	CSplitMoves:        "cinderella_split_moves_total",
+	CMerges:            "cinderella_merges_total",
+	CPartitionsCreated: "cinderella_partitions_created_total",
+	CPartitionsDropped: "cinderella_partitions_dropped_total",
+	CRatings:           "cinderella_ratings_total",
+	CQueries:           "cinderella_queries_total",
+	CPartitionsScanned: "cinderella_partitions_scanned_total",
+	CPartitionsPruned:  "cinderella_partitions_pruned_total",
+	CEntitiesScanned:   "cinderella_entities_scanned_total",
+	CEntitiesReturned:  "cinderella_entities_returned_total",
+	CBytesRead:         "cinderella_query_bytes_read_total",
+	CBytesRelevant:     "cinderella_query_bytes_relevant_total",
+	CWALAppends:        "cinderella_wal_appends_total",
+	CWALAppendBytes:    "cinderella_wal_append_bytes_total",
+	CWALSyncs:          "cinderella_wal_syncs_total",
+}
+
+// counterHelp documents each counter for the /metrics HELP lines.
+var counterHelp = [numCounters]string{
+	CInserts:           "Entities inserted through the partitioner.",
+	CUpdates:           "Entity updates processed by the partitioner.",
+	CDeletes:           "Entity deletes processed by the partitioner.",
+	CUpdateMoves:       "Updates that relocated the entity to another partition.",
+	CSplits:            "Partition splits performed (Algorithm 1 lines 26-33).",
+	CSplitCascades:     "Splits triggered while redistributing another split.",
+	CSplitMoves:        "Entities physically relocated by splits or merges.",
+	CMerges:            "Partition merges performed by Compact.",
+	CPartitionsCreated: "Partitions created.",
+	CPartitionsDropped: "Partitions dropped.",
+	CRatings:           "Entity/partition ratings computed (Section IV kernel invocations).",
+	CQueries:           "Attribute-set and predicate queries executed.",
+	CPartitionsScanned: "Partitions scanned by queries (survived synopsis pruning).",
+	CPartitionsPruned:  "Partitions pruned by queries without touching data.",
+	CEntitiesScanned:   "Live records visited by query scans.",
+	CEntitiesReturned:  "Records returned by queries (relevant to the query).",
+	CBytesRead:         "Live record bytes read by query scans.",
+	CBytesRelevant:     "Live record bytes of records relevant to their query.",
+	CWALAppends:        "Operations appended to the write-ahead log.",
+	CWALAppendBytes:    "Payload bytes appended to the write-ahead log.",
+	CWALSyncs:          "Write-ahead-log fsyncs.",
+}
+
+// effSample is one query's contribution to the windowed estimator.
+type effSample struct {
+	relevant, read int64 // Definition 1 units (entity counts)
+}
+
+// Options sizes a Registry. The zero value picks the defaults.
+type Options struct {
+	// EffWindow is the number of most-recent queries in the windowed
+	// EFFICIENCY estimate. Default 256.
+	EffWindow int
+	// TraceCap bounds the event trace ring. Default 4096; negative
+	// disables tracing entirely.
+	TraceCap int
+}
+
+// Registry aggregates live telemetry for one table (or one process — it
+// is safe for concurrent use by any number of producers and readers).
+type Registry struct {
+	counters   [numCounters]atomic.Int64
+	partitions atomic.Int64 // gauge: current partition count
+
+	insertNs    Histogram
+	queryNs     Histogram
+	walAppendNs Histogram
+	walSyncNs   Histogram
+
+	// Streaming EFFICIENCY (Definition 1). The cumulative sums use the
+	// paper's entity-count SIZE() units, mirroring the offline
+	// metrics.Efficiency computation exactly; the byte-valued sums are
+	// kept in the counters (CBytesRelevant / CBytesRead).
+	effMu       sync.Mutex
+	effRelevant int64
+	effRead     int64
+	effRing     []effSample
+	effNext     int
+	effLen      int
+
+	trace *Trace
+}
+
+// New returns a Registry sized by opts.
+func New(opts Options) *Registry {
+	if opts.EffWindow <= 0 {
+		opts.EffWindow = 256
+	}
+	if opts.TraceCap == 0 {
+		opts.TraceCap = 4096
+	}
+	r := &Registry{
+		insertNs:    newLatencyHistogram(),
+		queryNs:     newLatencyHistogram(),
+		walAppendNs: newLatencyHistogram(),
+		walSyncNs:   newLatencyHistogram(),
+		effRing:     make([]effSample, opts.EffWindow),
+	}
+	if opts.TraceCap > 0 {
+		r.trace = newTrace(opts.TraceCap)
+	}
+	return r
+}
+
+// Add increments counter c by n. Nil-safe no-op.
+func (r *Registry) Add(c Counter, n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.counters[c].Add(n)
+}
+
+// Counter returns the current value of c; 0 on a nil registry.
+func (r *Registry) Counter(c Counter) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[c].Load()
+}
+
+// SetPartitions updates the current-partition-count gauge. Nil-safe.
+func (r *Registry) SetPartitions(n int64) {
+	if r == nil {
+		return
+	}
+	r.partitions.Store(n)
+}
+
+// Partitions returns the partition-count gauge.
+func (r *Registry) Partitions() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.partitions.Load()
+}
+
+// ObserveInsertNs records one insert's wall time. Nil-safe.
+func (r *Registry) ObserveInsertNs(ns int64) {
+	if r == nil {
+		return
+	}
+	r.insertNs.Observe(ns)
+}
+
+// ObserveWALAppendNs records one WAL append's wall time. Nil-safe.
+func (r *Registry) ObserveWALAppendNs(ns int64) {
+	if r == nil {
+		return
+	}
+	r.walAppendNs.Observe(ns)
+}
+
+// ObserveWALSyncNs records one WAL fsync's wall time. Nil-safe.
+func (r *Registry) ObserveWALSyncNs(ns int64) {
+	if r == nil {
+		return
+	}
+	r.walSyncNs.Observe(ns)
+}
+
+// NoteQuery folds one executed query into the registry: the pruning and
+// volume counters, the query latency histogram, and the streaming
+// EFFICIENCY estimator.
+//
+// relevant and read are Definition 1's per-query numerator and
+// denominator in entity-count units: the number of entities relevant to
+// the query, and the number of live entities in all partitions the query
+// had to read. Because partition synopses are exact, the table layer's
+// EntitiesReturned/EntitiesScanned counters are precisely these sums,
+// so the cumulative estimate equals the offline metrics.Efficiency of
+// the replayed workload. Nil-safe.
+func (r *Registry) NoteQuery(touched, pruned, relevant, read, bytesRelevant, bytesRead, ns int64) {
+	if r == nil {
+		return
+	}
+	r.counters[CQueries].Add(1)
+	r.counters[CPartitionsScanned].Add(touched)
+	r.counters[CPartitionsPruned].Add(pruned)
+	r.counters[CEntitiesReturned].Add(relevant)
+	r.counters[CEntitiesScanned].Add(read)
+	r.counters[CBytesRelevant].Add(bytesRelevant)
+	r.counters[CBytesRead].Add(bytesRead)
+	r.queryNs.Observe(ns)
+
+	r.effMu.Lock()
+	r.effRelevant += relevant
+	r.effRead += read
+	r.effRing[r.effNext] = effSample{relevant: relevant, read: read}
+	r.effNext = (r.effNext + 1) % len(r.effRing)
+	if r.effLen < len(r.effRing) {
+		r.effLen++
+	}
+	r.effMu.Unlock()
+}
+
+// Efficiency returns the cumulative streaming EFFICIENCY (Definition 1)
+// over every query observed so far, in entity-count SIZE() units. Like
+// metrics.Efficiency, an empty denominator (no query read anything)
+// yields 1 — vacuously perfect. A nil registry reports 1.
+func (r *Registry) Efficiency() float64 {
+	if r == nil {
+		return 1
+	}
+	r.effMu.Lock()
+	rel, read := r.effRelevant, r.effRead
+	r.effMu.Unlock()
+	return effRatio(rel, read)
+}
+
+// WindowEfficiency returns the EFFICIENCY over the last-N-queries window
+// (N = Options.EffWindow), plus how many queries the window holds.
+func (r *Registry) WindowEfficiency() (eff float64, queries int) {
+	if r == nil {
+		return 1, 0
+	}
+	r.effMu.Lock()
+	var rel, read int64
+	for i := 0; i < r.effLen; i++ {
+		rel += r.effRing[i].relevant
+		read += r.effRing[i].read
+	}
+	n := r.effLen
+	r.effMu.Unlock()
+	return effRatio(rel, read), n
+}
+
+// EfficiencyBytes returns the cumulative EFFICIENCY with SIZE() in
+// record bytes: query-relevant bytes over bytes read.
+func (r *Registry) EfficiencyBytes() float64 {
+	if r == nil {
+		return 1
+	}
+	return effRatio(r.Counter(CBytesRelevant), r.Counter(CBytesRead))
+}
+
+func effRatio(relevant, read int64) float64 {
+	if read == 0 {
+		return 1
+	}
+	return float64(relevant) / float64(read)
+}
+
+// TraceEvent appends a partitioner decision to the event trace ring.
+// Nil-safe; a no-op when tracing is disabled.
+func (r *Registry) TraceEvent(ev Event) {
+	if r == nil || r.trace == nil {
+		return
+	}
+	r.trace.add(ev)
+}
+
+// TraceDump snapshots the event trace, oldest first. Nil (and
+// trace-disabled) registries return nil.
+func (r *Registry) TraceDump() []Event {
+	if r == nil || r.trace == nil {
+		return nil
+	}
+	return r.trace.Dump()
+}
+
+// TraceSeq returns the total number of events ever traced (the ring may
+// retain fewer).
+func (r *Registry) TraceSeq() uint64 {
+	if r == nil || r.trace == nil {
+		return 0
+	}
+	return r.trace.Seq()
+}
+
+// HistogramSnapshot is the JSON-friendly state of one latency histogram.
+type HistogramSnapshot struct {
+	Count    int64   `json:"count"`
+	MeanNs   float64 `json:"mean_ns"`
+	BoundsNs []int64 `json:"bounds_ns"`
+	Counts   []int64 `json:"counts"` // len(BoundsNs)+1, last is overflow
+}
+
+// Snapshot is a point-in-time JSON-serializable view of the registry,
+// embedded by cmd/cinderella-bench -json so BENCH_*.json files carry
+// observability data.
+type Snapshot struct {
+	Counters         map[string]int64             `json:"counters"`
+	Partitions       int64                        `json:"partitions"`
+	Efficiency       float64                      `json:"efficiency"`
+	EfficiencyBytes  float64                      `json:"efficiency_bytes"`
+	WindowEfficiency float64                      `json:"window_efficiency"`
+	WindowQueries    int                          `json:"window_queries"`
+	Histograms       map[string]HistogramSnapshot `json:"histograms"`
+	TraceEvents      uint64                       `json:"trace_events"`
+}
+
+// Snapshot captures the registry. Nil registries return a zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{Efficiency: 1, EfficiencyBytes: 1, WindowEfficiency: 1}
+	}
+	s := Snapshot{
+		Counters:        make(map[string]int64, int(numCounters)),
+		Partitions:      r.Partitions(),
+		Efficiency:      r.Efficiency(),
+		EfficiencyBytes: r.EfficiencyBytes(),
+		Histograms:      make(map[string]HistogramSnapshot, 4),
+		TraceEvents:     r.TraceSeq(),
+	}
+	s.WindowEfficiency, s.WindowQueries = r.WindowEfficiency()
+	for c := Counter(0); c < numCounters; c++ {
+		s.Counters[counterNames[c]] = r.counters[c].Load()
+	}
+	for _, h := range r.histograms() {
+		s.Histograms[h.name] = h.hist.snapshot()
+	}
+	return s
+}
+
+// namedHist pairs a histogram with its Prometheus family name.
+type namedHist struct {
+	name string
+	help string
+	hist *Histogram
+}
+
+func (r *Registry) histograms() [4]namedHist {
+	return [4]namedHist{
+		{"cinderella_insert_duration_seconds", "Wall time of table inserts (placement incl. splits).", &r.insertNs},
+		{"cinderella_query_duration_seconds", "Wall time of table queries (pruning + scan + merge).", &r.queryNs},
+		{"cinderella_wal_append_duration_seconds", "Wall time of WAL record appends.", &r.walAppendNs},
+		{"cinderella_wal_sync_duration_seconds", "Wall time of WAL fsyncs.", &r.walSyncNs},
+	}
+}

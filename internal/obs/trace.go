@@ -1,0 +1,128 @@
+package obs
+
+import "sync"
+
+// The event trace records structured partitioner decisions in a bounded
+// in-memory ring: which partition an insert chose and at what rating,
+// which starter pair seeded a split and what the resulting partitions
+// look like, when partitions appear and disappear. Dump snapshots the
+// ring for post-mortem analysis in tests and experiments — the
+// micro-scale counterpart of the paper's Figure 8 split accounting.
+
+// EventKind tags a trace event.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	// EvInsert is an unrestricted placement decision: Entity was placed
+	// into To at Rating (0 when a fresh partition was opened because no
+	// candidate rated non-negative).
+	EvInsert EventKind = iota + 1
+	// EvNewPartition records partition To entering the catalog.
+	EvNewPartition
+	// EvSplit records a full split of From into To and To2, seeded by
+	// the starter pair (StarterA, StarterB); SynA/SynB are the resulting
+	// partitions' synopsis sizes after redistribution (0 if a cascade
+	// replaced that target).
+	EvSplit
+	// EvMove is a physical relocation of Entity from From to To (split
+	// redistribution, cascade, or merge).
+	EvMove
+	// EvUpdate records an entity update: To is the (possibly unchanged)
+	// partition after re-rating.
+	EvUpdate
+	// EvDelete records an entity delete out of From.
+	EvDelete
+	// EvDrop records partition From leaving the catalog.
+	EvDrop
+	// EvMerge records Compact merging partition From into To.
+	EvMerge
+)
+
+// String names the kind for dumps and JSON.
+func (k EventKind) String() string {
+	switch k {
+	case EvInsert:
+		return "insert"
+	case EvNewPartition:
+		return "new-partition"
+	case EvSplit:
+		return "split"
+	case EvMove:
+		return "move"
+	case EvUpdate:
+		return "update"
+	case EvDelete:
+		return "delete"
+	case EvDrop:
+		return "drop"
+	case EvMerge:
+		return "merge"
+	}
+	return "unknown"
+}
+
+// Event is one structured partitioner decision. Field meaning depends on
+// Kind (see the kind constants); unused fields are zero.
+type Event struct {
+	Seq      uint64    `json:"seq"`
+	Kind     EventKind `json:"kind"`
+	Entity   uint64    `json:"entity,omitempty"`
+	From     uint64    `json:"from,omitempty"`
+	To       uint64    `json:"to,omitempty"`
+	To2      uint64    `json:"to2,omitempty"`
+	Rating   float64   `json:"rating,omitempty"`
+	StarterA uint64    `json:"starter_a,omitempty"`
+	StarterB uint64    `json:"starter_b,omitempty"`
+	SynA     int       `json:"syn_a,omitempty"`
+	SynB     int       `json:"syn_b,omitempty"`
+}
+
+// Trace is the bounded event ring. Writers are serialized by a mutex —
+// the partitioner itself is single-writer, but independent tables may
+// share one registry — and the preallocated buffer keeps the steady
+// state allocation-free.
+type Trace struct {
+	mu  sync.Mutex
+	buf []Event
+	seq uint64 // total events ever added
+}
+
+func newTrace(capacity int) *Trace {
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+// add stamps ev with the next sequence number and stores it, evicting
+// the oldest event once the ring is full.
+func (t *Trace) add(ev Event) {
+	t.mu.Lock()
+	ev.Seq = t.seq
+	t.buf[t.seq%uint64(len(t.buf))] = ev
+	t.seq++
+	t.mu.Unlock()
+}
+
+// Seq returns the total number of events ever added.
+func (t *Trace) Seq() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Dump snapshots the retained events, oldest first.
+func (t *Trace) Dump() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.seq
+	capU := uint64(len(t.buf))
+	if n > capU {
+		out := make([]Event, 0, capU)
+		for i := n - capU; i < n; i++ {
+			out = append(out, t.buf[i%capU])
+		}
+		return out
+	}
+	out := make([]Event, n)
+	copy(out, t.buf[:n])
+	return out
+}

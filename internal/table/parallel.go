@@ -24,7 +24,7 @@ import (
 // t.parallelism workers (Config.Parallelism; 1 opts out). scan must write
 // only state owned by its index.
 func (t *Table) runScans(n int, scan func(i int)) {
-	workers := t.parallelism
+	workers := int(t.parallelism.Load())
 	if workers > n {
 		workers = n
 	}
@@ -53,10 +53,12 @@ func (t *Table) runScans(n int, scan func(i int)) {
 }
 
 // partScan is one partition's private scan buffer: hits in storage order
-// plus the records-visited counter.
+// plus the records-visited and byte-volume counters.
 type partScan struct {
-	hits    []Result
-	scanned int
+	hits      []Result
+	scanned   int
+	bytesRead int64 // live record bytes visited
+	bytesHit  int64 // live record bytes of hits (relevant to the query)
 }
 
 // scanPartition scans one partition's segment, decoding every live record
@@ -66,12 +68,14 @@ func (t *Table) scanPartition(pid core.PartitionID, q *synopsis.Set) partScan {
 	var ps partScan
 	t.segs[pid].Scan(func(rid storage.RecordID, rec []byte) bool {
 		ps.scanned++
+		ps.bytesRead += int64(len(rec))
 		id, e, err := decodeRecord(rec)
 		if err != nil {
 			panic("table: corrupt record during scan: " + err.Error())
 		}
 		if q == nil || synopsis.Intersects(e.Synopsis(), q) {
 			ps.hits = append(ps.hits, Result{ID: id, Entity: e})
+			ps.bytesHit += int64(len(rec))
 		}
 		return true
 	})
@@ -84,12 +88,14 @@ func (t *Table) scanPartitionWhere(pid core.PartitionID, preds []Pred) partScan 
 	var ps partScan
 	t.segs[pid].Scan(func(_ storage.RecordID, rec []byte) bool {
 		ps.scanned++
+		ps.bytesRead += int64(len(rec))
 		id, e, err := decodeRecord(rec)
 		if err != nil {
 			panic("table: corrupt record during scan: " + err.Error())
 		}
 		if entityMatches(e, preds) {
 			ps.hits = append(ps.hits, Result{ID: id, Entity: e})
+			ps.bytesHit += int64(len(rec))
 		}
 		return true
 	})
@@ -110,6 +116,8 @@ func mergeScans(parts []partScan, rep *QueryReport) []Result {
 	for i := range parts {
 		rep.EntitiesScanned += parts[i].scanned
 		rep.EntitiesReturned += len(parts[i].hits)
+		rep.BytesRead += parts[i].bytesRead
+		rep.BytesRelevant += parts[i].bytesHit
 		out = append(out, parts[i].hits...)
 	}
 	return out

@@ -12,13 +12,20 @@ type Result struct {
 	Entity *entity.Entity
 }
 
-// QueryReport describes one query execution for experiments.
+// QueryReport describes one query execution for experiments and the
+// streaming EFFICIENCY estimator.
 type QueryReport struct {
 	PartitionsTotal   int
 	PartitionsTouched int
 	PartitionsPruned  int
 	EntitiesScanned   int
 	EntitiesReturned  int
+	// BytesRead is the live record bytes of every record visited in the
+	// non-pruned partitions — Definition 1's per-query denominator with
+	// SIZE() in bytes. BytesRelevant is the subset belonging to returned
+	// (relevant) records, the matching numerator.
+	BytesRead     int64
+	BytesRelevant int64
 }
 
 // Select returns all entities instantiating at least one of the given
@@ -46,6 +53,7 @@ func (t *Table) SelectSynopsis(q *synopsis.Set) []Result {
 func (t *Table) SelectWithReport(q *synopsis.Set) ([]Result, QueryReport) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	start := t.obsStart()
 
 	var rep QueryReport
 	pids := t.sortedPIDs()
@@ -67,7 +75,7 @@ func (t *Table) SelectWithReport(q *synopsis.Set) ([]Result, QueryReport) {
 	})
 	out := mergeScans(parts, &rep)
 
-	t.noteQuery(rep)
+	t.noteQuery(rep, lapNs(start))
 	return out, rep
 }
 

@@ -12,9 +12,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cinderella/internal/core"
 	"cinderella/internal/entity"
+	"cinderella/internal/obs"
 	"cinderella/internal/storage"
 	"cinderella/internal/synopsis"
 )
@@ -75,6 +78,11 @@ type Config struct {
 	// QueryReport counters are identical either way: per-worker buffers
 	// are merged back in partition-id order.
 	Parallelism int
+	// Obs, when non-nil, receives live telemetry: operation counters,
+	// latency histograms, the streaming EFFICIENCY estimator, and (for
+	// partitioners that support it) decision trace events. Nil leaves
+	// the table uninstrumented at nil-check cost only.
+	Obs *obs.Registry
 }
 
 type rowLoc struct {
@@ -96,8 +104,14 @@ type Table struct {
 	stats    *storage.Stats
 
 	// parallelism is the worker bound for partition scans (resolved from
-	// Config.Parallelism; 1 = serial).
-	parallelism int
+	// Config.Parallelism; 1 = serial). Atomic so SetParallelism is safe
+	// against concurrent queries without taking the table write lock.
+	parallelism atomic.Int32
+
+	// obs is the optional telemetry registry. Written only under the
+	// write lock (New/SetObserver); read by mutators under the write
+	// lock and by queries under the read lock.
+	obs *obs.Registry
 
 	cache *storage.BufferCache
 
@@ -158,21 +172,46 @@ func New(cfg Config) *Table {
 		par = 1
 	}
 	t := &Table{
-		dict:        cfg.Dict,
-		assigner:    cfg.Partitioner,
-		synizer:     cfg.Synopsizer,
-		stats:       cfg.Stats,
-		cache:       cfg.Cache,
-		parallelism: par,
-		segs:        make(map[core.PartitionID]*storage.Segment),
-		rows:        make(map[core.EntityID]rowLoc),
-		attrRefs:    make(map[core.PartitionID]map[int]int),
-		attrSyn:     make(map[core.PartitionID]*synopsis.Set),
-		entityAtt:   make(map[core.EntityID]*synopsis.Set),
-		zones:       make(map[core.PartitionID]map[int]*zoneEntry),
+		dict:      cfg.Dict,
+		assigner:  cfg.Partitioner,
+		synizer:   cfg.Synopsizer,
+		stats:     cfg.Stats,
+		cache:     cfg.Cache,
+		segs:      make(map[core.PartitionID]*storage.Segment),
+		rows:      make(map[core.EntityID]rowLoc),
+		attrRefs:  make(map[core.PartitionID]map[int]int),
+		attrSyn:   make(map[core.PartitionID]*synopsis.Set),
+		entityAtt: make(map[core.EntityID]*synopsis.Set),
+		zones:     make(map[core.PartitionID]map[int]*zoneEntry),
 	}
+	t.parallelism.Store(int32(par))
 	t.assigner.SetMoveListener(t.onPlacement)
+	if cfg.Obs != nil {
+		t.setObserverLocked(cfg.Obs)
+	}
 	return t
+}
+
+// observable is implemented by partitioners that emit telemetry
+// themselves (core.Cinderella); baselines simply lack the method.
+type observable interface {
+	SetObserver(*obs.Registry)
+}
+
+// SetObserver attaches (or detaches, with nil) a telemetry registry to a
+// live table, propagating it to the partitioner when supported.
+func (t *Table) SetObserver(r *obs.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.setObserverLocked(r)
+}
+
+func (t *Table) setObserverLocked(r *obs.Registry) {
+	t.obs = r
+	if o, ok := t.assigner.(observable); ok {
+		o.SetObserver(r)
+	}
+	r.SetPartitions(int64(len(t.segs)))
 }
 
 // Dict returns the table's attribute dictionary.
@@ -180,14 +219,13 @@ func (t *Table) Dict() *entity.Dictionary { return t.dict }
 
 // SetParallelism adjusts the partition-scan worker bound at runtime (see
 // Config.Parallelism). n <= 0 restores the GOMAXPROCS default; 1 scans
-// serially.
+// serially. The bound is atomic, so it can be flipped while queries are
+// in flight: each query reads it once at scan start.
 func (t *Table) SetParallelism(n int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	t.parallelism = n
+	t.parallelism.Store(int32(n))
 }
 
 // Stats returns the I/O counter shared by all segments.
@@ -200,8 +238,13 @@ func (t *Table) QueryStats() QueryStats {
 	return t.queries
 }
 
-// noteQuery folds one query's counters into the table-wide totals.
-func (t *Table) noteQuery(rep QueryReport) {
+// noteQuery folds one query's counters into the table-wide totals and,
+// when instrumented, into the telemetry registry (including the
+// streaming EFFICIENCY estimator: EntitiesReturned is Definition 1's
+// per-query numerator, EntitiesScanned its denominator — see
+// obs.Registry.NoteQuery). Callers hold the shared read lock; the query
+// counters have their own mutex and the registry is atomic throughout.
+func (t *Table) noteQuery(rep QueryReport, ns int64) {
 	t.qmu.Lock()
 	t.queries.Queries++
 	t.queries.PartitionsTouched += int64(rep.PartitionsTouched)
@@ -209,6 +252,27 @@ func (t *Table) noteQuery(rep QueryReport) {
 	t.queries.EntitiesReturned += int64(rep.EntitiesReturned)
 	t.queries.EntitiesScanned += int64(rep.EntitiesScanned)
 	t.qmu.Unlock()
+	t.obs.NoteQuery(int64(rep.PartitionsTouched), int64(rep.PartitionsPruned),
+		int64(rep.EntitiesReturned), int64(rep.EntitiesScanned),
+		rep.BytesRelevant, rep.BytesRead, ns)
+}
+
+// obsStart returns the wall clock for latency accounting, or the zero
+// time when uninstrumented (skipping the clock read on the hot path).
+func (t *Table) obsStart() time.Time {
+	if t.obs == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// lapNs converts a queryStart time into elapsed nanoseconds (0 when
+// uninstrumented; the registry is nil then and drops it anyway).
+func lapNs(start time.Time) int64 {
+	if start.IsZero() {
+		return 0
+	}
+	return time.Since(start).Nanoseconds()
 }
 
 // onPlacement reacts to the partitioner's placement stream: it writes the
@@ -342,9 +406,14 @@ func (t *Table) InsertWithID(id core.EntityID, e *entity.Entity) {
 }
 
 func (t *Table) insertLocked(id core.EntityID, e *entity.Entity) {
+	start := t.obsStart()
 	t.beginOp(id, e)
 	t.assigner.Insert(core.Entity{ID: id, Syn: t.synizer.Synopsis(e), Size: e.Size()})
 	t.endOp(id)
+	if t.obs != nil {
+		t.obs.ObserveInsertNs(lapNs(start))
+		t.obs.SetPartitions(int64(len(t.segs)))
+	}
 }
 
 // encodeRecord prefixes the marshaled entity with its id so scans can
@@ -414,6 +483,7 @@ func (t *Table) Delete(id core.EntityID) bool {
 	delete(t.rows, id)
 	delete(t.entityAtt, id)
 	t.assigner.Delete(id)
+	t.obs.SetPartitions(int64(len(t.segs)))
 	return true
 }
 
@@ -450,6 +520,7 @@ func (t *Table) Update(id core.EntityID, e *entity.Entity) bool {
 		t.pendingDone = true
 	}
 	t.endOp(id)
+	t.obs.SetPartitions(int64(len(t.segs)))
 	return true
 }
 
@@ -464,7 +535,9 @@ func (t *Table) Compact(threshold float64) int {
 	if !ok {
 		return 0
 	}
-	return c.Compact(threshold)
+	n := c.Compact(threshold)
+	t.obs.SetPartitions(int64(len(t.segs)))
+	return n
 }
 
 // Vacuum rewrites every segment without tombstones, reclaiming the space

@@ -236,6 +236,7 @@ func (t *Table) RebuildZoneMaps() {
 func (t *Table) SelectWhere(preds []Pred) ([]Result, QueryReport) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	start := t.obsStart()
 
 	if len(preds) == 0 {
 		panic("table: SelectWhere needs at least one predicate")
@@ -268,7 +269,7 @@ func (t *Table) SelectWhere(preds []Pred) ([]Result, QueryReport) {
 	})
 	out := mergeScans(parts, &rep)
 
-	t.noteQuery(rep)
+	t.noteQuery(rep, lapNs(start))
 	return out, rep
 }
 

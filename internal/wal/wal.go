@@ -21,6 +21,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
+
+	"cinderella/internal/obs"
 )
 
 // Kind tags an operation in the log.
@@ -59,7 +62,12 @@ type Writer struct {
 	f   *os.File
 	buf *bufio.Writer
 	scr []byte
+	obs *obs.Registry
 }
+
+// SetObserver attaches a telemetry registry; appends and syncs then feed
+// the WAL counters and latency histograms. nil detaches.
+func (w *Writer) SetObserver(r *obs.Registry) { w.obs = r }
 
 // Create opens path for appending (creating it if missing).
 func Create(path string) (*Writer, error) {
@@ -73,6 +81,10 @@ func Create(path string) (*Writer, error) {
 // Append writes one operation to the log buffer. Call Sync to make it
 // durable.
 func (w *Writer) Append(op Op) error {
+	var start time.Time
+	if w.obs != nil {
+		start = time.Now()
+	}
 	payload := w.scr[:0]
 	payload = append(payload, byte(op.Kind))
 	payload = binary.AppendUvarint(payload, op.ID)
@@ -86,15 +98,29 @@ func (w *Writer) Append(op Op) error {
 		return err
 	}
 	_, err := w.buf.Write(payload)
+	if err == nil && w.obs != nil {
+		w.obs.Add(obs.CWALAppends, 1)
+		w.obs.Add(obs.CWALAppendBytes, int64(len(hdr)+len(payload)))
+		w.obs.ObserveWALAppendNs(time.Since(start).Nanoseconds())
+	}
 	return err
 }
 
 // Sync flushes buffered records and fsyncs the file.
 func (w *Writer) Sync() error {
+	var start time.Time
+	if w.obs != nil {
+		start = time.Now()
+	}
 	if err := w.buf.Flush(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	err := w.f.Sync()
+	if err == nil && w.obs != nil {
+		w.obs.Add(obs.CWALSyncs, 1)
+		w.obs.ObserveWALSyncNs(time.Since(start).Nanoseconds())
+	}
+	return err
 }
 
 // Close flushes, syncs, and closes the log.

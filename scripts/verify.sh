@@ -12,4 +12,11 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Telemetry regressions get a dedicated pass: the efficiency-exactness
+# property test, the SetParallelism race test, and the trace lifecycle
+# must hold under the race detector with more aggressive interleaving.
+echo "== go test -race -count=2 telemetry suite"
+go test -race -count=2 -run 'TestStreamingEfficiency|TestSetParallelismRace|TestTrace' \
+	./internal/table ./internal/obs
+
 echo "verify: OK"
