@@ -2,8 +2,10 @@
 
 GO ?= go
 OBS_PORT ?= 8080
+ADDR ?= 127.0.0.1:8263
+WAL ?= /tmp/cinderella.wal
 
-.PHONY: verify build vet test race bench-hotpath bench-obs obs-demo
+.PHONY: verify build vet test race bench-hotpath bench-obs bench-server run-server obs-demo
 
 # verify is the tier-1 gate: build everything, vet, full test suite under
 # the race detector.
@@ -31,6 +33,20 @@ bench-hotpath:
 # uninstrumented load + query replay) and regenerates BENCH_obs.json.
 bench-obs:
 	$(GO) run ./cmd/cinderella-bench -exp obs -entities 50000 -json BENCH_obs.json
+
+# bench-server measures the group-commit win of the service layer —
+# durable-insert throughput of 64 concurrent clients with per-op fsync
+# vs. the batching committer — and regenerates BENCH_server.json (see
+# cmd/cinderella-bench -exp server). The tracked result must show
+# group_speedup >= 3.
+bench-server:
+	$(GO) run ./cmd/cinderella-bench -exp server -json BENCH_server.json
+
+# run-server starts cinderellad in the foreground on $(ADDR) with the
+# WAL at $(WAL). Drive it with `cinderella-load -target http://$(ADDR)`
+# or the client package; SIGTERM (ctrl-C) drains gracefully.
+run-server:
+	$(GO) run ./cmd/cinderellad -addr $(ADDR) -wal $(WAL)
 
 # obs-demo loads synthetic data with the ops endpoint live, curls
 # /metrics, and exits — the README "Operations" walkthrough.

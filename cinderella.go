@@ -320,12 +320,13 @@ func (t *Table) QueryWithReport(attrs ...string) ([]Record, QueryReport) {
 	return out, rep
 }
 
-// PartitionStat describes one partition.
+// PartitionStat describes one partition. The json tags are the
+// service-layer wire format (GET /v1/partitions).
 type PartitionStat struct {
-	Records    int
-	Bytes      int64
-	Pages      int
-	Attributes []string
+	Records    int      `json:"records"`
+	Bytes      int64    `json:"bytes"`
+	Pages      int      `json:"pages"`
+	Attributes []string `json:"attributes"`
 }
 
 // Partitions returns the current partitioning, ordered by partition id.

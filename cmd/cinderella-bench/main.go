@@ -30,14 +30,39 @@ import (
 	"cinderella/internal/obs"
 )
 
+var knownExps = []string{
+	"all", "fig4", "fig5", "fig6", "fig7", "fig8", "tab1",
+	"efficiency", "cache", "churn", "hotpath", "obs", "server",
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath, obs")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath, obs, server")
 	entities := flag.Int("entities", 100000, "DBpedia-like entity count")
 	sf := flag.Float64("sf", 0.02, "TPC-H-style scale factor for tab1")
 	seed := flag.Int64("seed", 1, "PRNG seed")
-	jsonPath := flag.String("json", "", "write the hotpath/obs result as JSON to this file")
+	jsonPath := flag.String("json", "", "write the hotpath/obs/server result as JSON to this file")
 	obsAddr := flag.String("obs", "", "serve the ops endpoint on this address (e.g. :8080) while running")
 	flag.Parse()
+
+	// Validate up front: a typo'd -exp must fail before minutes of data
+	// generation, not after.
+	known := false
+	for _, k := range knownExps {
+		known = known || k == *exp
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %v)\n", *exp, knownExps)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *entities <= 0 {
+		fmt.Fprintf(os.Stderr, "-entities must be positive, got %d\n", *entities)
+		os.Exit(2)
+	}
+	if *sf <= 0 {
+		fmt.Fprintf(os.Stderr, "-sf must be positive, got %v\n", *sf)
+		os.Exit(2)
+	}
 
 	o := experiments.Options{Entities: *entities, Seed: *seed, TPCHSF: *sf}
 	if *obsAddr != "" {
@@ -73,13 +98,8 @@ func main() {
 		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	any := false
 	want := func(name string) bool {
-		if *exp == "all" || *exp == name {
-			any = true
-			return true
-		}
-		return false
+		return *exp == "all" || *exp == name
 	}
 
 	if want("fig4") {
@@ -123,9 +143,11 @@ func main() {
 			writeJSON(r)
 		})
 	}
-	if !any {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+	if want("server") {
+		run("server", func() {
+			r := experiments.ServerBench(o)
+			r.Print(os.Stdout)
+			writeJSON(r)
+		})
 	}
 }

@@ -9,6 +9,14 @@
 //	cinderella-load [-entities N] [-w W] [-b B] [-json FILE]
 //	                [-strategy cinderella|universal|hash|roundrobin|schemaexact]
 //	                [-obs :PORT] [-hold]
+//	cinderella-load -target http://HOST:PORT [-entities N] [-clients N] [-json FILE]
+//
+// With -target the data set is driven through a running cinderellad
+// instead of an embedded table: -clients concurrent workers insert over
+// HTTP (each 2xx ack means the write is fsynced server-side), then the
+// probe queries run through GET /v1/query-report and the partition
+// listing comes from the server. Local-only flags (-w, -b, -strategy,
+// -obs, -hold) are rejected in this mode: the server owns partitioning.
 //
 // With -obs the process serves the live ops endpoint (Prometheus
 // /metrics, /debug/vars, /debug/pprof) while loading and probing; -hold
@@ -20,12 +28,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"cinderella/client"
 	"cinderella/internal/core"
 	"cinderella/internal/datagen"
 	"cinderella/internal/entity"
@@ -34,6 +47,11 @@ import (
 	"cinderella/internal/synopsis"
 	"cinderella/internal/table"
 )
+
+var knownStrategies = map[string]bool{
+	"cinderella": true, "universal": true, "hash": true,
+	"roundrobin": true, "schemaexact": true,
+}
 
 // loadJSONL reads flat JSON objects (one per line) into a data set using
 // the given dictionary.
@@ -80,6 +98,31 @@ func loadJSONL(path string, dict *entity.Dictionary) (*datagen.Dataset, error) {
 	return ds, sc.Err()
 }
 
+// entityDoc converts a data-set entity into the wire Doc shape.
+func entityDoc(e *entity.Entity, dict *entity.Dictionary) client.Doc {
+	doc := make(client.Doc, e.NumAttrs())
+	for _, f := range e.Fields() {
+		name := dict.Name(f.Attr)
+		switch f.Value.Kind() {
+		case entity.KindInt:
+			doc[name] = f.Value.AsInt()
+		case entity.KindFloat:
+			doc[name] = f.Value.AsFloat()
+		case entity.KindString:
+			doc[name] = f.Value.AsString()
+		}
+	}
+	return doc
+}
+
+func fail(msgs ...string) {
+	for _, m := range msgs {
+		fmt.Fprintln(os.Stderr, "cinderella-load: "+m)
+	}
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
 	entities := flag.Int("entities", 20000, "entity count (synthetic data)")
 	w := flag.Float64("w", 0.2, "Cinderella weight")
@@ -89,18 +132,44 @@ func main() {
 	jsonl := flag.String("json", "", "load newline-delimited JSON from this file instead of synthetic data")
 	obsAddr := flag.String("obs", "", "serve the ops endpoint on this address (e.g. :8080)")
 	hold := flag.Bool("hold", false, "with -obs: keep serving after the report until interrupted")
+	target := flag.String("target", "", "drive a running cinderellad at this base URL instead of an embedded table")
+	clients := flag.Int("clients", 16, "with -target: concurrent insert workers")
 	flag.Parse()
 
-	var reg *obs.Registry
-	if *obsAddr != "" {
-		reg = obs.New(obs.Options{})
-		go func() {
-			if err := reg.Serve(*obsAddr); err != nil {
-				fmt.Fprintf(os.Stderr, "obs endpoint: %v\n", err)
-				os.Exit(1)
-			}
-		}()
-		fmt.Printf("ops endpoint on %s (/metrics /debug/vars /debug/pprof)\n", *obsAddr)
+	// Validate everything up front so bad invocations fail fast with a
+	// usage message instead of after seconds of data generation.
+	var errs []string
+	if flag.NArg() > 0 {
+		errs = append(errs, fmt.Sprintf("unexpected arguments: %v", flag.Args()))
+	}
+	if !knownStrategies[*strategy] {
+		errs = append(errs, fmt.Sprintf("unknown strategy %q", *strategy))
+	}
+	if *entities <= 0 {
+		errs = append(errs, fmt.Sprintf("-entities must be positive, got %d", *entities))
+	}
+	if *w < 0 || *w > 1 {
+		errs = append(errs, fmt.Sprintf("-w must be in [0,1], got %v", *w))
+	}
+	if *b <= 0 {
+		errs = append(errs, fmt.Sprintf("-b must be positive, got %d", *b))
+	}
+	if *clients <= 0 {
+		errs = append(errs, fmt.Sprintf("-clients must be positive, got %d", *clients))
+	}
+	if *hold && *obsAddr == "" {
+		errs = append(errs, "-hold requires -obs")
+	}
+	if *target != "" {
+		if u, err := url.Parse(*target); err != nil || u.Scheme == "" || u.Host == "" {
+			errs = append(errs, fmt.Sprintf("-target must be a base URL like http://127.0.0.1:8263, got %q", *target))
+		}
+		if *obsAddr != "" || *hold {
+			errs = append(errs, "-obs/-hold apply only to local mode (the server has its own /metrics)")
+		}
+	}
+	if len(errs) > 0 {
+		fail(errs...)
 	}
 
 	var ds *datagen.Dataset
@@ -121,6 +190,26 @@ func main() {
 		ds.Shuffle(*seed + 1)
 	}
 
+	if *target != "" {
+		if err := runTarget(*target, ds, *clients); err != nil {
+			fmt.Fprintln(os.Stderr, "cinderella-load: "+err.Error())
+			os.Exit(1)
+		}
+		return
+	}
+
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.New(obs.Options{})
+		go func() {
+			if err := reg.Serve(*obsAddr); err != nil {
+				fmt.Fprintf(os.Stderr, "obs endpoint: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("ops endpoint on %s (/metrics /debug/vars /debug/pprof)\n", *obsAddr)
+	}
+
 	var assigner core.Assigner
 	switch *strategy {
 	case "cinderella":
@@ -133,9 +222,6 @@ func main() {
 		assigner = core.NewRoundRobin(*b, core.SizeCount)
 	case "schemaexact":
 		assigner = core.NewSchemaExact(0, core.SizeCount)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
-		os.Exit(2)
 	}
 
 	tbl := table.New(table.Config{Dict: ds.Dict, Partitioner: assigner, Obs: reg})
@@ -191,4 +277,91 @@ func main() {
 			select {}
 		}
 	}
+}
+
+// runTarget drives the data set through a running cinderellad: concurrent
+// durable inserts, then the probe queries server-side.
+func runTarget(base string, ds *datagen.Dataset, workers int) error {
+	ctx := context.Background()
+	c, err := client.New(base)
+	if err != nil {
+		return err
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("probing %s: %w", base, err)
+	}
+	fmt.Printf("target %s: status=%s docs=%d durable_lsn=%d\n", base, h.Status, h.Docs, h.DurableLSN)
+
+	docs := make([]client.Doc, len(ds.Entities))
+	for i, e := range ds.Entities {
+		docs[i] = entityDoc(e, ds.Dict)
+	}
+
+	var next, acked, failed atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) {
+					return
+				}
+				if _, err := c.Insert(ctx, docs[i]); err != nil {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				acked.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("inserted %d/%d docs durably in %v (%.0f acked ops/s, %d clients)\n",
+		acked.Load(), len(docs), elapsed.Round(time.Millisecond),
+		float64(acked.Load())/elapsed.Seconds(), workers)
+	if n := failed.Load(); n > 0 {
+		fmt.Printf("  %d inserts failed (first: %v)\n", n, firstErr.Load())
+	}
+
+	parts, err := c.Partitions(ctx)
+	if err != nil {
+		return fmt.Errorf("listing partitions: %w", err)
+	}
+	fmt.Printf("server partitions: %d\n\n", len(parts))
+	fmt.Printf("%-6s %10s %10s %8s\n", "part", "entities", "attrs", "pages")
+	for i, pv := range parts {
+		if i >= 25 {
+			fmt.Printf("… (%d more partitions)\n", len(parts)-i)
+			break
+		}
+		fmt.Printf("%-6d %10d %10d %8d\n", i, pv.Records, len(pv.Attributes), pv.Pages)
+	}
+
+	fmt.Printf("\nprobe queries (server-side pruning report)\n")
+	for _, name := range []string{"universal_00", "common_05", "rare_50"} {
+		if _, ok := ds.Dict.Lookup(name); !ok {
+			continue
+		}
+		start := time.Now()
+		recs, rep, err := c.QueryWithReport(ctx, name)
+		if err != nil {
+			return fmt.Errorf("query %s: %w", name, err)
+		}
+		d := time.Since(start)
+		fmt.Printf("  %-14s rows=%-6d touched=%-4d pruned=%-4d read=%dKB time=%v\n",
+			name, len(recs), rep.PartitionsTouched, rep.PartitionsPruned,
+			rep.BytesRead/1024, d.Round(time.Microsecond))
+	}
+
+	if h, err = c.Health(ctx); err == nil {
+		fmt.Printf("\nfinal: docs=%d durable_lsn=%d last_lsn=%d\n", h.Docs, h.DurableLSN, h.LastLSN)
+	}
+	return nil
 }

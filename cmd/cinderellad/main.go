@@ -1,0 +1,154 @@
+// Command cinderellad serves a durable Cinderella-partitioned table over
+// HTTP/JSON (see internal/server for the wire format and the client
+// package for a typed caller). Writes are group-committed: many
+// concurrent inserts share one WAL fsync, and a 2xx answer means the
+// operation is on disk.
+//
+// Usage:
+//
+//	cinderellad -wal table.wal [-addr :8263] [-w W] [-b B]
+//	            [-strategy cinderella|universal|hash|roundrobin|schemaexact]
+//	            [-inflight N] [-queue N] [-commit-delay D] [-commit-max N]
+//	            [-per-op-sync] [-addr-file PATH] [-checkpoint-on-exit=false]
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: it stops admitting
+// requests (503 + Retry-After), finishes the in-flight ones, flushes the
+// group-commit pipeline, checkpoints the WAL, and exits 0. A second
+// signal aborts immediately.
+//
+// -addr-file writes the actually bound address (useful with -addr
+// 127.0.0.1:0) to a file so scripts can find the server.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cinderella"
+	"cinderella/internal/obs"
+	"cinderella/internal/server"
+)
+
+var strategies = map[string]cinderella.Strategy{
+	"cinderella":  cinderella.StrategyCinderella,
+	"universal":   cinderella.StrategyUniversal,
+	"hash":        cinderella.StrategyHash,
+	"roundrobin":  cinderella.StrategyRoundRobin,
+	"schemaexact": cinderella.StrategySchemaExact,
+}
+
+func main() {
+	addr := flag.String("addr", ":8263", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	walPath := flag.String("wal", "cinderella.wal", "write-ahead log path (created if missing, replayed if present)")
+	w := flag.Float64("w", 0.5, "Cinderella weight w ∈ [0,1]")
+	b := flag.Int64("b", 5000, "partition size limit B (records)")
+	strategy := flag.String("strategy", "cinderella", "partitioning strategy")
+	inflight := flag.Int("inflight", 0, "max concurrently served requests (0 = default)")
+	queue := flag.Int("queue", 0, "admission queue depth beyond -inflight (0 = default)")
+	commitDelay := flag.Duration("commit-delay", 0, "group-commit window (0 = default)")
+	commitMax := flag.Int("commit-max", 0, "max ops per group commit (0 = default)")
+	perOpSync := flag.Bool("per-op-sync", false, "fsync every write individually instead of group-committing")
+	reqTimeout := flag.Duration("timeout", 0, "per-request server-side timeout (0 = default)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	checkpointOnExit := flag.Bool("checkpoint-on-exit", true, "compact the WAL to a checkpoint during graceful shutdown")
+	flag.Parse()
+
+	st, ok := strategies[*strategy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cinderellad: unknown strategy %q\n", *strategy)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *w < 0 || *w > 1 {
+		fmt.Fprintf(os.Stderr, "cinderellad: -w must be in [0,1], got %v\n", *w)
+		os.Exit(2)
+	}
+	if *b <= 0 {
+		fmt.Fprintf(os.Stderr, "cinderellad: -b must be positive, got %d\n", *b)
+		os.Exit(2)
+	}
+	if *inflight < 0 || *queue < 0 || *commitMax < 0 {
+		fmt.Fprintln(os.Stderr, "cinderellad: -inflight, -queue, and -commit-max must be non-negative")
+		os.Exit(2)
+	}
+
+	reg := obs.New(obs.Options{})
+	d, err := cinderella.OpenFile(*walPath, cinderella.Config{
+		Strategy:           st,
+		Weight:             *w,
+		PartitionSizeLimit: *b,
+		Obs:                reg,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cinderellad: opening %s: %v\n", *walPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("cinderellad: wal %s replayed, %d docs, %d partitions\n",
+		*walPath, d.Len(), len(d.Partitions()))
+
+	srv := server.New(d, server.Config{
+		MaxInflight:    *inflight,
+		MaxQueue:       *queue,
+		RequestTimeout: *reqTimeout,
+		CommitDelay:    *commitDelay,
+		CommitMaxOps:   *commitMax,
+		PerOpSync:      *perOpSync,
+		Obs:            reg,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cinderellad: listen %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("cinderellad: serving on %s\n", bound)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cinderellad: writing -addr-file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("cinderellad: %v — draining (in-flight finish, new requests get 503)\n", sig)
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "cinderellad: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Drain: reject new work first so Shutdown only waits on requests
+	// already admitted. A second signal cuts the wait short.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		<-sigc
+		cancel()
+	}()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "cinderellad: shutdown: %v\n", err)
+	}
+	cancel()
+
+	if err := srv.Finish(*checkpointOnExit); err != nil {
+		fmt.Fprintf(os.Stderr, "cinderellad: finish: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cinderellad: drained, %d docs durable, bye\n", d.Len())
+}

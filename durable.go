@@ -1,16 +1,23 @@
 package cinderella
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"cinderella/internal/core"
 	"cinderella/internal/entity"
 	"cinderella/internal/obs"
 	"cinderella/internal/wal"
 )
+
+// ErrClosed is returned by mutating operations, Sync, and Checkpoint on
+// a closed DurableTable. Close itself is idempotent: closing twice is a
+// no-op, which lets a server's drain path and a defer race safely.
+var ErrClosed = errors.New("cinderella: durable table is closed")
 
 // DurableTable is a Table backed by a write-ahead log. Every mutating
 // operation is appended to the log before it is applied; OpenFile replays
@@ -19,13 +26,31 @@ import (
 //
 // Durability granularity: operations are buffered and made durable by
 // Sync, Checkpoint, and Close. Call Sync after operations that must
-// survive a crash, or set Config-independent sync points in the caller.
+// survive a crash, or use LastLSN/SyncTo to let a group committer
+// acknowledge many concurrent writers with one fsync (see
+// internal/server).
 type DurableTable struct {
 	*Table
-	mu     sync.Mutex
+	mu sync.Mutex
+	// syncMu serializes SyncTo's out-of-lock fsync against writer swaps
+	// (Checkpoint) and Close, so the file being fsynced cannot be closed
+	// underneath the syscall. Lock order: syncMu before mu; never the
+	// reverse.
+	syncMu sync.Mutex
 	w      *wal.Writer
 	path   string
-	logged int // attribute names already logged
+	logged int  // attribute names already logged
+	closed bool // set by Close; all later mutations return ErrClosed
+
+	// LSN bookkeeping for group commit. An LSN counts WAL records
+	// appended over the table's lifetime; base carries the count across
+	// Checkpoint's writer swap (the new log starts at record 0 but every
+	// pre-checkpoint LSN is durable by construction). appendLSN and
+	// durableLSN are written under mu but read lock-free by SyncTo's
+	// fast path and by monitoring.
+	base       uint64
+	appendLSN  atomic.Uint64
+	durableLSN atomic.Uint64
 }
 
 // OpenFile opens (or creates) a durable table at path. An existing log
@@ -129,10 +154,25 @@ func (d *DurableTable) logNewAttrs() error {
 	return nil
 }
 
+// noteAppend refreshes the append LSN after one or more successful WAL
+// appends. Callers hold d.mu.
+func (d *DurableTable) noteAppend() {
+	d.appendLSN.Store(d.base + d.w.Seq())
+}
+
+// noteSynced refreshes the durable LSN after a successful sync (or a
+// close/checkpoint, which imply one). Callers hold d.mu.
+func (d *DurableTable) noteSynced() {
+	d.durableLSN.Store(d.base + d.w.Synced())
+}
+
 // Insert stores doc durably and returns its id.
 func (d *DurableTable) Insert(doc Doc) (ID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
 	e := d.toEntity(doc)
 	if err := d.logNewAttrs(); err != nil {
 		return 0, err
@@ -143,6 +183,7 @@ func (d *DurableTable) Insert(doc Doc) (ID, error) {
 	if err := d.w.Append(wal.Op{Kind: wal.KindInsert, ID: uint64(id), Data: e.Marshal(nil)}); err != nil {
 		return 0, err
 	}
+	d.noteAppend()
 	return id, nil
 }
 
@@ -150,6 +191,9 @@ func (d *DurableTable) Insert(doc Doc) (ID, error) {
 func (d *DurableTable) Update(id ID, doc Doc) (bool, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return false, ErrClosed
+	}
 	e := d.toEntity(doc)
 	if err := d.logNewAttrs(); err != nil {
 		return false, err
@@ -160,6 +204,7 @@ func (d *DurableTable) Update(id ID, doc Doc) (bool, error) {
 	if err := d.w.Append(wal.Op{Kind: wal.KindUpdate, ID: uint64(id), Data: e.Marshal(nil)}); err != nil {
 		return false, err
 	}
+	d.noteAppend()
 	return true, nil
 }
 
@@ -167,12 +212,16 @@ func (d *DurableTable) Update(id ID, doc Doc) (bool, error) {
 func (d *DurableTable) Delete(id ID) (bool, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return false, ErrClosed
+	}
 	if !d.inner.Delete(id) {
 		return false, nil
 	}
 	if err := d.w.Append(wal.Op{Kind: wal.KindDelete, ID: uint64(id)}); err != nil {
 		return false, err
 	}
+	d.noteAppend()
 	return true, nil
 }
 
@@ -181,11 +230,17 @@ func (d *DurableTable) Delete(id ID) (bool, error) {
 func (d *DurableTable) Compact(threshold float64) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
 	n := d.inner.Compact(threshold)
 	if n == 0 {
 		return 0, nil
 	}
 	err := d.w.Append(wal.Op{Kind: wal.KindCompact, ID: math.Float64bits(threshold)})
+	if err == nil {
+		d.noteAppend()
+	}
 	return n, err
 }
 
@@ -193,15 +248,80 @@ func (d *DurableTable) Compact(threshold float64) (int, error) {
 func (d *DurableTable) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.w.Sync()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.w.Sync(); err != nil {
+		return err
+	}
+	d.noteSynced()
+	return nil
+}
+
+// LastLSN returns the log sequence number of the most recent append. A
+// writer that just mutated the table reads LastLSN and passes it to
+// SyncTo (or a group committer) to wait for exactly that much history to
+// become durable. LSNs are monotonic across Checkpoint.
+func (d *DurableTable) LastLSN() uint64 { return d.appendLSN.Load() }
+
+// DurableLSN returns the highest LSN known durable: every operation
+// appended at or before it has been fsynced (or captured by a
+// checkpoint).
+func (d *DurableTable) DurableLSN() uint64 { return d.durableLSN.Load() }
+
+// SyncTo makes every operation appended at or before lsn durable. When a
+// concurrent SyncTo, Sync, or Checkpoint already covered lsn it returns
+// immediately without touching the file — the coalescing that makes
+// group commit turn N concurrent fsyncs into one. The fsync itself runs
+// outside the table lock, so concurrent mutations proceed during the
+// disk wait and pile into the next batch. Calling SyncTo on a closed
+// table succeeds if lsn was already durable (Close syncs), and returns
+// ErrClosed otherwise.
+func (d *DurableTable) SyncTo(lsn uint64) error {
+	if d.durableLSN.Load() >= lsn {
+		return nil
+	}
+	// syncMu keeps the writer alive across the out-of-lock fsync:
+	// Checkpoint and Close, which swap or close the file, queue behind
+	// it. It also serializes concurrent SyncTo callers, though the
+	// committer normally funnels them into one goroutine anyway.
+	d.syncMu.Lock()
+	defer d.syncMu.Unlock()
+	if d.durableLSN.Load() >= lsn {
+		return nil
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	w := d.w
+	seq, err := w.Flush()
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := w.SyncFile(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	w.MarkSynced(seq)
+	d.noteSynced()
+	d.mu.Unlock()
+	return nil
 }
 
 // Checkpoint compacts the log to the current live contents: attribute
 // registrations followed by one insert per live document. Ids are
 // preserved. The log shrinks to O(live data) regardless of history.
 func (d *DurableTable) Checkpoint() error {
+	d.syncMu.Lock() // wait out any in-flight SyncTo fsync before swapping the writer
+	defer d.syncMu.Unlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
 	if err := d.w.Sync(); err != nil {
 		return err
 	}
@@ -227,12 +347,29 @@ func (d *DurableTable) Checkpoint() error {
 	}
 	d.w = w
 	d.logged = d.dict.Len()
+	// The rewritten log captured everything ever appended: carry the LSN
+	// clock across the writer swap and mark all of it durable.
+	d.base = d.appendLSN.Load()
+	d.durableLSN.Store(d.base)
 	return nil
 }
 
 // Close syncs and closes the log. The table remains readable in memory.
+// Close is idempotent — a second Close is a no-op returning nil — and
+// safe to race with Sync, Checkpoint, and mutations: whoever loses the
+// race to a completed Close gets ErrClosed.
 func (d *DurableTable) Close() error {
+	d.syncMu.Lock() // wait out any in-flight SyncTo fsync before closing the file
+	defer d.syncMu.Unlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.w.Close()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	err := d.w.Close()
+	if err == nil {
+		d.noteSynced()
+	}
+	return err
 }

@@ -1,12 +1,16 @@
 package cinderella
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
+
+	"cinderella/internal/obs"
 )
 
 func openDurable(t *testing.T, path string, cfg Config) *DurableTable {
@@ -226,4 +230,142 @@ func TestDurableCompactReplays(t *testing.T) {
 	if !reflect.DeepEqual(before, after) {
 		t.Fatalf("compacted layout not reproduced:\nbefore %v\nafter  %v", before, after)
 	}
+}
+
+func TestDurableCloseIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	d := openDurable(t, path, Config{})
+	if _, err := d.Insert(Doc{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: got %v, want nil (no-op)", err)
+	}
+	// Every mutating entry point must refuse cleanly after Close.
+	if _, err := d.Insert(Doc{"b": 2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Insert after Close: got %v, want ErrClosed", err)
+	}
+	if _, err := d.Update(1, Doc{"b": 2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Update after Close: got %v, want ErrClosed", err)
+	}
+	if _, err := d.Delete(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Delete after Close: got %v, want ErrClosed", err)
+	}
+	if _, err := d.Compact(0.5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Compact after Close: got %v, want ErrClosed", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Close: got %v, want ErrClosed", err)
+	}
+	if err := d.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after Close: got %v, want ErrClosed", err)
+	}
+	// The table stays readable in memory.
+	if d.Len() != 1 {
+		t.Fatalf("Len after Close = %d, want 1", d.Len())
+	}
+}
+
+// TestDurableCloseCheckpointRace exercises the server-shutdown shape:
+// drain (sync + checkpoint) racing a deferred Close. Whatever the
+// interleaving, nothing may deadlock, panic, or corrupt the log, and the
+// losers must see ErrClosed rather than touching a closed file.
+func TestDurableCloseCheckpointRace(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("r%d.wal", round))
+		d := openDurable(t, path, Config{})
+		for i := 0; i < 50; i++ {
+			if _, err := d.Insert(Doc{"k": i, "round": round}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		for _, f := range []func() error{d.Checkpoint, d.Sync, d.Close, d.Close} {
+			wg.Add(1)
+			go func(f func() error) {
+				defer wg.Done()
+				if err := f(); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("racing op: %v", err)
+				}
+			}(f)
+		}
+		wg.Wait()
+		// The log must replay to the full contents regardless of which
+		// operation won.
+		re := openDurable(t, path, Config{})
+		if re.Len() != 50 {
+			t.Fatalf("round %d: recovered %d docs, want 50", round, re.Len())
+		}
+		re.Close()
+	}
+}
+
+func TestDurableLSNAndSyncTo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	d := openDurable(t, path, Config{})
+	if got := d.LastLSN(); got != 0 {
+		t.Fatalf("fresh LastLSN = %d, want 0", got)
+	}
+	if _, err := d.Insert(Doc{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	lsn := d.LastLSN()
+	if lsn == 0 {
+		t.Fatal("LastLSN did not advance after Insert")
+	}
+	if d.DurableLSN() >= lsn {
+		t.Fatal("insert should not be durable before any sync")
+	}
+	if err := d.SyncTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if d.DurableLSN() < lsn {
+		t.Fatalf("DurableLSN = %d after SyncTo(%d)", d.DurableLSN(), lsn)
+	}
+	// A second SyncTo for covered history must not fsync again.
+	syncs := walSyncCount(t, d)
+	if err := d.SyncTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if got := walSyncCount(t, d); got != syncs {
+		t.Fatalf("covered SyncTo fsynced anyway (%d -> %d)", syncs, got)
+	}
+	// LSNs stay monotonic across Checkpoint, and checkpointed history is
+	// durable by construction.
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if d.DurableLSN() < lsn || d.LastLSN() < lsn {
+		t.Fatalf("LSN clock went backwards across Checkpoint: last=%d durable=%d want >= %d",
+			d.LastLSN(), d.DurableLSN(), lsn)
+	}
+	if _, err := d.Insert(Doc{"b": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if d.LastLSN() <= lsn {
+		t.Fatal("LastLSN did not advance past pre-checkpoint history")
+	}
+	if err := d.SyncTo(d.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-close: covered LSNs succeed, uncovered would be ErrClosed.
+	if err := d.SyncTo(d.DurableLSN()); err != nil {
+		t.Fatalf("SyncTo(covered) after Close: %v", err)
+	}
+}
+
+// walSyncCount observes fsyncs through the telemetry registry.
+func walSyncCount(t *testing.T, d *DurableTable) int64 {
+	t.Helper()
+	if d.Observer() == nil {
+		r := NewObserver()
+		d.SetObserver(r)
+	}
+	return d.Observer().Counter(obs.CWALSyncs)
 }

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestServerBenchSmoke runs the group-commit comparison at a tiny scale:
+// both modes must make progress and the group path must coalesce.
+func TestServerBenchSmoke(t *testing.T) {
+	r := serverBench(8, 60*time.Millisecond)
+	if r.PerOpOpsPerSec <= 0 || r.GroupOpsPerSec <= 0 {
+		t.Fatalf("no progress: per-op %.0f ops/s, group %.0f ops/s", r.PerOpOpsPerSec, r.GroupOpsPerSec)
+	}
+	if r.HTTPPerOpOpsPerSec <= 0 || r.HTTPGroupOpsPerSec <= 0 {
+		t.Fatalf("no HTTP progress: %.0f / %.0f ops/s", r.HTTPPerOpOpsPerSec, r.HTTPGroupOpsPerSec)
+	}
+	if r.GroupCommits <= 0 || r.GroupMeanBatch < 1 {
+		t.Fatalf("committer never batched: %d commits, mean %.1f", r.GroupCommits, r.GroupMeanBatch)
+	}
+	// No throughput assertion here — 60ms on a loaded CI box is noise
+	// territory; cmd/cinderella-bench -exp server runs the real thing.
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}

@@ -32,6 +32,18 @@ func newLatencyHistogram() Histogram {
 	}
 }
 
+// batchBounds is the bucket ladder for group-commit batch sizes: powers
+// of two up to far past the committer's early-flush threshold. Samples
+// are operation counts, not nanoseconds; the export scale is 1.
+var batchBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+func newBatchHistogram() Histogram {
+	return Histogram{
+		boundsNs: batchBounds,
+		counts:   make([]atomic.Int64, len(batchBounds)+1),
+	}
+}
+
 // Observe records one sample (in nanoseconds).
 func (h *Histogram) Observe(ns int64) {
 	i := 0

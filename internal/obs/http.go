@@ -78,6 +78,8 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 			name, help, name, name, formatFloat(v))
 	}
 	gauge("cinderella_partitions", "Current partition count.", float64(r.Partitions()))
+	gauge("cinderella_server_inflight", "HTTP API requests currently executing.", float64(r.ServerInflight()))
+	gauge("cinderella_server_queued", "HTTP API requests waiting in the admission queue.", float64(r.ServerQueued()))
 	gauge("cinderella_efficiency",
 		"Streaming EFFICIENCY (Definition 1, entity-count units) over all queries.",
 		r.Efficiency())
@@ -91,21 +93,23 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 		r.EfficiencyBytes())
 
 	for _, nh := range r.histograms() {
-		writeHistogram(w, nh.name, nh.help, nh.hist)
+		writeHistogram(w, nh.name, nh.help, nh.hist, nh.scale)
 	}
 }
 
 // writeHistogram renders one histogram family with cumulative buckets.
-func writeHistogram(w io.Writer, name, help string, h *Histogram) {
+// scale divides raw sample values (1e9 for nanoseconds→seconds, 1 for
+// unit-less samples like batch sizes).
+func writeHistogram(w io.Writer, name, help string, h *Histogram, scale float64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	var cum int64
 	for i, b := range h.boundsNs {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(float64(b)/1e9), cum)
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(float64(b)/scale), cum)
 	}
 	cum += h.counts[len(h.boundsNs)].Load()
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(h.SumNs())/1e9))
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(h.SumNs())/scale))
 	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
 }
 

@@ -54,6 +54,14 @@ const (
 	CWALAppendBytes
 	CWALSyncs
 
+	// Server-side counters, published by internal/server and the group
+	// committer.
+	CSrvRequests
+	CSrvRejected
+	CSrvErrors
+	CGroupCommits
+	CGroupCommitOps
+
 	numCounters
 )
 
@@ -80,6 +88,11 @@ var counterNames = [numCounters]string{
 	CWALAppends:        "cinderella_wal_appends_total",
 	CWALAppendBytes:    "cinderella_wal_append_bytes_total",
 	CWALSyncs:          "cinderella_wal_syncs_total",
+	CSrvRequests:       "cinderella_server_requests_total",
+	CSrvRejected:       "cinderella_server_rejected_total",
+	CSrvErrors:         "cinderella_server_errors_total",
+	CGroupCommits:      "cinderella_server_group_commits_total",
+	CGroupCommitOps:    "cinderella_server_group_commit_ops_total",
 }
 
 // counterHelp documents each counter for the /metrics HELP lines.
@@ -105,6 +118,11 @@ var counterHelp = [numCounters]string{
 	CWALAppends:        "Operations appended to the write-ahead log.",
 	CWALAppendBytes:    "Payload bytes appended to the write-ahead log.",
 	CWALSyncs:          "Write-ahead-log fsyncs.",
+	CSrvRequests:       "HTTP API requests admitted and served.",
+	CSrvRejected:       "HTTP API requests rejected with 503 (admission queue full or draining).",
+	CSrvErrors:         "HTTP API requests answered with a 4xx/5xx error status.",
+	CGroupCommits:      "Group-commit batches flushed (one WAL fsync each, at most).",
+	CGroupCommitOps:    "Acknowledged operations covered by group-commit batches.",
 }
 
 // effSample is one query's contribution to the windowed estimator.
@@ -128,10 +146,17 @@ type Registry struct {
 	counters   [numCounters]atomic.Int64
 	partitions atomic.Int64 // gauge: current partition count
 
+	// Server gauges, maintained by internal/server: requests currently
+	// executing, and requests waiting in the bounded admission queue.
+	srvInflight atomic.Int64
+	srvQueued   atomic.Int64
+
 	insertNs    Histogram
 	queryNs     Histogram
 	walAppendNs Histogram
 	walSyncNs   Histogram
+	serverNs    Histogram
+	batchSize   Histogram // group-commit batch sizes (unit: operations)
 
 	// Streaming EFFICIENCY (Definition 1). The cumulative sums use the
 	// paper's entity-count SIZE() units, mirroring the offline
@@ -160,6 +185,8 @@ func New(opts Options) *Registry {
 		queryNs:     newLatencyHistogram(),
 		walAppendNs: newLatencyHistogram(),
 		walSyncNs:   newLatencyHistogram(),
+		serverNs:    newLatencyHistogram(),
+		batchSize:   newBatchHistogram(),
 		effRing:     make([]effSample, opts.EffWindow),
 	}
 	if opts.TraceCap > 0 {
@@ -222,6 +249,57 @@ func (r *Registry) ObserveWALSyncNs(ns int64) {
 		return
 	}
 	r.walSyncNs.Observe(ns)
+}
+
+// ObserveServerNs records one served HTTP request's wall time. Nil-safe.
+func (r *Registry) ObserveServerNs(ns int64) {
+	if r == nil {
+		return
+	}
+	r.serverNs.Observe(ns)
+}
+
+// ObserveBatchSize records one group-commit batch's operation count.
+// Nil-safe.
+func (r *Registry) ObserveBatchSize(ops int64) {
+	if r == nil {
+		return
+	}
+	r.batchSize.Observe(ops)
+}
+
+// AddServerInflight adjusts the executing-requests gauge by delta
+// (+1 on admit, -1 on completion). Nil-safe.
+func (r *Registry) AddServerInflight(delta int64) {
+	if r == nil {
+		return
+	}
+	r.srvInflight.Add(delta)
+}
+
+// ServerInflight returns the number of requests currently executing.
+func (r *Registry) ServerInflight() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.srvInflight.Load()
+}
+
+// AddServerQueued adjusts the admission-queue-depth gauge by delta.
+// Nil-safe.
+func (r *Registry) AddServerQueued(delta int64) {
+	if r == nil {
+		return
+	}
+	r.srvQueued.Add(delta)
+}
+
+// ServerQueued returns the number of requests waiting for admission.
+func (r *Registry) ServerQueued() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.srvQueued.Load()
 }
 
 // NoteQuery folds one executed query into the registry: the pruning and
@@ -347,6 +425,8 @@ type HistogramSnapshot struct {
 type Snapshot struct {
 	Counters         map[string]int64             `json:"counters"`
 	Partitions       int64                        `json:"partitions"`
+	ServerInflight   int64                        `json:"server_inflight"`
+	ServerQueued     int64                        `json:"server_queued"`
 	Efficiency       float64                      `json:"efficiency"`
 	EfficiencyBytes  float64                      `json:"efficiency_bytes"`
 	WindowEfficiency float64                      `json:"window_efficiency"`
@@ -363,9 +443,11 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:        make(map[string]int64, int(numCounters)),
 		Partitions:      r.Partitions(),
+		ServerInflight:  r.ServerInflight(),
+		ServerQueued:    r.ServerQueued(),
 		Efficiency:      r.Efficiency(),
 		EfficiencyBytes: r.EfficiencyBytes(),
-		Histograms:      make(map[string]HistogramSnapshot, 4),
+		Histograms:      make(map[string]HistogramSnapshot, 6),
 		TraceEvents:     r.TraceSeq(),
 	}
 	s.WindowEfficiency, s.WindowQueries = r.WindowEfficiency()
@@ -378,18 +460,24 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
-// namedHist pairs a histogram with its Prometheus family name.
+// namedHist pairs a histogram with its Prometheus family name. scale
+// divides raw sample values on export: 1e9 turns nanosecond samples
+// into seconds (the Prometheus duration convention); 1 leaves unit-less
+// samples (batch sizes) untouched.
 type namedHist struct {
-	name string
-	help string
-	hist *Histogram
+	name  string
+	help  string
+	hist  *Histogram
+	scale float64
 }
 
-func (r *Registry) histograms() [4]namedHist {
-	return [4]namedHist{
-		{"cinderella_insert_duration_seconds", "Wall time of table inserts (placement incl. splits).", &r.insertNs},
-		{"cinderella_query_duration_seconds", "Wall time of table queries (pruning + scan + merge).", &r.queryNs},
-		{"cinderella_wal_append_duration_seconds", "Wall time of WAL record appends.", &r.walAppendNs},
-		{"cinderella_wal_sync_duration_seconds", "Wall time of WAL fsyncs.", &r.walSyncNs},
+func (r *Registry) histograms() []namedHist {
+	return []namedHist{
+		{"cinderella_insert_duration_seconds", "Wall time of table inserts (placement incl. splits).", &r.insertNs, 1e9},
+		{"cinderella_query_duration_seconds", "Wall time of table queries (pruning + scan + merge).", &r.queryNs, 1e9},
+		{"cinderella_wal_append_duration_seconds", "Wall time of WAL record appends.", &r.walAppendNs, 1e9},
+		{"cinderella_wal_sync_duration_seconds", "Wall time of WAL fsyncs.", &r.walSyncNs, 1e9},
+		{"cinderella_server_request_duration_seconds", "Wall time of served HTTP API requests (admission wait incl.).", &r.serverNs, 1e9},
+		{"cinderella_server_group_commit_batch_size", "Operations acknowledged per group-commit batch.", &r.batchSize, 1},
 	}
 }

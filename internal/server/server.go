@@ -1,0 +1,568 @@
+// Package server is cinderellad's network service layer: the full
+// DurableTable API over HTTP/JSON with group-commit writes, bounded
+// admission, and graceful drain.
+//
+// Wire format (all bodies JSON, all errors {"error": "..."}):
+//
+//	POST /v1/insert      {"doc":{...}}            → {"id":N}
+//	GET  /v1/doc?id=N                             → {"id":N,"doc":{...}}
+//	POST /v1/update      {"id":N,"doc":{...}}     → {"updated":bool}
+//	POST /v1/delete      {"id":N}                 → {"deleted":bool}
+//	GET  /v1/query?attrs=a,b                      → {"records":[{"id":N,"doc":{...}},...]}
+//	GET  /v1/query-report?attrs=a,b               → {"records":[...],"report":{...}}
+//	GET  /v1/partitions                           → {"partitions":[...]}
+//	POST /v1/compact     {"threshold":F}          → {"merged":N}
+//	POST /v1/checkpoint  {}                       → {"checkpointed":true}
+//	GET  /v1/health                               → {"status":"ok"|"draining",...}
+//
+// Document values are int64, float64, or string; JSON booleans coerce
+// to int 0/1 (matching ImportJSONL), nested objects/arrays are
+// rejected. Integral JSON numbers round-trip as int64.
+//
+// Ack contract: a 2xx on a mutating route means the operation was
+// applied AND its WAL record is fsynced. Handlers append concurrently
+// but durability is acknowledged by the group committer (see
+// commit.go), which coalesces many operations per fsync.
+//
+// Backpressure: at most MaxInflight requests execute at once; up to
+// MaxQueue more wait. Beyond that — or once draining — requests get
+// 503 with a Retry-After header, and the client package backs off and
+// retries.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cinderella"
+	"cinderella/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value picks sane defaults.
+type Config struct {
+	// MaxInflight bounds concurrently executing requests. Default 128.
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an inflight slot; the
+	// admission queue. Requests beyond it are rejected with 503.
+	// Default 256.
+	MaxQueue int
+	// RequestTimeout bounds one request end to end: admission wait,
+	// body read, execution, and the group-commit ack. Default 10s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds a request body. Default 1 MiB.
+	MaxBodyBytes int64
+	// CommitDelay selects the group-commit batching policy (see
+	// NewCommitter): 0 (default) is natural batching — each flush starts
+	// when the previous fsync finishes — and a positive value holds
+	// every batch open for that window instead.
+	CommitDelay time.Duration
+	// CommitMaxOps flushes a commit batch early at this many waiters.
+	CommitMaxOps int
+	// PerOpSync disables group commit: every mutating request fsyncs
+	// individually. For benchmarking the win, not for production.
+	PerOpSync bool
+	// Obs receives server counters, gauges, and histograms; its ops
+	// endpoint (/metrics, /debug/vars, /debug/pprof) is mounted on the
+	// server mux when non-nil.
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 128
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server serves a DurableTable over HTTP. Create with New, expose with
+// Handler, shut down with BeginDrain + Finish (or Close).
+type Server struct {
+	d   *cinderella.DurableTable
+	cfg Config
+	com *Committer
+	obs *obs.Registry
+
+	sem      chan struct{} // inflight slots
+	queued   chan struct{} // admission queue slots
+	draining chan struct{} // closed by BeginDrain
+	mux      *http.ServeMux
+}
+
+// New builds a Server around d. The caller keeps ownership of d until
+// Finish, which closes it.
+func New(d *cinderella.DurableTable, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		d:        d,
+		cfg:      cfg,
+		obs:      cfg.Obs,
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		queued:   make(chan struct{}, cfg.MaxQueue),
+		draining: make(chan struct{}),
+	}
+	if !cfg.PerOpSync {
+		s.com = NewCommitter(d, cfg.CommitMaxOps, cfg.CommitDelay, cfg.Obs)
+	}
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/insert", s.handleInsert)
+	s.route("GET /v1/doc", s.handleGet)
+	s.route("POST /v1/update", s.handleUpdate)
+	s.route("POST /v1/delete", s.handleDelete)
+	s.route("GET /v1/query", s.handleQuery)
+	s.route("GET /v1/query-report", s.handleQueryReport)
+	s.route("GET /v1/partitions", s.handlePartitions)
+	s.route("POST /v1/compact", s.handleCompact)
+	s.route("POST /v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth) // never queued: probes must see a draining server
+	if cfg.Obs != nil {
+		ops := cfg.Obs.Mux()
+		s.mux.Handle("/metrics", ops)
+		s.mux.Handle("/debug/", ops)
+	}
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			writeError(w, http.StatusNotFound, "no such endpoint")
+			return
+		}
+		fmt.Fprint(w, "cinderellad\n\n/v1/{insert,doc,update,delete,query,query-report,partitions,compact,checkpoint,health}\n/metrics\n/debug/{vars,pprof}\n")
+	})
+	return s
+}
+
+// Handler returns the root handler: admission control wrapped around
+// the API routes.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// route registers an API handler behind admission control, the request
+// timeout, and telemetry.
+func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request) (int, error)) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if !s.admit(w, r) {
+			return
+		}
+		defer func() {
+			<-s.sem
+			s.obs.AddServerInflight(-1)
+			s.obs.ObserveServerNs(time.Since(start).Nanoseconds())
+		}()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+		code, err := h(w, r)
+		s.obs.Add(obs.CSrvRequests, 1)
+		if err != nil {
+			s.obs.Add(obs.CSrvErrors, 1)
+			writeError(w, code, err.Error())
+		}
+	})
+}
+
+// admit applies backpressure: grab an inflight slot immediately, or
+// wait in the bounded queue, or reject with 503 + Retry-After. A
+// closed draining channel rejects everything (health stays reachable —
+// it is registered outside route).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if s.isDraining() {
+		s.reject(w, "draining")
+		return false
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.obs.AddServerInflight(1)
+		return true
+	default:
+	}
+	// All inflight slots busy: take a queue slot or bounce.
+	select {
+	case s.queued <- struct{}{}:
+	default:
+		s.reject(w, "admission queue full")
+		return false
+	}
+	s.obs.AddServerQueued(1)
+	defer func() {
+		<-s.queued
+		s.obs.AddServerQueued(-1)
+	}()
+	t := time.NewTimer(s.cfg.RequestTimeout)
+	defer stopTimer(t)
+	select {
+	case s.sem <- struct{}{}:
+		s.obs.AddServerInflight(1)
+		return true
+	case <-s.draining:
+		s.reject(w, "draining")
+		return false
+	case <-r.Context().Done():
+		s.reject(w, "client gone")
+		return false
+	case <-t.C:
+		s.reject(w, "queued past request timeout")
+		return false
+	}
+}
+
+// reject answers 503 with a Retry-After hint and counts the rejection.
+func (s *Server) reject(w http.ResponseWriter, why string) {
+	s.obs.Add(obs.CSrvRejected, 1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, why)
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// ack waits for lsn to be durable under the request context — the
+// group-commit ack. With PerOpSync it fsyncs directly instead.
+func (s *Server) ack(r *http.Request, lsn uint64) error {
+	if s.com == nil {
+		return s.d.SyncTo(lsn)
+	}
+	return s.com.Commit(r.Context(), lsn)
+}
+
+// BeginDrain flips the server into drain mode: every subsequent request
+// (including on kept-alive connections) is rejected with 503, and
+// queued requests are bounced. In-flight requests finish normally.
+// Idempotent.
+func (s *Server) BeginDrain() {
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+}
+
+// Finish completes a drain after the HTTP listener has stopped (e.g.
+// http.Server.Shutdown returned): it stops the committer — flushing and
+// acknowledging every pending write — syncs, optionally checkpoints,
+// and closes the table. Safe to call after BeginDrain even if some
+// stragglers still race: post-close operations fail with ErrClosed
+// rather than corrupting the log.
+func (s *Server) Finish(checkpoint bool) error {
+	s.BeginDrain()
+	if s.com != nil {
+		s.com.Stop()
+	}
+	var firstErr error
+	if err := s.d.Sync(); err != nil && !errors.Is(err, cinderella.ErrClosed) {
+		firstErr = err
+	}
+	if checkpoint {
+		if err := s.d.Checkpoint(); err != nil && !errors.Is(err, cinderella.ErrClosed) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := s.d.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Close is BeginDrain + Finish(false) — the test/embedded convenience.
+func (s *Server) Close() error {
+	s.BeginDrain()
+	return s.Finish(false)
+}
+
+// ---- handlers ----
+
+type insertRequest struct {
+	Doc map[string]any `json:"doc"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req insertRequest
+	if err := readJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	doc, err := toDoc(req.Doc)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	id, err := s.d.Insert(doc)
+	if err != nil {
+		return opErrStatus(err), err
+	}
+	if err := s.ack(r, s.d.LastLSN()); err != nil {
+		return http.StatusInternalServerError, fmt.Errorf("applied but not durable: %w", err)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id})
+	return 0, nil
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) (int, error) {
+	id, err := idParam(r)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	doc, ok := s.d.Get(cinderella.ID(id))
+	if !ok {
+		return http.StatusNotFound, fmt.Errorf("no document %d", id)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "doc": doc})
+	return 0, nil
+}
+
+type updateRequest struct {
+	ID  uint64         `json:"id"`
+	Doc map[string]any `json:"doc"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req updateRequest
+	if err := readJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	doc, err := toDoc(req.Doc)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	ok, err := s.d.Update(cinderella.ID(req.ID), doc)
+	if err != nil {
+		return opErrStatus(err), err
+	}
+	if ok {
+		if err := s.ack(r, s.d.LastLSN()); err != nil {
+			return http.StatusInternalServerError, fmt.Errorf("applied but not durable: %w", err)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"updated": ok})
+	return 0, nil
+}
+
+type deleteRequest struct {
+	ID uint64 `json:"id"`
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req deleteRequest
+	if err := readJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	ok, err := s.d.Delete(cinderella.ID(req.ID))
+	if err != nil {
+		return opErrStatus(err), err
+	}
+	if ok {
+		if err := s.ack(r, s.d.LastLSN()); err != nil {
+			return http.StatusInternalServerError, fmt.Errorf("applied but not durable: %w", err)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": ok})
+	return 0, nil
+}
+
+// wireRecord is one query hit on the wire.
+type wireRecord struct {
+	ID  uint64         `json:"id"`
+	Doc cinderella.Doc `json:"doc"`
+}
+
+func wireRecords(recs []cinderella.Record) []wireRecord {
+	out := make([]wireRecord, len(recs))
+	for i, r := range recs {
+		out[i] = wireRecord{ID: uint64(r.ID), Doc: r.Doc}
+	}
+	return out
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, error) {
+	attrs, err := attrsParam(r)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	recs := s.d.Query(attrs...)
+	writeJSON(w, http.StatusOK, map[string]any{"records": wireRecords(recs)})
+	return 0, nil
+}
+
+func (s *Server) handleQueryReport(w http.ResponseWriter, r *http.Request) (int, error) {
+	attrs, err := attrsParam(r)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	recs, rep := s.d.QueryWithReport(attrs...)
+	writeJSON(w, http.StatusOK, map[string]any{"records": wireRecords(recs), "report": rep})
+	return 0, nil
+}
+
+func (s *Server) handlePartitions(w http.ResponseWriter, r *http.Request) (int, error) {
+	writeJSON(w, http.StatusOK, map[string]any{"partitions": s.d.Partitions()})
+	return 0, nil
+}
+
+type compactRequest struct {
+	Threshold float64 `json:"threshold"`
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req compactRequest
+	if err := readJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if req.Threshold <= 0 || req.Threshold > 1 {
+		return http.StatusBadRequest, fmt.Errorf("threshold %v out of (0,1]", req.Threshold)
+	}
+	n, err := s.d.Compact(req.Threshold)
+	if err != nil {
+		return opErrStatus(err), err
+	}
+	if n > 0 {
+		if err := s.ack(r, s.d.LastLSN()); err != nil {
+			return http.StatusInternalServerError, fmt.Errorf("applied but not durable: %w", err)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"merged": n})
+	return 0, nil
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) (int, error) {
+	if err := s.d.Checkpoint(); err != nil {
+		return opErrStatus(err), err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"checkpointed": true})
+	return 0, nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.isDraining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      status,
+		"docs":        s.d.Len(),
+		"durable_lsn": s.d.DurableLSN(),
+		"last_lsn":    s.d.LastLSN(),
+	})
+}
+
+// opErrStatus maps DurableTable errors to HTTP statuses.
+func opErrStatus(err error) int {
+	if errors.Is(err, cinderella.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// ---- wire helpers ----
+
+// readJSON decodes one JSON body with number fidelity (integral JSON
+// numbers stay int64 via toDoc).
+func readJSON(r *http.Request, into any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	if err := dec.Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return fmt.Errorf("body exceeds %d bytes", tooBig.Limit)
+		}
+		return fmt.Errorf("bad JSON body: %w", err)
+	}
+	// Trailing garbage means a malformed request, not a second document.
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// toDoc converts a decoded JSON object into a cinderella.Doc: int64 for
+// integral numbers, float64 otherwise, strings as-is, booleans as 0/1
+// (the ImportJSONL convention), nulls skipped. Nested objects or arrays
+// are rejected — universal tables are flat.
+func toDoc(obj map[string]any) (cinderella.Doc, error) {
+	doc := make(cinderella.Doc, len(obj))
+	for k, v := range obj {
+		switch x := v.(type) {
+		case json.Number:
+			if i, err := strconv.ParseInt(x.String(), 10, 64); err == nil {
+				doc[k] = i
+			} else {
+				f, err := x.Float64()
+				if err != nil {
+					return nil, fmt.Errorf("attribute %q: bad number %q", k, x.String())
+				}
+				doc[k] = f
+			}
+		case string:
+			doc[k] = x
+		case bool:
+			if x {
+				doc[k] = int64(1)
+			} else {
+				doc[k] = int64(0)
+			}
+		case nil:
+			// absent attribute
+		default:
+			return nil, fmt.Errorf("attribute %q: non-scalar value", k)
+		}
+	}
+	return doc, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func idParam(r *http.Request) (uint64, error) {
+	raw := r.URL.Query().Get("id")
+	if raw == "" {
+		return 0, errors.New("missing id parameter")
+	}
+	id, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad id %q", raw)
+	}
+	return id, nil
+}
+
+func attrsParam(r *http.Request) ([]string, error) {
+	raw := r.URL.Query().Get("attrs")
+	if raw == "" {
+		return nil, errors.New("missing attrs parameter (comma-separated attribute names)")
+	}
+	parts := strings.Split(raw, ",")
+	attrs := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			attrs = append(attrs, p)
+		}
+	}
+	if len(attrs) == 0 {
+		return nil, errors.New("empty attrs parameter")
+	}
+	return attrs, nil
+}

@@ -13,19 +13,20 @@ type Result struct {
 }
 
 // QueryReport describes one query execution for experiments and the
-// streaming EFFICIENCY estimator.
+// streaming EFFICIENCY estimator. The json tags are the service-layer
+// wire format (GET /v1/query-report).
 type QueryReport struct {
-	PartitionsTotal   int
-	PartitionsTouched int
-	PartitionsPruned  int
-	EntitiesScanned   int
-	EntitiesReturned  int
+	PartitionsTotal   int `json:"partitions_total"`
+	PartitionsTouched int `json:"partitions_touched"`
+	PartitionsPruned  int `json:"partitions_pruned"`
+	EntitiesScanned   int `json:"entities_scanned"`
+	EntitiesReturned  int `json:"entities_returned"`
 	// BytesRead is the live record bytes of every record visited in the
 	// non-pruned partitions — Definition 1's per-query denominator with
 	// SIZE() in bytes. BytesRelevant is the subset belonging to returned
 	// (relevant) records, the matching numerator.
-	BytesRead     int64
-	BytesRelevant int64
+	BytesRead     int64 `json:"bytes_read"`
+	BytesRelevant int64 `json:"bytes_relevant"`
 }
 
 // Select returns all entities instantiating at least one of the given

@@ -57,12 +57,19 @@ type Op struct {
 // checksum mid-log (not at the tail, which is silently truncated).
 var ErrCorrupt = errors.New("wal: corrupt record")
 
-// Writer appends operations to a log file.
+// Writer appends operations to a log file. A Writer is not safe for
+// concurrent use; callers (DurableTable) serialize access. The seq and
+// synced counters are the group-commit bookkeeping: seq numbers every
+// appended record, synced remembers the highest record number made
+// durable, and a batching committer compares the two to coalesce many
+// logical sync requests into one fsync (see Sync).
 type Writer struct {
-	f   *os.File
-	buf *bufio.Writer
-	scr []byte
-	obs *obs.Registry
+	f      *os.File
+	buf    *bufio.Writer
+	scr    []byte
+	obs    *obs.Registry
+	seq    uint64 // records appended so far
+	synced uint64 // records covered by the last successful Sync
 }
 
 // SetObserver attaches a telemetry registry; appends and syncs then feed
@@ -98,27 +105,87 @@ func (w *Writer) Append(op Op) error {
 		return err
 	}
 	_, err := w.buf.Write(payload)
-	if err == nil && w.obs != nil {
-		w.obs.Add(obs.CWALAppends, 1)
-		w.obs.Add(obs.CWALAppendBytes, int64(len(hdr)+len(payload)))
-		w.obs.ObserveWALAppendNs(time.Since(start).Nanoseconds())
+	if err == nil {
+		w.seq++
+		if w.obs != nil {
+			w.obs.Add(obs.CWALAppends, 1)
+			w.obs.Add(obs.CWALAppendBytes, int64(len(hdr)+len(payload)))
+			w.obs.ObserveWALAppendNs(time.Since(start).Nanoseconds())
+		}
 	}
 	return err
 }
 
-// Sync flushes buffered records and fsyncs the file.
-func (w *Writer) Sync() error {
+// Seq returns the number of records appended so far.
+func (w *Writer) Seq() uint64 { return w.seq }
+
+// Synced returns the highest record number made durable by Sync: every
+// record with number ≤ Synced() has been fsynced. A group committer
+// skips the fsync entirely when Synced() already covers the record it
+// is acknowledging.
+func (w *Writer) Synced() uint64 { return w.synced }
+
+// Flush pushes buffered records to the OS page cache and returns the
+// sequence number they cover, without fsyncing. SyncFile and MarkSynced
+// complete the durability handshake; the three-step split lets a group
+// committer run the fsync outside the table's append lock, so
+// concurrent appends overlap the disk wait and pile into the next
+// batch. Callers serialize Flush with Append like the other methods.
+func (w *Writer) Flush() (uint64, error) {
+	seq := w.seq
+	if err := w.buf.Flush(); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// SyncFile fsyncs the underlying file. Unlike the Writer's other
+// methods it is safe to call while another goroutine appends: it
+// persists at least every record already Flushed (possibly more, which
+// is harmless — durability can only run ahead of what is claimed).
+func (w *Writer) SyncFile() error {
 	var start time.Time
 	if w.obs != nil {
 		start = time.Now()
-	}
-	if err := w.buf.Flush(); err != nil {
-		return err
 	}
 	err := w.f.Sync()
 	if err == nil && w.obs != nil {
 		w.obs.Add(obs.CWALSyncs, 1)
 		w.obs.ObserveWALSyncNs(time.Since(start).Nanoseconds())
+	}
+	return err
+}
+
+// MarkSynced records that records numbered ≤ seq are durable, after a
+// successful SyncFile. It keeps the maximum, so a slow fsync completing
+// late cannot regress Synced. Serialized by the caller like Append.
+func (w *Writer) MarkSynced(seq uint64) {
+	if seq > w.synced {
+		w.synced = seq
+	}
+}
+
+// Sync flushes buffered records and fsyncs the file, all in one call on
+// the caller's goroutine (use Flush/SyncFile/MarkSynced to overlap the
+// fsync with appends). Afterwards Synced() == Seq(): every appended
+// record is durable, which is what lets one fsync acknowledge a whole
+// batch of concurrent writers.
+func (w *Writer) Sync() error {
+	var start time.Time
+	if w.obs != nil {
+		start = time.Now()
+	}
+	seq := w.seq
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	err := w.f.Sync()
+	if err == nil {
+		w.MarkSynced(seq)
+		if w.obs != nil {
+			w.obs.Add(obs.CWALSyncs, 1)
+			w.obs.ObserveWALSyncNs(time.Since(start).Nanoseconds())
+		}
 	}
 	return err
 }

@@ -287,3 +287,38 @@ func TestRewriteToMissingDirFails(t *testing.T) {
 		t.Fatal("Rewrite into missing directory succeeded")
 	}
 }
+
+func TestWriterSeqSynced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Seq() != 0 || w.Synced() != 0 {
+		t.Fatalf("fresh writer: seq=%d synced=%d, want 0,0", w.Seq(), w.Synced())
+	}
+	for i := 1; i <= 5; i++ {
+		if err := w.Append(Op{Kind: KindInsert, ID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if w.Seq() != uint64(i) {
+			t.Fatalf("after %d appends: seq=%d", i, w.Seq())
+		}
+	}
+	if w.Synced() != 0 {
+		t.Fatalf("synced=%d before Sync, want 0", w.Synced())
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Synced() != 5 {
+		t.Fatalf("synced=%d after Sync, want 5", w.Synced())
+	}
+	if err := w.Append(Op{Kind: KindDelete, ID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Seq() != 6 || w.Synced() != 5 {
+		t.Fatalf("seq=%d synced=%d, want 6,5", w.Seq(), w.Synced())
+	}
+}
