@@ -5,7 +5,7 @@ OBS_PORT ?= 8080
 ADDR ?= 127.0.0.1:8263
 WAL ?= /tmp/cinderella.wal
 
-.PHONY: verify build vet test race bench-hotpath bench-obs bench-server run-server obs-demo
+.PHONY: verify build vet test race bench-hotpath bench-obs bench-server bench-shard run-server obs-demo
 
 # verify is the tier-1 gate: build everything, vet, full test suite under
 # the race detector.
@@ -41,6 +41,14 @@ bench-obs:
 # group_speedup >= 3.
 bench-server:
 	$(GO) run ./cmd/cinderella-bench -exp server -json BENCH_server.json
+
+# bench-shard measures write-path scaling across 1/2/4/8 hash-routed
+# shards (aggregate insert throughput, EFFICIENCY under fan-out, and the
+# drain-loses-nothing recount) and regenerates BENCH_shard.json (see
+# cmd/cinderella-bench -exp shard). The tracked result must show
+# speedup_8x >= 3 with efficiency_delta_8x_vs_1 <= 0.10.
+bench-shard:
+	$(GO) run ./cmd/cinderella-bench -exp shard -entities 200000 -json BENCH_shard.json
 
 # run-server starts cinderellad in the foreground on $(ADDR) with the
 # WAL at $(WAL). Drive it with `cinderella-load -target http://$(ADDR)`

@@ -273,6 +273,11 @@ func (t *Table) Delete(id ID) bool {
 // Len returns the number of live documents.
 func (t *Table) Len() int { return t.inner.Len() }
 
+// LastID returns the highest entity id ever assigned or inserted (0 when
+// the table never held a document). Sharded recovery seeds its global id
+// allocator from the per-shard maxima.
+func (t *Table) LastID() ID { return t.inner.LastID() }
+
 // Record is one query result.
 type Record struct {
 	ID  ID

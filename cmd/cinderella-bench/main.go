@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	cinderella-bench [-exp all|fig4|fig5|fig6|fig7|fig8|tab1|efficiency|hotpath|obs]
+//	cinderella-bench [-exp all|fig4|fig5|fig6|fig7|fig8|tab1|efficiency|hotpath|obs|server|shard]
 //	                 [-entities N] [-sf F] [-seed S] [-json FILE] [-obs :PORT]
+//	                 [-allow-serial]
 //
 // The defaults reproduce the paper's scale (100 000 DBpedia-like
 // entities); use -entities to run faster at smaller scale.
@@ -13,10 +14,16 @@
 // The hotpath experiment benchmarks the fused rating kernel, the insert
 // path, and the serial-vs-parallel query scan; -json writes its result as
 // a machine-readable baseline (the repo tracks one in BENCH_hotpath.json)
-// so successive PRs can compare trajectories. The obs experiment measures
-// the telemetry layer's overhead (instrumented vs. uninstrumented; the
-// repo tracks BENCH_obs.json). With -obs :PORT the process serves the ops
-// endpoint (/metrics, /debug/vars, /debug/pprof) while experiments run.
+// so successive PRs can compare trajectories. Because hotpath's headline
+// number is a serial-vs-parallel comparison, it refuses to run with
+// GOMAXPROCS < 2 (exit 2) unless -allow-serial is given — a baseline
+// recorded on a serial box would silently report speedup 1.0x. The obs
+// experiment measures the telemetry layer's overhead (instrumented vs.
+// uninstrumented; the repo tracks BENCH_obs.json). The shard experiment
+// measures write-path scaling across 1/2/4/8 hash-routed shards (the
+// repo tracks BENCH_shard.json). With -obs :PORT the process serves the
+// ops endpoint (/metrics, /debug/vars, /debug/pprof) while experiments
+// run.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"cinderella/internal/experiments"
@@ -32,16 +40,17 @@ import (
 
 var knownExps = []string{
 	"all", "fig4", "fig5", "fig6", "fig7", "fig8", "tab1",
-	"efficiency", "cache", "churn", "hotpath", "obs", "server",
+	"efficiency", "cache", "churn", "hotpath", "obs", "server", "shard",
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath, obs, server")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath, obs, server, shard")
 	entities := flag.Int("entities", 100000, "DBpedia-like entity count")
 	sf := flag.Float64("sf", 0.02, "TPC-H-style scale factor for tab1")
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	jsonPath := flag.String("json", "", "write the hotpath/obs/server result as JSON to this file")
 	obsAddr := flag.String("obs", "", "serve the ops endpoint on this address (e.g. :8080) while running")
+	allowSerial := flag.Bool("allow-serial", false, "let hotpath run with GOMAXPROCS < 2 (its serial-vs-parallel comparison degenerates to 1.0x)")
 	flag.Parse()
 
 	// Validate up front: a typo'd -exp must fail before minutes of data
@@ -62,6 +71,17 @@ func main() {
 	if *sf <= 0 {
 		fmt.Fprintf(os.Stderr, "-sf must be positive, got %v\n", *sf)
 		os.Exit(2)
+	}
+	// hotpath's headline number is a serial-vs-parallel comparison; a
+	// baseline recorded at GOMAXPROCS=1 would report select_speedup
+	// ~1.0x and poison trajectory comparisons. Fail fast, before any
+	// experiment burns minutes of data generation.
+	if *exp == "all" || *exp == "hotpath" {
+		if procs := runtime.GOMAXPROCS(0); procs < 2 && !*allowSerial {
+			fmt.Fprintf(os.Stderr,
+				"hotpath: GOMAXPROCS=%d < 2 — the serial-vs-parallel comparison is degenerate; rerun with -allow-serial to record anyway\n", procs)
+			os.Exit(2)
+		}
 	}
 
 	o := experiments.Options{Entities: *entities, Seed: *seed, TPCHSF: *sf}
@@ -146,6 +166,13 @@ func main() {
 	if want("server") {
 		run("server", func() {
 			r := experiments.ServerBench(o)
+			r.Print(os.Stdout)
+			writeJSON(r)
+		})
+	}
+	if want("shard") {
+		run("shard", func() {
+			r := experiments.ShardBench(o)
 			r.Print(os.Stdout)
 			writeJSON(r)
 		})

@@ -6,10 +6,15 @@
 //
 // Usage:
 //
-//	cinderellad -wal table.wal [-addr :8263] [-w W] [-b B]
+//	cinderellad -wal table.wal [-addr :8263] [-w W] [-b B] [-shards N]
 //	            [-strategy cinderella|universal|hash|roundrobin|schemaexact]
 //	            [-inflight N] [-queue N] [-commit-delay D] [-commit-max N]
 //	            [-per-op-sync] [-addr-file PATH] [-checkpoint-on-exit=false]
+//
+// With -shards N (N > 1) the daemon runs N independent Cinderella
+// partitioners, hash-routing documents by id and striping durability
+// across one WAL per shard; -wal then names a directory. The wire
+// format is identical either way — clients cannot tell the difference.
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: it stops admitting
 // requests (503 + Retry-After), finishes the in-flight ones, flushes the
@@ -34,6 +39,7 @@ import (
 	"cinderella"
 	"cinderella/internal/obs"
 	"cinderella/internal/server"
+	"cinderella/internal/shard"
 )
 
 var strategies = map[string]cinderella.Strategy{
@@ -47,7 +53,8 @@ var strategies = map[string]cinderella.Strategy{
 func main() {
 	addr := flag.String("addr", ":8263", "listen address (use 127.0.0.1:0 for an ephemeral port)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
-	walPath := flag.String("wal", "cinderella.wal", "write-ahead log path (created if missing, replayed if present)")
+	walPath := flag.String("wal", "cinderella.wal", "write-ahead log path (with -shards >1: a directory of striped WALs)")
+	shards := flag.Int("shards", 1, "number of independent shards (>1 stripes the WAL and runs one partitioner per shard)")
 	w := flag.Float64("w", 0.5, "Cinderella weight w ∈ [0,1]")
 	b := flag.Int64("b", 5000, "partition size limit B (records)")
 	strategy := flag.String("strategy", "cinderella", "partitioning strategy")
@@ -79,20 +86,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cinderellad: -inflight, -queue, and -commit-max must be non-negative")
 		os.Exit(2)
 	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "cinderellad: -shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
 
 	reg := obs.New(obs.Options{})
-	d, err := cinderella.OpenFile(*walPath, cinderella.Config{
+	cfg := cinderella.Config{
 		Strategy:           st,
 		Weight:             *w,
 		PartitionSizeLimit: *b,
 		Obs:                reg,
-	})
+	}
+	var d server.Store
+	var err error
+	if *shards > 1 {
+		d, err = shard.Open(*walPath, shard.Options{Shards: *shards, Config: cfg})
+	} else {
+		d, err = cinderella.OpenFile(*walPath, cfg)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cinderellad: opening %s: %v\n", *walPath, err)
 		os.Exit(1)
 	}
-	fmt.Printf("cinderellad: wal %s replayed, %d docs, %d partitions\n",
-		*walPath, d.Len(), len(d.Partitions()))
+	fmt.Printf("cinderellad: wal %s replayed (%d shards), %d docs, %d partitions\n",
+		*walPath, *shards, d.Len(), len(d.Partitions()))
 
 	srv := server.New(d, server.Config{
 		MaxInflight:    *inflight,

@@ -187,6 +187,28 @@ func (d *DurableTable) Insert(doc Doc) (ID, error) {
 	return id, nil
 }
 
+// InsertWithID stores doc durably under a caller-chosen id. Like
+// Table.InsertWithID it panics if id is zero or already live — callers
+// (the sharded router, which allocates ids from a global counter before
+// routing) own id uniqueness.
+func (d *DurableTable) InsertWithID(id ID, doc Doc) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	e := d.toEntity(doc)
+	if err := d.logNewAttrs(); err != nil {
+		return err
+	}
+	d.inner.InsertWithID(id, e)
+	if err := d.w.Append(wal.Op{Kind: wal.KindInsert, ID: uint64(id), Data: e.Marshal(nil)}); err != nil {
+		return err
+	}
+	d.noteAppend()
+	return nil
+}
+
 // Update replaces the document durably.
 func (d *DurableTable) Update(id ID, doc Doc) (bool, error) {
 	d.mu.Lock()

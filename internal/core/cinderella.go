@@ -26,10 +26,14 @@ type Cinderella struct {
 	// re-sorting the map on every insert.
 	ordered []*partition
 
-	// attrIndex maps attribute id -> partitions whose synopsis contains it
-	// (only when cfg.UseCatalogIndex). The partition pointer rides along so
-	// candidate rating needs no parts-map lookup.
-	attrIndex map[int]map[PartitionID]*partition
+	// attrIndex maps attribute id -> postings: the partitions whose synopsis
+	// contains the attribute, as a slice sorted by ascending partition id
+	// (only when cfg.UseCatalogIndex). A sorted slice beats the former inner
+	// map on the scan side — candidates are read off a contiguous postings
+	// run instead of a randomized map walk — while ids stay unique via
+	// binary-search insert/delete and each partition remembers its indexed
+	// attributes (idxSyn) so removals touch only its own postings.
+	attrIndex map[int][]*partition
 
 	// Insert-path scratch, reused across operations so the steady-state
 	// findBest allocates nothing: visited de-duplicates index candidates by
@@ -81,7 +85,7 @@ func NewCinderella(cfg Config) *Cinderella {
 		rng:   rand.New(rand.NewSource(seed)),
 	}
 	if cfg.UseCatalogIndex {
-		c.attrIndex = make(map[int]map[PartitionID]*partition)
+		c.attrIndex = make(map[int][]*partition)
 		c.visited = make(map[PartitionID]uint64)
 	}
 	return c
@@ -254,11 +258,11 @@ func (c *Cinderella) findBest(ent *Entity, restrict []*partition) (*partition, f
 		epoch := c.visitEpoch
 		c.elemScratch = ent.Syn.Elements(c.elemScratch[:0])
 		for _, a := range c.elemScratch {
-			for pid, p := range c.attrIndex[a] {
-				if c.visited[pid] == epoch {
+			for _, p := range c.attrIndex[a] {
+				if c.visited[p.id] == epoch {
 					continue
 				}
-				c.visited[pid] = epoch
+				c.visited[p.id] = epoch
 				consider(p)
 			}
 		}
@@ -550,41 +554,67 @@ func (c *Cinderella) indexAdd(p *partition, syn *synopsis.Set) {
 	if c.attrIndex == nil {
 		return
 	}
+	if p.idxSyn == nil {
+		p.idxSyn = synopsis.New(0)
+	}
 	syn.ForEach(func(a int) {
-		m := c.attrIndex[a]
-		if m == nil {
-			m = make(map[PartitionID]*partition)
-			c.attrIndex[a] = m
+		if p.idxSyn.Contains(a) {
+			return
 		}
-		m[p.id] = p
+		p.idxSyn.Add(a)
+		c.attrIndex[a] = postingsInsert(c.attrIndex[a], p)
 	})
 }
 
 // indexRebuild re-derives index membership for p after attribute refcounts
-// dropped (deletes/updates can shrink a partition synopsis).
+// dropped (deletes/updates can shrink a partition synopsis). Only p's own
+// indexed attributes (idxSyn) are visited, not the whole index.
 func (c *Cinderella) indexRebuild(p *partition) {
-	if c.attrIndex == nil {
+	if c.attrIndex == nil || p.idxSyn == nil {
 		return
 	}
-	for a, m := range c.attrIndex {
-		if _, has := m[p.id]; has && !p.syn.Contains(a) {
-			delete(m, p.id)
-			if len(m) == 0 {
-				delete(c.attrIndex, a)
-			}
+	p.idxSyn.ForEach(func(a int) {
+		if p.syn.Contains(a) {
+			return
 		}
-	}
+		p.idxSyn.Remove(a)
+		c.postingsRemove(a, p)
+	})
 }
 
 func (c *Cinderella) indexRemoveAll(p *partition) {
-	if c.attrIndex == nil {
+	if c.attrIndex == nil || p.idxSyn == nil {
 		return
 	}
-	for a, m := range c.attrIndex {
-		delete(m, p.id)
-		if len(m) == 0 {
-			delete(c.attrIndex, a)
-		}
+	p.idxSyn.ForEach(func(a int) {
+		c.postingsRemove(a, p)
+	})
+	p.idxSyn = nil
+}
+
+// postingsInsert adds p to an id-sorted postings slice, keeping order.
+// Callers guarantee p is absent (idxSyn gates duplicates).
+func postingsInsert(ps []*partition, p *partition) []*partition {
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].id >= p.id })
+	ps = append(ps, nil)
+	copy(ps[i+1:], ps[i:])
+	ps[i] = p
+	return ps
+}
+
+// postingsRemove splices p out of attribute a's postings slice and drops
+// the map entry when the slice empties.
+func (c *Cinderella) postingsRemove(a int, p *partition) {
+	ps := c.attrIndex[a]
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].id >= p.id })
+	if i >= len(ps) || ps[i].id != p.id {
+		return
+	}
+	ps = append(ps[:i], ps[i+1:]...)
+	if len(ps) == 0 {
+		delete(c.attrIndex, a)
+	} else {
+		c.attrIndex[a] = ps
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 // degenerates to serial by design).
 type HotpathResult struct {
 	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
 	Entities   int `json:"entities"`
 
 	// Rating kernel: ns per entity/partition rating, fused single-pass
@@ -58,6 +59,7 @@ func Hotpath(o Options) HotpathResult {
 	o = o.withDefaults()
 	res := HotpathResult{
 		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		NumCPU:             runtime.NumCPU(),
 		Entities:           o.Entities,
 		ParallelismWorkers: runtime.GOMAXPROCS(0),
 	}
@@ -174,8 +176,8 @@ func meanNs(durs []time.Duration) float64 {
 
 // Print renders the baseline like the other experiment reports.
 func (r HotpathResult) Print(w io.Writer) {
-	fprintf(w, "HOTPATH baseline (GOMAXPROCS=%d, %d entities, %d partitions)\n",
-		r.GOMAXPROCS, r.Entities, r.Partitions)
+	fprintf(w, "HOTPATH baseline (GOMAXPROCS=%d, %d CPUs, %d entities, %d partitions)\n",
+		r.GOMAXPROCS, r.NumCPU, r.Entities, r.Partitions)
 	fprintf(w, "  rating kernel:   fused %.1f ns/op vs four-call %.1f ns/op (%.2fx)\n",
 		r.FusedNsPerRating, r.FourCallNsPerRating, r.RatingSpeedup)
 	fprintf(w, "  insert path:     scan %.0f ns/op, catalog-index %.0f ns/op\n",

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestShardBenchSmoke runs the scaling series at a tiny scale: every
+// config must load everything, survive the reopen recount, and report a
+// sane EFFICIENCY. No speedup assertion — at this scale the catalogs
+// are too small for the rating scan to dominate; cmd/cinderella-bench
+// -exp shard runs the real thing.
+func TestShardBenchSmoke(t *testing.T) {
+	r := ShardBench(small())
+	if len(r.Configs) != 4 {
+		t.Fatalf("want 4 configs, got %d", len(r.Configs))
+	}
+	for _, c := range r.Configs {
+		if c.Acked != r.Entities {
+			t.Fatalf("%d shards: acked %d of %d inserts", c.Shards, c.Acked, r.Entities)
+		}
+		if c.ReopenDocs != c.Acked {
+			t.Fatalf("%d shards: reopen recount %d != acked %d", c.Shards, c.ReopenDocs, c.Acked)
+		}
+		if c.InsertOpsPerSec <= 0 || c.Partitions <= 0 {
+			t.Fatalf("%d shards: no progress: %+v", c.Shards, c)
+		}
+		if c.Efficiency <= 0 || c.Efficiency > 1 {
+			t.Fatalf("%d shards: efficiency %v out of (0,1]", c.Shards, c.Efficiency)
+		}
+	}
+	if !r.DrainLossless {
+		t.Fatal("drain reported lossy despite matching recounts")
+	}
+	if r.GOMAXPROCS < r.Workers {
+		t.Fatalf("GOMAXPROCS %d not raised to the %d writers", r.GOMAXPROCS, r.Workers)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "SHARD scaling") {
+		t.Fatalf("Print output wrong: %q", buf.String())
+	}
+}

@@ -92,6 +92,28 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 		"Streaming EFFICIENCY with SIZE() in record bytes: relevant bytes / bytes read.",
 		r.EfficiencyBytes())
 
+	// Per-shard attribution series (present only when shard views exist).
+	if shards := r.ShardSnapshots(); len(shards) > 0 {
+		shardFamily := func(name, help, typ string, value func(ShardSnapshot) int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+			for _, s := range shards {
+				fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", name, s.Shard, value(s))
+			}
+		}
+		shardFamily("cinderella_shard_inserts_total", "Entities inserted, by shard.", "counter",
+			func(s ShardSnapshot) int64 { return s.Inserts })
+		shardFamily("cinderella_shard_deletes_total", "Entities deleted, by shard.", "counter",
+			func(s ShardSnapshot) int64 { return s.Deletes })
+		shardFamily("cinderella_shard_updates_total", "Entity updates, by shard.", "counter",
+			func(s ShardSnapshot) int64 { return s.Updates })
+		shardFamily("cinderella_shard_queries_total", "Queries scanned, by shard (fan-out counts each shard).", "counter",
+			func(s ShardSnapshot) int64 { return s.Queries })
+		shardFamily("cinderella_shard_wal_appends_total", "WAL appends, by shard.", "counter",
+			func(s ShardSnapshot) int64 { return s.WALAppends })
+		shardFamily("cinderella_shard_partitions", "Current partition count, by shard.", "gauge",
+			func(s ShardSnapshot) int64 { return s.Partitions })
+	}
+
 	for _, nh := range r.histograms() {
 		writeHistogram(w, nh.name, nh.help, nh.hist, nh.scale)
 	}

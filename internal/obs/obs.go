@@ -19,6 +19,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -142,9 +143,27 @@ type Options struct {
 
 // Registry aggregates live telemetry for one table (or one process — it
 // is safe for concurrent use by any number of producers and readers).
+//
+// A Registry is a handle over shared state: ShardView returns additional
+// handles that feed the same aggregate totals but also attribute a core
+// subset of the counters to one shard and stamp the shard id onto trace
+// events. All handles of one registry family are interchangeable for
+// reading; producers hold the handle for the shard they belong to.
 type Registry struct {
+	*state
+	shard int32      // shard id stamped on trace events; -1 = unsharded
+	slot  *shardSlot // per-shard counter block; nil on the root handle
+}
+
+// state is the shared body behind every handle of one registry family.
+type state struct {
 	counters   [numCounters]atomic.Int64
-	partitions atomic.Int64 // gauge: current partition count
+	partitions atomic.Int64 // gauge: current partition count (unsharded writers)
+
+	// Per-shard counter blocks, created by ShardView. Append-only under
+	// shardMu; the slots themselves are atomic.
+	shardMu sync.Mutex
+	shards  []*shardSlot
 
 	// Server gauges, maintained by internal/server: requests currently
 	// executing, and requests waiting in the bounded admission queue.
@@ -172,6 +191,19 @@ type Registry struct {
 	trace *Trace
 }
 
+// shardSlot attributes a core counter subset to one shard. The aggregate
+// totals in state.counters remain exact; slots are an additional
+// attribution dimension, not a partition of every counter.
+type shardSlot struct {
+	id         int32
+	inserts    atomic.Int64
+	deletes    atomic.Int64
+	updates    atomic.Int64
+	queries    atomic.Int64
+	walAppends atomic.Int64
+	partitions atomic.Int64 // gauge: this shard's partition count
+}
+
 // New returns a Registry sized by opts.
 func New(opts Options) *Registry {
 	if opts.EffWindow <= 0 {
@@ -180,7 +212,7 @@ func New(opts Options) *Registry {
 	if opts.TraceCap == 0 {
 		opts.TraceCap = 4096
 	}
-	r := &Registry{
+	st := &state{
 		insertNs:    newLatencyHistogram(),
 		queryNs:     newLatencyHistogram(),
 		walAppendNs: newLatencyHistogram(),
@@ -190,9 +222,29 @@ func New(opts Options) *Registry {
 		effRing:     make([]effSample, opts.EffWindow),
 	}
 	if opts.TraceCap > 0 {
-		r.trace = newTrace(opts.TraceCap)
+		st.trace = newTrace(opts.TraceCap)
 	}
-	return r
+	return &Registry{state: st, shard: -1}
+}
+
+// ShardView returns a handle that feeds this registry's aggregate state
+// and additionally attributes inserts/deletes/updates/queries/WAL appends
+// and the partition gauge to shard id, stamping the id onto trace events.
+// Repeated calls with the same id share one slot. Nil-safe (returns nil).
+func (r *Registry) ShardView(id int) *Registry {
+	if r == nil {
+		return nil
+	}
+	r.shardMu.Lock()
+	defer r.shardMu.Unlock()
+	for _, s := range r.shards {
+		if s.id == int32(id) {
+			return &Registry{state: r.state, shard: int32(id), slot: s}
+		}
+	}
+	s := &shardSlot{id: int32(id)}
+	r.shards = append(r.shards, s)
+	return &Registry{state: r.state, shard: int32(id), slot: s}
 }
 
 // Add increments counter c by n. Nil-safe no-op.
@@ -201,6 +253,18 @@ func (r *Registry) Add(c Counter, n int64) {
 		return
 	}
 	r.counters[c].Add(n)
+	if r.slot != nil {
+		switch c {
+		case CInserts:
+			r.slot.inserts.Add(n)
+		case CDeletes:
+			r.slot.deletes.Add(n)
+		case CUpdates:
+			r.slot.updates.Add(n)
+		case CWALAppends:
+			r.slot.walAppends.Add(n)
+		}
+	}
 }
 
 // Counter returns the current value of c; 0 on a nil registry.
@@ -211,20 +275,33 @@ func (r *Registry) Counter(c Counter) int64 {
 	return r.counters[c].Load()
 }
 
-// SetPartitions updates the current-partition-count gauge. Nil-safe.
+// SetPartitions updates the current-partition-count gauge. A shard view
+// writes its shard's gauge; the aggregate reported by Partitions is the
+// unsharded gauge plus the per-shard gauges. Nil-safe.
 func (r *Registry) SetPartitions(n int64) {
 	if r == nil {
+		return
+	}
+	if r.slot != nil {
+		r.slot.partitions.Store(n)
 		return
 	}
 	r.partitions.Store(n)
 }
 
-// Partitions returns the partition-count gauge.
+// Partitions returns the partition-count gauge summed across the
+// unsharded writer and all shard views.
 func (r *Registry) Partitions() int64 {
 	if r == nil {
 		return 0
 	}
-	return r.partitions.Load()
+	n := r.partitions.Load()
+	r.shardMu.Lock()
+	for _, s := range r.shards {
+		n += s.partitions.Load()
+	}
+	r.shardMu.Unlock()
+	return n
 }
 
 // ObserveInsertNs records one insert's wall time. Nil-safe.
@@ -325,6 +402,9 @@ func (r *Registry) NoteQuery(touched, pruned, relevant, read, bytesRelevant, byt
 	r.counters[CBytesRelevant].Add(bytesRelevant)
 	r.counters[CBytesRead].Add(bytesRead)
 	r.queryNs.Observe(ns)
+	if r.slot != nil {
+		r.slot.queries.Add(1)
+	}
 
 	r.effMu.Lock()
 	r.effRelevant += relevant
@@ -384,12 +464,14 @@ func effRatio(relevant, read int64) float64 {
 	return float64(relevant) / float64(read)
 }
 
-// TraceEvent appends a partitioner decision to the event trace ring.
-// Nil-safe; a no-op when tracing is disabled.
+// TraceEvent appends a partitioner decision to the event trace ring,
+// stamping the handle's shard id (-1 on unsharded handles). Nil-safe; a
+// no-op when tracing is disabled.
 func (r *Registry) TraceEvent(ev Event) {
 	if r == nil || r.trace == nil {
 		return
 	}
+	ev.Shard = r.shard
 	r.trace.add(ev)
 }
 
@@ -419,6 +501,17 @@ type HistogramSnapshot struct {
 	Counts   []int64 `json:"counts"` // len(BoundsNs)+1, last is overflow
 }
 
+// ShardSnapshot is the per-shard attribution block of a Snapshot.
+type ShardSnapshot struct {
+	Shard      int32 `json:"shard"`
+	Inserts    int64 `json:"inserts"`
+	Deletes    int64 `json:"deletes"`
+	Updates    int64 `json:"updates"`
+	Queries    int64 `json:"queries"`
+	WALAppends int64 `json:"wal_appends"`
+	Partitions int64 `json:"partitions"`
+}
+
 // Snapshot is a point-in-time JSON-serializable view of the registry,
 // embedded by cmd/cinderella-bench -json so BENCH_*.json files carry
 // observability data.
@@ -433,6 +526,31 @@ type Snapshot struct {
 	WindowQueries    int                          `json:"window_queries"`
 	Histograms       map[string]HistogramSnapshot `json:"histograms"`
 	TraceEvents      uint64                       `json:"trace_events"`
+	Shards           []ShardSnapshot              `json:"shards,omitempty"`
+}
+
+// ShardSnapshots returns the per-shard attribution blocks, ordered by
+// shard id. Empty when no shard views exist.
+func (r *Registry) ShardSnapshots() []ShardSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.shardMu.Lock()
+	out := make([]ShardSnapshot, 0, len(r.shards))
+	for _, s := range r.shards {
+		out = append(out, ShardSnapshot{
+			Shard:      s.id,
+			Inserts:    s.inserts.Load(),
+			Deletes:    s.deletes.Load(),
+			Updates:    s.updates.Load(),
+			Queries:    s.queries.Load(),
+			WALAppends: s.walAppends.Load(),
+			Partitions: s.partitions.Load(),
+		})
+	}
+	r.shardMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
 }
 
 // Snapshot captures the registry. Nil registries return a zero snapshot.
@@ -451,6 +569,7 @@ func (r *Registry) Snapshot() Snapshot {
 		TraceEvents:     r.TraceSeq(),
 	}
 	s.WindowEfficiency, s.WindowQueries = r.WindowEfficiency()
+	s.Shards = r.ShardSnapshots()
 	for c := Counter(0); c < numCounters; c++ {
 		s.Counters[counterNames[c]] = r.counters[c].Load()
 	}

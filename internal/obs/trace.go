@@ -63,10 +63,13 @@ func (k EventKind) String() string {
 }
 
 // Event is one structured partitioner decision. Field meaning depends on
-// Kind (see the kind constants); unused fields are zero.
+// Kind (see the kind constants); unused fields are zero. Shard is the id
+// of the shard whose partitioner emitted the event (-1 when the producer
+// is an unsharded table); TraceEvent stamps it from the handle.
 type Event struct {
 	Seq      uint64    `json:"seq"`
 	Kind     EventKind `json:"kind"`
+	Shard    int32     `json:"shard"`
 	Entity   uint64    `json:"entity,omitempty"`
 	From     uint64    `json:"from,omitempty"`
 	To       uint64    `json:"to,omitempty"`

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"time"
 
-	"cinderella"
 	"cinderella/internal/obs"
 )
 
@@ -32,9 +31,19 @@ type commitReq struct {
 	done chan error
 }
 
-// Committer batches durability waits for a DurableTable.
+// Syncer is the durability half of a Store: LSN bookkeeping plus the
+// coalescing sync the group committer drives. A sharded store's SyncTo
+// is a vector sync across all shard WALs behind one global LSN, so the
+// committer batches writers across shards without knowing about them.
+type Syncer interface {
+	LastLSN() uint64
+	DurableLSN() uint64
+	SyncTo(lsn uint64) error
+}
+
+// Committer batches durability waits for a Syncer.
 type Committer struct {
-	d        *cinderella.DurableTable
+	d        Syncer
 	obs      *obs.Registry
 	maxOps   int
 	maxDelay time.Duration
@@ -55,7 +64,7 @@ type Committer struct {
 // during the fsync. maxDelay > 0 holds each batch open for that window
 // instead; maxOps flushes a window-mode batch early once that many
 // writers are waiting (default 128).
-func NewCommitter(d *cinderella.DurableTable, maxOps int, maxDelay time.Duration, reg *obs.Registry) *Committer {
+func NewCommitter(d Syncer, maxOps int, maxDelay time.Duration, reg *obs.Registry) *Committer {
 	if maxOps <= 0 {
 		maxOps = 128
 	}

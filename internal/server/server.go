@@ -42,6 +42,7 @@ import (
 
 	"cinderella"
 	"cinderella/internal/obs"
+	"cinderella/internal/shard"
 )
 
 // Config parameterizes a Server. The zero value picks sane defaults.
@@ -89,10 +90,33 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves a DurableTable over HTTP. Create with New, expose with
+// Store is the storage contract the server serves: the exact method set
+// of *cinderella.DurableTable, also satisfied by *shard.Sharded. The
+// daemon's wire format is identical either way — sharding is invisible
+// to clients.
+type Store interface {
+	Insert(cinderella.Doc) (cinderella.ID, error)
+	Get(cinderella.ID) (cinderella.Doc, bool)
+	Update(cinderella.ID, cinderella.Doc) (bool, error)
+	Delete(cinderella.ID) (bool, error)
+	Query(...string) []cinderella.Record
+	QueryWithReport(...string) ([]cinderella.Record, cinderella.QueryReport)
+	Partitions() []cinderella.PartitionStat
+	Compact(float64) (int, error)
+	Checkpoint() error
+	Len() int
+	Sync() error
+	Close() error
+	Syncer
+}
+
+var _ Store = (*cinderella.DurableTable)(nil)
+var _ Store = (*shard.Sharded)(nil)
+
+// Server serves a Store over HTTP. Create with New, expose with
 // Handler, shut down with BeginDrain + Finish (or Close).
 type Server struct {
-	d   *cinderella.DurableTable
+	d   Store
 	cfg Config
 	com *Committer
 	obs *obs.Registry
@@ -105,7 +129,7 @@ type Server struct {
 
 // New builds a Server around d. The caller keeps ownership of d until
 // Finish, which closes it.
-func New(d *cinderella.DurableTable, cfg Config) *Server {
+func New(d Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		d:        d,

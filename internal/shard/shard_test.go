@@ -1,0 +1,433 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"cinderella"
+)
+
+func testConfig() cinderella.Config {
+	return cinderella.Config{Weight: 0.5, PartitionSizeLimit: 50}
+}
+
+func docFor(rng *rand.Rand) cinderella.Doc {
+	d := cinderella.Doc{}
+	class := rng.Intn(4)
+	for j := 0; j < 6; j++ {
+		d[fmt.Sprintf("c%d_a%d", class, rng.Intn(12))] = int64(rng.Intn(100))
+	}
+	return d
+}
+
+func TestShardedBasic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 4, Config: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	docs := map[cinderella.ID]cinderella.Doc{}
+	for i := 0; i < 500; i++ {
+		doc := docFor(rng)
+		id, err := s.Insert(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[id] = doc
+	}
+	if got := s.Len(); got != 500 {
+		t.Fatalf("Len = %d, want 500", got)
+	}
+	for id, want := range docs {
+		got, ok := s.Get(id)
+		if !ok || !reflect.DeepEqual(got, want) {
+			t.Fatalf("Get(%d) = %v, %v; want %v", id, got, ok, want)
+		}
+	}
+
+	// Every shard should own a nontrivial slice of the data (the router
+	// scatters sequential ids).
+	for i, d := range s.shards {
+		if d.Len() < 50 {
+			t.Errorf("shard %d holds only %d of 500 docs — router is skewed", i, d.Len())
+		}
+	}
+
+	// Fan-out query: all records carrying a class-0 attribute, in
+	// deterministic (shard, pid) order on repeated runs.
+	recs1, rep := s.QueryWithReport("c0_a1", "c0_a2")
+	recs2 := s.Query("c0_a1", "c0_a2")
+	if len(recs1) != len(recs2) {
+		t.Fatalf("Query and QueryWithReport disagree: %d vs %d", len(recs1), len(recs2))
+	}
+	for i := range recs1 {
+		if recs1[i].ID != recs2[i].ID {
+			t.Fatalf("fan-out order not deterministic at %d: %d vs %d", i, recs1[i].ID, recs2[i].ID)
+		}
+	}
+	if rep.EntitiesReturned != len(recs1) {
+		t.Errorf("report says %d returned, got %d records", rep.EntitiesReturned, len(recs1))
+	}
+	if rep.PartitionsTotal <= 0 || rep.EntitiesScanned < rep.EntitiesReturned {
+		t.Errorf("implausible fan-out report: %+v", rep)
+	}
+
+	// Update and delete route to the owning shard.
+	var anyID cinderella.ID
+	for id := range docs {
+		anyID = id
+		break
+	}
+	if ok, err := s.Update(anyID, cinderella.Doc{"c9_z": int64(1)}); !ok || err != nil {
+		t.Fatalf("Update = %v, %v", ok, err)
+	}
+	if ok, err := s.Delete(anyID); !ok || err != nil {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, ok := s.Get(anyID); ok {
+		t.Fatal("deleted id still readable")
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything replayed, id allocator resumes above old ids.
+	s2, err := Open(dir, Options{Shards: 4, Config: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Len(); got != 499 {
+		t.Fatalf("reopened Len = %d, want 499", got)
+	}
+	newID, err := s2.Insert(cinderella.Doc{"x": int64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID <= 500 {
+		t.Fatalf("id allocator reissued old id %d", newID)
+	}
+}
+
+func TestShardedReshardRefused(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 2, Config: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := Open(dir, Options{Shards: 4, Config: testConfig()}); err == nil ||
+		!strings.Contains(err.Error(), "resharding") {
+		t.Fatalf("reopen with different shard count: err = %v, want resharding refusal", err)
+	}
+}
+
+func TestShardedTornManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 3, Config: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(cinderella.Doc{"a": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a crash that tore the manifest mid-write: truncate the JSON.
+	mp := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mp, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Shards: 3, Config: testConfig()}); err == nil ||
+		!strings.Contains(err.Error(), "torn or corrupt") {
+		t.Fatalf("torn manifest: err = %v, want torn-or-corrupt refusal", err)
+	}
+}
+
+func TestShardedMissingManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 2, Config: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	// Shard directories without a manifest: never silently reinitialize.
+	if _, err := Open(dir, Options{Shards: 2, Config: testConfig()}); err == nil ||
+		!strings.Contains(err.Error(), "refusing to reinitialize") {
+		t.Fatalf("missing manifest: err = %v, want reinit refusal", err)
+	}
+}
+
+func TestShardedMissingShardDir(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 3, Config: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := s.Insert(cinderella.Doc{"a": int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	if err := os.RemoveAll(shardDir(dir, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Shards: 3, Config: testConfig()}); err == nil ||
+		!strings.Contains(err.Error(), "directory is unusable") {
+		t.Fatalf("missing shard dir: err = %v, want unusable-directory refusal", err)
+	}
+}
+
+// copyTree duplicates a shard directory tree, simulating the post-crash
+// on-disk state while the original instance still holds its files open.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		_, err = io.Copy(out, in)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedCrashRecovery covers the vector-sync durability contract:
+// after SyncTo(lsn) returns, a crash (simulated by copying the on-disk
+// state out from under the live instance, buffered tails and all) must
+// recover every op with global LSN <= lsn, across all shard WALs.
+func TestShardedCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 4, Config: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		if _, err := s.Insert(docFor(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lsn := s.LastLSN()
+	if err := s.SyncTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DurableLSN(); got < lsn {
+		t.Fatalf("DurableLSN = %d after SyncTo(%d)", got, lsn)
+	}
+	// More inserts after the sync; these may or may not survive the crash.
+	for i := 0; i < 50; i++ {
+		if _, err := s.Insert(docFor(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	crashed := t.TempDir()
+	copyTree(t, dir, crashed)
+	s2, err := Open(crashed, Options{Shards: 4, Config: testConfig()})
+	if err != nil {
+		t.Fatalf("recovery after simulated crash: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.Len(); got < 200 {
+		t.Fatalf("recovered %d docs, want >= 200 (the synced prefix)", got)
+	}
+}
+
+// TestShardedN1PlacementIdentity is the property test: a Sharded table
+// with N=1, closed and replayed from its WAL, produces exactly the same
+// partitioning as the plain in-memory table fed the same workload.
+func TestShardedN1PlacementIdentity(t *testing.T) {
+	cfg := testConfig()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 1, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := cinderella.Open(cfg)
+
+	rng := rand.New(rand.NewSource(3))
+	var ids []cinderella.ID
+	for i := 0; i < 800; i++ {
+		doc := docFor(rng)
+		sid, err := s.Insert(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pid := plain.Insert(doc)
+		if sid != pid {
+			t.Fatalf("insert %d: sharded id %d != plain id %d", i, sid, pid)
+		}
+		ids = append(ids, sid)
+		// Interleave updates and deletes so the replayed history is not
+		// insert-only.
+		switch {
+		case i%7 == 3:
+			victim := ids[rng.Intn(len(ids))]
+			doc := docFor(rng)
+			so, err := s.Update(victim, doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			po := plain.Update(victim, doc)
+			if so != po {
+				t.Fatalf("update %d diverged: %v vs %v", victim, so, po)
+			}
+		case i%11 == 5:
+			victim := ids[rng.Intn(len(ids))]
+			so, err := s.Delete(victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			po := plain.Delete(victim)
+			if so != po {
+				t.Fatalf("delete %d diverged: %v vs %v", victim, so, po)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the workload is now *replayed* from the WAL.
+	s2, err := Open(dir, Options{Shards: 1, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	if s2.Len() != plain.Len() {
+		t.Fatalf("Len: sharded %d, plain %d", s2.Len(), plain.Len())
+	}
+	sp, pp := s2.Partitions(), plain.Partitions()
+	if len(sp) != len(pp) {
+		t.Fatalf("partition count: sharded %d, plain %d", len(sp), len(pp))
+	}
+	for i := range sp {
+		a, b := sp[i], pp[i]
+		sort.Strings(a.Attributes)
+		sort.Strings(b.Attributes)
+		if a.Records != b.Records || a.Bytes != b.Bytes || !reflect.DeepEqual(a.Attributes, b.Attributes) {
+			t.Fatalf("partition %d diverged:\nsharded: %+v\nplain:   %+v", i, a, b)
+		}
+	}
+}
+
+// TestShardedConcurrentWriters is the sharded -race suite: concurrent
+// writers on distinct shards, fan-out readers, and a group-commit-style
+// syncer all running against one Sharded table.
+func TestShardedConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 4, Config: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var mine []cinderella.ID
+			for i := 0; i < perWriter; i++ {
+				id, err := s.Insert(docFor(rng))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mine = append(mine, id)
+				if i%10 == 9 {
+					if err := s.SyncTo(s.LastLSN()); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if i%17 == 13 {
+					if _, err := s.Update(mine[rng.Intn(len(mine))], docFor(rng)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Fan-out readers run while the writers hammer the shards.
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Query("c0_a1", "c1_a2")
+				s.Partitions()
+				s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+
+	if got := s.Len(); got != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", got, writers*perWriter)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain-loses-nothing: every acked insert is in the reopened table.
+	s2, err := Open(dir, Options{Shards: 4, Config: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Len(); got != writers*perWriter {
+		t.Fatalf("reopened Len = %d, want %d", got, writers*perWriter)
+	}
+}

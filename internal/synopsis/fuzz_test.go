@@ -1,0 +1,106 @@
+package synopsis
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// wordsFromBytes packs a byte string into a word array, 8 bytes per word,
+// zero-padding the final partial word. Unequal-length inputs therefore
+// exercise the zero-extension contract: every cardinality and Equal must
+// treat the shorter set as if padded with zero words.
+func wordsFromBytes(b []byte) []uint64 {
+	words := make([]uint64, (len(b)+7)/8)
+	for i, c := range b {
+		words[i/8] |= uint64(c) << (8 * uint(i%8))
+	}
+	return words
+}
+
+// FuzzRateCards differentially tests the fused rating kernel against the
+// four naive cardinality calls, plus Equal against XorCard, on arbitrary
+// (and in particular unequal-length) word arrays. The sharded merge path
+// compares synopses that grew under different shards — so they routinely
+// differ in length — and leans on exactly this contract.
+func FuzzRateCards(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0xff}, []byte{})
+	f.Add([]byte{0x01, 0x02, 0x03}, []byte{0x01})
+	f.Add([]byte{0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xff},
+		[]byte{0x55, 0xaa})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+		[]byte{0, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, eb, pb []byte) {
+		e := &Set{words: wordsFromBytes(eb)}
+		p := &Set{words: wordsFromBytes(pb)}
+
+		and, or, missE, missP := RateCards(e, p)
+		if want := AndCard(e, p); and != want {
+			t.Errorf("RateCards and=%d, AndCard=%d", and, want)
+		}
+		if want := OrCard(e, p); or != want {
+			t.Errorf("RateCards or=%d, OrCard=%d", or, want)
+		}
+		if want := AndNotCard(p, e); missE != want {
+			t.Errorf("RateCards missE=%d, AndNotCard(p,e)=%d", missE, want)
+		}
+		if want := AndNotCard(e, p); missP != want {
+			t.Errorf("RateCards missP=%d, AndNotCard(e,p)=%d", missP, want)
+		}
+
+		// Internal consistency of the fused results.
+		if or != and+missE+missP {
+			t.Errorf("or=%d != and+missE+missP=%d", or, and+missE+missP)
+		}
+		if x := XorCard(e, p); x != missE+missP {
+			t.Errorf("XorCard=%d != missE+missP=%d", x, missE+missP)
+		}
+
+		// Equal must agree with "symmetric difference is empty" and must be
+		// symmetric, regardless of trailing zero words on either side.
+		eq := e.Equal(p)
+		if eq != (XorCard(e, p) == 0) {
+			t.Errorf("Equal=%v but XorCard=%d", eq, XorCard(e, p))
+		}
+		if eq != p.Equal(e) {
+			t.Errorf("Equal not symmetric: e.Equal(p)=%v p.Equal(e)=%v", eq, p.Equal(e))
+		}
+
+		// Zero-extension: appending zero words changes nothing observable.
+		ext := &Set{words: append(append([]uint64{}, e.words...), 0, 0)}
+		if !ext.Equal(e) || !e.Equal(ext) {
+			t.Error("appending zero words broke Equal reflexivity")
+		}
+		a2, o2, mE2, mP2 := RateCards(ext, p)
+		if a2 != and || o2 != or || mE2 != missE || mP2 != missP {
+			t.Errorf("zero-extended RateCards=(%d,%d,%d,%d), want (%d,%d,%d,%d)",
+				a2, o2, mE2, mP2, and, or, missE, missP)
+		}
+		if Intersects(e, p) != (and > 0) {
+			t.Errorf("Intersects=%v but and=%d", Intersects(e, p), and)
+		}
+	})
+}
+
+// TestRateCardsRandomLengths is the non-fuzz regression companion: random
+// unequal-length pairs through the same differential checks, so plain
+// `go test` keeps covering the contract between fuzzing sessions.
+func TestRateCardsRandomLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		eb := make([]byte, rng.Intn(40))
+		pb := make([]byte, rng.Intn(40))
+		rng.Read(eb)
+		rng.Read(pb)
+		e := &Set{words: wordsFromBytes(eb)}
+		p := &Set{words: wordsFromBytes(pb)}
+		and, or, missE, missP := RateCards(e, p)
+		if and != AndCard(e, p) || or != OrCard(e, p) ||
+			missE != AndNotCard(p, e) || missP != AndNotCard(e, p) {
+			t.Fatalf("case %d: RateCards=(%d,%d,%d,%d) disagrees with naive calls", i, and, or, missE, missP)
+		}
+		if e.Equal(p) != (XorCard(e, p) == 0) {
+			t.Fatalf("case %d: Equal disagrees with XorCard", i)
+		}
+	}
+}

@@ -405,6 +405,15 @@ func (t *Table) InsertWithID(id core.EntityID, e *entity.Entity) {
 	t.insertLocked(id, e)
 }
 
+// LastID returns the highest entity id ever assigned or inserted (0 when
+// the table never held an entity). Sharded recovery seeds its global id
+// allocator from the per-shard maxima.
+func (t *Table) LastID() core.EntityID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nextID
+}
+
 func (t *Table) insertLocked(id core.EntityID, e *entity.Entity) {
 	start := t.obsStart()
 	t.beginOp(id, e)
@@ -582,7 +591,7 @@ func (t *Table) NumPartitions() int {
 // PartitionView describes one partition for metrics and reporting.
 type PartitionView struct {
 	ID       core.PartitionID
-	Synopsis *synopsis.Set // attribute synopsis (do not modify)
+	Synopsis *synopsis.Set // attribute synopsis (snapshot at call time)
 	Entities int
 	Bytes    int64
 	Pages    int
@@ -594,9 +603,11 @@ func (t *Table) Partitions() []PartitionView {
 	defer t.mu.RUnlock()
 	out := make([]PartitionView, 0, len(t.segs))
 	for pid, seg := range t.segs {
+		// Clone the synopsis: callers read the views after the lock is
+		// released, while inserts keep mutating the live sets.
 		out = append(out, PartitionView{
 			ID:       pid,
-			Synopsis: t.attrSyn[pid],
+			Synopsis: t.attrSyn[pid].Clone(),
 			Entities: seg.NumRecords(),
 			Bytes:    seg.LiveBytes(),
 			Pages:    seg.NumPages(),
