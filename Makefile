@@ -5,7 +5,7 @@ OBS_PORT ?= 8080
 ADDR ?= 127.0.0.1:8263
 WAL ?= /tmp/cinderella.wal
 
-.PHONY: verify build vet test race bench-hotpath bench-obs bench-server bench-shard run-server obs-demo
+.PHONY: verify build vet test race bench-hotpath bench-obs bench-server bench-shard bench-read run-server obs-demo
 
 # verify is the tier-1 gate: build everything, vet, full test suite under
 # the race detector.
@@ -49,6 +49,15 @@ bench-server:
 # speedup_8x >= 3 with efficiency_delta_8x_vs_1 <= 0.10.
 bench-shard:
 	$(GO) run ./cmd/cinderella-bench -exp shard -entities 200000 -json BENCH_shard.json
+
+# bench-read measures the lock-free snapshot read path — writer p99
+# latency under a continuous 8-reader full-scan load, snapshot mode vs.
+# the RWMutex baseline, plus the sidecar's decode-avoided fraction — and
+# regenerates BENCH_read.json (see cmd/cinderella-bench -exp read). The
+# tracked result must show writer_p99_improvement >= 5 with
+# selective_decode_avoided_fraction >= 0.80.
+bench-read:
+	$(GO) run ./cmd/cinderella-bench -exp read -entities 50000 -json BENCH_read.json
 
 # run-server starts cinderellad in the foreground on $(ADDR) with the
 # WAL at $(WAL). Drive it with `cinderella-load -target http://$(ADDR)`

@@ -325,6 +325,25 @@ func (t *Table) QueryWithReport(attrs ...string) ([]Record, QueryReport) {
 	return out, rep
 }
 
+// ScanAll returns every live document (a full scan over all partitions;
+// no pruning is possible). Like Query it runs lock-free against a
+// consistent snapshot by default, so a long scan never stalls writers.
+func (t *Table) ScanAll() []Record {
+	res := t.inner.ScanAll()
+	out := make([]Record, len(res))
+	for i, r := range res {
+		out[i] = Record{ID: r.ID, Doc: t.toDoc(r.Entity)}
+	}
+	return out
+}
+
+// SetLockedReads switches Query/QueryWhere/ScanAll between the default
+// lock-free snapshot mode and the historical mode where reads hold the
+// table's shared lock for the whole scan. Results and reports are
+// identical in both modes; the locked mode exists as the comparison
+// baseline for benchmarks (cinderella-bench -exp read).
+func (t *Table) SetLockedReads(locked bool) { t.inner.SetLockedReads(locked) }
+
 // PartitionStat describes one partition. The json tags are the
 // service-layer wire format (GET /v1/partitions).
 type PartitionStat struct {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cinderella-bench [-exp all|fig4|fig5|fig6|fig7|fig8|tab1|efficiency|hotpath|obs|server|shard]
+//	cinderella-bench [-exp all|fig4|fig5|fig6|fig7|fig8|tab1|efficiency|hotpath|obs|server|shard|read]
 //	                 [-entities N] [-sf F] [-seed S] [-json FILE] [-obs :PORT]
 //	                 [-allow-serial]
 //
@@ -21,7 +21,11 @@
 // experiment measures the telemetry layer's overhead (instrumented vs.
 // uninstrumented; the repo tracks BENCH_obs.json). The shard experiment
 // measures write-path scaling across 1/2/4/8 hash-routed shards (the
-// repo tracks BENCH_shard.json). With -obs :PORT the process serves the
+// repo tracks BENCH_shard.json). The read experiment races a mixed
+// 8-writer/8-reader workload to compare writer tail latency between
+// lock-free snapshot reads and the historical RWMutex read path, and
+// reports the fraction of record decodes the synopsis sidecar avoids
+// (the repo tracks BENCH_read.json). With -obs :PORT the process serves the
 // ops endpoint (/metrics, /debug/vars, /debug/pprof) while experiments
 // run.
 package main
@@ -41,10 +45,11 @@ import (
 var knownExps = []string{
 	"all", "fig4", "fig5", "fig6", "fig7", "fig8", "tab1",
 	"efficiency", "cache", "churn", "hotpath", "obs", "server", "shard",
+	"read",
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath, obs, server, shard")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath, obs, server, shard, read")
 	entities := flag.Int("entities", 100000, "DBpedia-like entity count")
 	sf := flag.Float64("sf", 0.02, "TPC-H-style scale factor for tab1")
 	seed := flag.Int64("seed", 1, "PRNG seed")
@@ -173,6 +178,13 @@ func main() {
 	if want("shard") {
 		run("shard", func() {
 			r := experiments.ShardBench(o)
+			r.Print(os.Stdout)
+			writeJSON(r)
+		})
+	}
+	if want("read") {
+		run("read", func() {
+			r := experiments.ReadBench(o)
 			r.Print(os.Stdout)
 			writeJSON(r)
 		})

@@ -9,13 +9,18 @@
 //	cinderella-load [-entities N] [-w W] [-b B] [-json FILE]
 //	                [-strategy cinderella|universal|hash|roundrobin|schemaexact]
 //	                [-obs :PORT] [-hold]
-//	cinderella-load -target http://HOST:PORT [-entities N] [-clients N] [-json FILE]
+//	cinderella-load -target http://HOST:PORT [-entities N] [-clients N]
+//	                [-readers N] [-json FILE]
 //
 // With -target the data set is driven through a running cinderellad
 // instead of an embedded table: -clients concurrent workers insert over
 // HTTP (each 2xx ack means the write is fsynced server-side), then the
 // probe queries run through GET /v1/query-report and the partition
-// listing comes from the server. Local-only flags (-w, -b, -strategy,
+// listing comes from the server. -readers N adds N concurrent query
+// workers that hammer GET /v1/query for the whole duration of the
+// insert phase — the mixed read/write workload the lock-free snapshot
+// path is built for — and reports read throughput next to the insert
+// numbers. Local-only flags (-w, -b, -strategy,
 // -obs, -hold) are rejected in this mode: the server owns partitioning.
 //
 // With -obs the process serves the live ops endpoint (Prometheus
@@ -134,6 +139,7 @@ func main() {
 	hold := flag.Bool("hold", false, "with -obs: keep serving after the report until interrupted")
 	target := flag.String("target", "", "drive a running cinderellad at this base URL instead of an embedded table")
 	clients := flag.Int("clients", 16, "with -target: concurrent insert workers")
+	readers := flag.Int("readers", 0, "with -target: concurrent query workers running alongside the inserts")
 	flag.Parse()
 
 	// Validate everything up front so bad invocations fail fast with a
@@ -156,6 +162,12 @@ func main() {
 	}
 	if *clients <= 0 {
 		errs = append(errs, fmt.Sprintf("-clients must be positive, got %d", *clients))
+	}
+	if *readers < 0 {
+		errs = append(errs, fmt.Sprintf("-readers must be non-negative, got %d", *readers))
+	}
+	if *readers > 0 && *target == "" {
+		errs = append(errs, "-readers requires -target (it drives reads against a live daemon)")
 	}
 	if *hold && *obsAddr == "" {
 		errs = append(errs, "-hold requires -obs")
@@ -191,7 +203,7 @@ func main() {
 	}
 
 	if *target != "" {
-		if err := runTarget(*target, ds, *clients); err != nil {
+		if err := runTarget(*target, ds, *clients, *readers); err != nil {
 			fmt.Fprintln(os.Stderr, "cinderella-load: "+err.Error())
 			os.Exit(1)
 		}
@@ -280,8 +292,9 @@ func main() {
 }
 
 // runTarget drives the data set through a running cinderellad: concurrent
-// durable inserts, then the probe queries server-side.
-func runTarget(base string, ds *datagen.Dataset, workers int) error {
+// durable inserts (with optional concurrent query readers for a mixed
+// read/write workload), then the probe queries server-side.
+func runTarget(base string, ds *datagen.Dataset, workers, readers int) error {
 	ctx := context.Background()
 	c, err := client.New(base)
 	if err != nil {
@@ -298,10 +311,28 @@ func runTarget(base string, ds *datagen.Dataset, workers int) error {
 		docs[i] = entityDoc(e, ds.Dict)
 	}
 
+	// Query readers cycle over real attribute names from the data set so
+	// the mixed workload exercises the same pruning the probes report.
+	var attrNames []string
+	seen := map[string]bool{}
+	for _, e := range ds.Entities {
+		for _, f := range e.Fields() {
+			if name := ds.Dict.Name(f.Attr); !seen[name] {
+				seen[name] = true
+				attrNames = append(attrNames, name)
+			}
+		}
+		if len(attrNames) >= 64 {
+			break
+		}
+	}
+
 	var next, acked, failed atomic.Int64
-	var firstErr atomic.Value
+	var reads, readFails atomic.Int64
+	var firstErr, firstReadErr atomic.Value
+	stopReads := make(chan struct{})
 	start := time.Now()
-	var wg sync.WaitGroup
+	var wg, rwg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
@@ -320,14 +351,44 @@ func runTarget(base string, ds *datagen.Dataset, workers int) error {
 			}
 		}()
 	}
+	for i := 0; i < readers && len(attrNames) > 0; i++ {
+		rwg.Add(1)
+		go func(k int) {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				if _, err := c.Query(ctx, attrNames[k%len(attrNames)]); err != nil {
+					readFails.Add(1)
+					firstReadErr.CompareAndSwap(nil, err)
+				} else {
+					reads.Add(1)
+				}
+				k++
+			}
+		}(i)
+	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	close(stopReads)
+	rwg.Wait()
 
 	fmt.Printf("inserted %d/%d docs durably in %v (%.0f acked ops/s, %d clients)\n",
 		acked.Load(), len(docs), elapsed.Round(time.Millisecond),
 		float64(acked.Load())/elapsed.Seconds(), workers)
 	if n := failed.Load(); n > 0 {
 		fmt.Printf("  %d inserts failed (first: %v)\n", n, firstErr.Load())
+	}
+	if readers > 0 {
+		fmt.Printf("concurrent reads: %d queries in %v (%.0f reads/s, %d readers)\n",
+			reads.Load(), elapsed.Round(time.Millisecond),
+			float64(reads.Load())/elapsed.Seconds(), readers)
+		if n := readFails.Load(); n > 0 {
+			fmt.Printf("  %d reads failed (first: %v)\n", n, firstReadErr.Load())
+		}
 	}
 
 	parts, err := c.Partitions(ctx)

@@ -8,7 +8,8 @@
 //
 //	cinderellad -wal table.wal [-addr :8263] [-w W] [-b B] [-shards N]
 //	            [-strategy cinderella|universal|hash|roundrobin|schemaexact]
-//	            [-inflight N] [-queue N] [-commit-delay D] [-commit-max N]
+//	            [-inflight N] [-read-inflight N] [-queue N]
+//	            [-commit-delay D] [-commit-max N]
 //	            [-per-op-sync] [-addr-file PATH] [-checkpoint-on-exit=false]
 //
 // With -shards N (N > 1) the daemon runs N independent Cinderella
@@ -17,9 +18,12 @@
 // format is identical either way — clients cannot tell the difference.
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: it stops admitting
-// requests (503 + Retry-After), finishes the in-flight ones, flushes the
-// group-commit pipeline, checkpoints the WAL, and exits 0. A second
-// signal aborts immediately.
+// writes (503 + Retry-After), finishes the in-flight ones, flushes the
+// group-commit pipeline, checkpoints the WAL, and exits 0. Read routes
+// run behind their own -read-inflight bound, outside the write
+// admission queue, and keep being served for as long as the listener
+// is up — a drain never turns queries away. A second signal aborts
+// immediately.
 //
 // -addr-file writes the actually bound address (useful with -addr
 // 127.0.0.1:0) to a file so scripts can find the server.
@@ -59,6 +63,7 @@ func main() {
 	b := flag.Int64("b", 5000, "partition size limit B (records)")
 	strategy := flag.String("strategy", "cinderella", "partitioning strategy")
 	inflight := flag.Int("inflight", 0, "max concurrently served requests (0 = default)")
+	readInflight := flag.Int("read-inflight", 0, "max concurrently served read requests (0 = default: match -inflight)")
 	queue := flag.Int("queue", 0, "admission queue depth beyond -inflight (0 = default)")
 	commitDelay := flag.Duration("commit-delay", 0, "group-commit window (0 = default)")
 	commitMax := flag.Int("commit-max", 0, "max ops per group commit (0 = default)")
@@ -82,8 +87,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cinderellad: -b must be positive, got %d\n", *b)
 		os.Exit(2)
 	}
-	if *inflight < 0 || *queue < 0 || *commitMax < 0 {
-		fmt.Fprintln(os.Stderr, "cinderellad: -inflight, -queue, and -commit-max must be non-negative")
+	if *inflight < 0 || *readInflight < 0 || *queue < 0 || *commitMax < 0 {
+		fmt.Fprintln(os.Stderr, "cinderellad: -inflight, -read-inflight, -queue, and -commit-max must be non-negative")
 		os.Exit(2)
 	}
 	if *shards < 1 {
@@ -113,13 +118,14 @@ func main() {
 		*walPath, *shards, d.Len(), len(d.Partitions()))
 
 	srv := server.New(d, server.Config{
-		MaxInflight:    *inflight,
-		MaxQueue:       *queue,
-		RequestTimeout: *reqTimeout,
-		CommitDelay:    *commitDelay,
-		CommitMaxOps:   *commitMax,
-		PerOpSync:      *perOpSync,
-		Obs:            reg,
+		MaxInflight:     *inflight,
+		MaxReadInflight: *readInflight,
+		MaxQueue:        *queue,
+		RequestTimeout:  *reqTimeout,
+		CommitDelay:     *commitDelay,
+		CommitMaxOps:    *commitMax,
+		PerOpSync:       *perOpSync,
+		Obs:             reg,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

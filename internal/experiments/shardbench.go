@@ -42,8 +42,8 @@ type ShardRunResult struct {
 
 // ShardBenchResult is the scaling series plus the acceptance summary.
 type ShardBenchResult struct {
-	GOMAXPROCS int   `json:"gomaxprocs"`
-	NumCPU     int   `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
 	Entities   int     `json:"entities"`
 	Workers    int     `json:"workers"`
 	B          int64   `json:"b"`

@@ -48,8 +48,10 @@ const (
 	CPartitionsPruned
 	CEntitiesScanned
 	CEntitiesReturned
-	CBytesRead     // live record bytes scanned by queries
-	CBytesRelevant // live record bytes of returned (relevant) records
+	CBytesRead         // live record bytes scanned by queries
+	CBytesRelevant     // live record bytes of returned (relevant) records
+	CScanDecoded       // records decoded by query scans
+	CScanDecodeSkipped // records skipped by the sidecar synopsis without decoding
 
 	CWALAppends
 	CWALAppendBytes
@@ -86,6 +88,8 @@ var counterNames = [numCounters]string{
 	CEntitiesReturned:  "cinderella_entities_returned_total",
 	CBytesRead:         "cinderella_query_bytes_read_total",
 	CBytesRelevant:     "cinderella_query_bytes_relevant_total",
+	CScanDecoded:       "cinderella_scan_records_decoded_total",
+	CScanDecodeSkipped: "cinderella_scan_decode_skipped_total",
 	CWALAppends:        "cinderella_wal_appends_total",
 	CWALAppendBytes:    "cinderella_wal_append_bytes_total",
 	CWALSyncs:          "cinderella_wal_syncs_total",
@@ -116,6 +120,8 @@ var counterHelp = [numCounters]string{
 	CEntitiesReturned:  "Records returned by queries (relevant to the query).",
 	CBytesRead:         "Live record bytes read by query scans.",
 	CBytesRelevant:     "Live record bytes of records relevant to their query.",
+	CScanDecoded:       "Records decoded by query scans.",
+	CScanDecodeSkipped: "Records the record-synopsis sidecar pruned without decoding.",
 	CWALAppends:        "Operations appended to the write-ahead log.",
 	CWALAppendBytes:    "Payload bytes appended to the write-ahead log.",
 	CWALSyncs:          "Write-ahead-log fsyncs.",
@@ -169,6 +175,10 @@ type state struct {
 	// executing, and requests waiting in the bounded admission queue.
 	srvInflight atomic.Int64
 	srvQueued   atomic.Int64
+
+	// snapEpoch is the table's snapshot-publication epoch: how many times
+	// a mutation republished partition snapshots for lock-free readers.
+	snapEpoch atomic.Int64
 
 	insertNs    Histogram
 	queryNs     Histogram
@@ -379,6 +389,24 @@ func (r *Registry) ServerQueued() int64 {
 	return r.srvQueued.Load()
 }
 
+// SetSnapshotEpoch updates the snapshot-publication-epoch gauge (the
+// table layer calls it after publishing new partition snapshots).
+// Nil-safe.
+func (r *Registry) SetSnapshotEpoch(n int64) {
+	if r == nil {
+		return
+	}
+	r.snapEpoch.Store(n)
+}
+
+// SnapshotEpoch returns the snapshot-publication-epoch gauge.
+func (r *Registry) SnapshotEpoch() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.snapEpoch.Load()
+}
+
 // NoteQuery folds one executed query into the registry: the pruning and
 // volume counters, the query latency histogram, and the streaming
 // EFFICIENCY estimator.
@@ -520,6 +548,7 @@ type Snapshot struct {
 	Partitions       int64                        `json:"partitions"`
 	ServerInflight   int64                        `json:"server_inflight"`
 	ServerQueued     int64                        `json:"server_queued"`
+	SnapshotEpoch    int64                        `json:"snapshot_epoch"`
 	Efficiency       float64                      `json:"efficiency"`
 	EfficiencyBytes  float64                      `json:"efficiency_bytes"`
 	WindowEfficiency float64                      `json:"window_efficiency"`
@@ -563,6 +592,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Partitions:      r.Partitions(),
 		ServerInflight:  r.ServerInflight(),
 		ServerQueued:    r.ServerQueued(),
+		SnapshotEpoch:   r.SnapshotEpoch(),
 		Efficiency:      r.Efficiency(),
 		EfficiencyBytes: r.EfficiencyBytes(),
 		Histograms:      make(map[string]HistogramSnapshot, 6),

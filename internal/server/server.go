@@ -28,6 +28,14 @@
 // MaxQueue more wait. Beyond that — or once draining — requests get
 // 503 with a Retry-After header, and the client package backs off and
 // retries.
+//
+// Read/write separation: the read-only routes (/v1/doc, /v1/query,
+// /v1/query-report, /v1/partitions) run behind their own MaxReadInflight
+// semaphore, never enter the admission queue, and keep being served
+// while the server drains — the store's lock-free snapshot reads cannot
+// stall or be stalled by the write path, so rejecting or queueing them
+// behind writes would only add latency. Reads stop when the listener
+// stops.
 package server
 
 import (
@@ -47,8 +55,13 @@ import (
 
 // Config parameterizes a Server. The zero value picks sane defaults.
 type Config struct {
-	// MaxInflight bounds concurrently executing requests. Default 128.
+	// MaxInflight bounds concurrently executing mutating requests.
+	// Default 128.
 	MaxInflight int
+	// MaxReadInflight bounds concurrently executing read-only requests
+	// (doc fetches, queries, partition listings), which bypass the
+	// admission queue and drain rejection entirely. Default: MaxInflight.
+	MaxReadInflight int
 	// MaxQueue bounds requests waiting for an inflight slot; the
 	// admission queue. Requests beyond it are rejected with 503.
 	// Default 256.
@@ -77,6 +90,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 128
+	}
+	if c.MaxReadInflight <= 0 {
+		c.MaxReadInflight = c.MaxInflight
 	}
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 256
@@ -121,7 +137,8 @@ type Server struct {
 	com *Committer
 	obs *obs.Registry
 
-	sem      chan struct{} // inflight slots
+	sem      chan struct{} // write inflight slots
+	rsem     chan struct{} // read inflight slots (no queue, drain-immune)
 	queued   chan struct{} // admission queue slots
 	draining chan struct{} // closed by BeginDrain
 	mux      *http.ServeMux
@@ -136,6 +153,7 @@ func New(d Store, cfg Config) *Server {
 		cfg:      cfg,
 		obs:      cfg.Obs,
 		sem:      make(chan struct{}, cfg.MaxInflight),
+		rsem:     make(chan struct{}, cfg.MaxReadInflight),
 		queued:   make(chan struct{}, cfg.MaxQueue),
 		draining: make(chan struct{}),
 	}
@@ -144,12 +162,12 @@ func New(d Store, cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/insert", s.handleInsert)
-	s.route("GET /v1/doc", s.handleGet)
+	s.routeRead("GET /v1/doc", s.handleGet)
 	s.route("POST /v1/update", s.handleUpdate)
 	s.route("POST /v1/delete", s.handleDelete)
-	s.route("GET /v1/query", s.handleQuery)
-	s.route("GET /v1/query-report", s.handleQueryReport)
-	s.route("GET /v1/partitions", s.handlePartitions)
+	s.routeRead("GET /v1/query", s.handleQuery)
+	s.routeRead("GET /v1/query-report", s.handleQueryReport)
+	s.routeRead("GET /v1/partitions", s.handlePartitions)
 	s.route("POST /v1/compact", s.handleCompact)
 	s.route("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /v1/health", s.handleHealth) // never queued: probes must see a draining server
@@ -182,6 +200,44 @@ func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request
 		}
 		defer func() {
 			<-s.sem
+			s.obs.AddServerInflight(-1)
+			s.obs.ObserveServerNs(time.Since(start).Nanoseconds())
+		}()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+		code, err := h(w, r)
+		s.obs.Add(obs.CSrvRequests, 1)
+		if err != nil {
+			s.obs.Add(obs.CSrvErrors, 1)
+			writeError(w, code, err.Error())
+		}
+	})
+}
+
+// routeRead registers a read-only handler behind the read semaphore.
+// Reads never enter the admission queue — snapshot reads are
+// writer-independent, so queueing them behind writes would only add
+// latency — and are not rejected during drain: a draining node keeps
+// answering queries until its listener stops, so clients and operators
+// can read from it for the whole drain window. The semaphore still
+// bounds concurrent scans; past it, reads get the same 503 + Retry-After
+// as writes.
+func (s *Server) routeRead(pattern string, h func(http.ResponseWriter, *http.Request) (int, error)) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		select {
+		case s.rsem <- struct{}{}:
+		default:
+			s.reject(w, "read capacity exhausted")
+			return
+		}
+		s.obs.AddServerInflight(1)
+		defer func() {
+			<-s.rsem
 			s.obs.AddServerInflight(-1)
 			s.obs.ObserveServerNs(time.Since(start).Nanoseconds())
 		}()

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -483,5 +484,55 @@ func TestServerPerOpSyncMode(t *testing.T) {
 	}
 	if h.reg.Counter(obs.CGroupCommits) != 0 {
 		t.Fatal("per-op sync mode ran group commits")
+	}
+}
+
+// TestServerReadsServedDuringDrain covers the read/write separation: a
+// draining server rejects writes with 503 but keeps serving the
+// read-only routes until the listener stops, because snapshot reads are
+// independent of the (draining) write path.
+func TestServerReadsServedDuringDrain(t *testing.T) {
+	h := newHarness(t, Config{})
+	ctx := context.Background()
+
+	id, err := h.cl.Insert(ctx, client.Doc{"name": "camera", "aperture": 2.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h.srv.BeginDrain()
+
+	// Writes must bounce. Raw HTTP: the client package would retry 503s.
+	resp, err := http.Post(h.ts.URL+"/v1/insert", "application/json",
+		strings.NewReader(`{"doc":{"name":"late"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mid-drain insert: got %d, want 503", resp.StatusCode)
+	}
+
+	// Reads must keep working, via every read-only route.
+	for _, url := range []string{
+		"/v1/doc?id=" + strconv.FormatUint(uint64(id), 10),
+		"/v1/query?attrs=aperture",
+		"/v1/query-report?attrs=aperture",
+		"/v1/partitions",
+	} {
+		resp, err := http.Get(h.ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mid-drain GET %s: got %d, want 200", url, resp.StatusCode)
+		}
+	}
+
+	// And the results are the real data, not a degraded answer.
+	recs, err := h.cl.Query(ctx, "aperture")
+	if err != nil || len(recs) != 1 || recs[0].ID != id {
+		t.Fatalf("mid-drain Query: %v err=%v", recs, err)
 	}
 }

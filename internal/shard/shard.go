@@ -367,6 +367,29 @@ func (s *Sharded) QueryWithReport(attrs ...string) ([]cinderella.Record, cindere
 	return out, rep
 }
 
+// ScanAll fans the full scan out to every shard concurrently and
+// concatenates the per-shard results in shard order. Each shard scans a
+// lock-free snapshot (unless locked reads are enabled), so a full scan
+// never stalls the sharded write path.
+func (s *Sharded) ScanAll() []cinderella.Record {
+	per := fanOut(s.shards, func(d *cinderella.DurableTable) []cinderella.Record {
+		return d.ScanAll()
+	})
+	var out []cinderella.Record
+	for _, r := range per {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// SetLockedReads switches every shard's read paths between snapshot mode
+// (default) and the historical locked mode (see cinderella.Table).
+func (s *Sharded) SetLockedReads(locked bool) {
+	for _, d := range s.shards {
+		d.SetLockedReads(locked)
+	}
+}
+
 // Partitions concatenates the per-shard partition synopses in shard
 // order; each shard's slice is partition-id ordered, so the result is the
 // same deterministic (shard, pid) order queries merge in.

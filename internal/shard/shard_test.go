@@ -431,3 +431,110 @@ func TestShardedConcurrentWriters(t *testing.T) {
 		t.Fatalf("reopened Len = %d, want %d", got, writers*perWriter)
 	}
 }
+
+// TestShardedConcurrentWritersScanAll races continuous writers on every
+// shard against full-scan and query readers. Under -race this guards
+// the fan-out over the per-shard lock-free snapshot reads.
+func TestShardedConcurrentWritersScanAll(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 4, Config: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		if _, err := s.Insert(docFor(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const writers = 4
+	var wwg, rwg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, writers+4)
+
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(seed int64) {
+			defer wwg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var mine []cinderella.ID
+			for i := 0; i < 300; i++ {
+				switch {
+				case len(mine) > 0 && rng.Intn(4) == 0:
+					k := rng.Intn(len(mine))
+					if _, err := s.Delete(mine[k]); err != nil {
+						errs <- err
+						return
+					}
+					mine = append(mine[:k], mine[k+1:]...)
+				case len(mine) > 0 && rng.Intn(4) == 0:
+					if _, err := s.Update(mine[rng.Intn(len(mine))], docFor(rng)); err != nil {
+						errs <- err
+						return
+					}
+				default:
+					id, err := s.Insert(docFor(rng))
+					if err != nil {
+						errs <- err
+						return
+					}
+					mine = append(mine, id)
+				}
+			}
+		}(int64(300 + w))
+	}
+
+	for r := 0; r < 4; r++ {
+		rwg.Add(1)
+		go func(seed int64) {
+			defer rwg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rng.Intn(2) == 0 {
+					for _, rec := range s.ScanAll() {
+						if rec.Doc == nil {
+							errs <- fmt.Errorf("ScanAll returned nil doc for id %d", rec.ID)
+							return
+						}
+					}
+				} else {
+					attr := fmt.Sprintf("c%d_a%d", rng.Intn(4), rng.Intn(12))
+					recs, rep := s.QueryWithReport(attr)
+					if len(recs) != rep.EntitiesReturned {
+						errs <- fmt.Errorf("query returned %d recs, report says %d", len(recs), rep.EntitiesReturned)
+						return
+					}
+				}
+			}
+		}(int64(400 + r))
+	}
+
+	wwg.Wait()
+	close(stop)
+	rwg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Full scan agrees across read modes once writers stop.
+	snapRecs := s.ScanAll()
+	s.SetLockedReads(true)
+	lockRecs := s.ScanAll()
+	s.SetLockedReads(false)
+	if len(snapRecs) != len(lockRecs) {
+		t.Fatalf("snapshot scan %d records, locked scan %d", len(snapRecs), len(lockRecs))
+	}
+	if len(snapRecs) != s.Len() {
+		t.Fatalf("ScanAll %d records, Len %d", len(snapRecs), s.Len())
+	}
+}

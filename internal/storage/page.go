@@ -58,6 +58,14 @@ func NewPage() *Page {
 	return p
 }
 
+// clone returns a deep copy of the page (the copy-on-write step for
+// deletes: published views keep the original).
+func (p *Page) clone() *Page {
+	q := &Page{}
+	q.buf = p.buf
+	return q
+}
+
 func (p *Page) slotCount() int      { return int(binary.LittleEndian.Uint16(p.buf[0:2])) }
 func (p *Page) setSlotCount(n int)  { binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n)) }
 func (p *Page) freeOffset() int     { return int(binary.LittleEndian.Uint16(p.buf[2:4])) }

@@ -2,7 +2,9 @@ package storage
 
 import (
 	"errors"
-	"sync"
+	"sync/atomic"
+
+	"cinderella/internal/synopsis"
 )
 
 // ErrNotFound is returned when a record id does not resolve to a live record.
@@ -16,56 +18,73 @@ type RecordID struct {
 
 // Stats counts simulated I/O. All experiments read these counters to
 // report "how much data was actually read", independent of wall time.
+// The counters are atomics: parallel partition scans and lock-free
+// snapshot readers charge them concurrently without serializing on a
+// mutex (which used to be the single shared lock on the scan hot path).
 type Stats struct {
-	mu          sync.Mutex
-	PagesRead   int64
-	PagesWrit   int64
-	BytesRead   int64
-	BytesWrit   int64
-	RecordsRead int64
+	pagesRead   atomic.Int64
+	pagesWrit   atomic.Int64
+	bytesRead   atomic.Int64
+	bytesWrit   atomic.Int64
+	recordsRead atomic.Int64
 }
 
 // Reset zeroes all counters.
 func (s *Stats) Reset() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.PagesRead, s.PagesWrit, s.BytesRead, s.BytesWrit, s.RecordsRead = 0, 0, 0, 0, 0
+	s.pagesRead.Store(0)
+	s.pagesWrit.Store(0)
+	s.bytesRead.Store(0)
+	s.bytesWrit.Store(0)
+	s.recordsRead.Store(0)
 }
 
 // Snapshot returns a copy of the counters.
 func (s *Stats) Snapshot() (pagesRead, pagesWrit, bytesRead, bytesWrit, recordsRead int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.PagesRead, s.PagesWrit, s.BytesRead, s.BytesWrit, s.RecordsRead
+	return s.pagesRead.Load(), s.pagesWrit.Load(), s.bytesRead.Load(),
+		s.bytesWrit.Load(), s.recordsRead.Load()
 }
 
 func (s *Stats) addRead(pages, bytes, records int64) {
-	s.mu.Lock()
-	s.PagesRead += pages
-	s.BytesRead += bytes
-	s.RecordsRead += records
-	s.mu.Unlock()
+	s.pagesRead.Add(pages)
+	s.bytesRead.Add(bytes)
+	s.recordsRead.Add(records)
 }
 
 func (s *Stats) addWrite(pages, bytes int64) {
-	s.mu.Lock()
-	s.PagesWrit += pages
-	s.BytesWrit += bytes
-	s.mu.Unlock()
+	s.pagesWrit.Add(pages)
+	s.bytesWrit.Add(bytes)
 }
 
 // Segment is a heap file: an append-oriented chain of slotted pages. One
 // segment backs one partition.
 //
+// Alongside the pages the segment maintains the record-synopsis sidecar:
+// one attribute-synopsis pointer per slot, parallel to the page chain.
+// Scans over a published view test a query against the sidecar and decode
+// only records that can match — a word-AND instead of a full entity
+// decode for every non-matching record. A nil sidecar entry means
+// "unknown, decode to test"; tombstones are detected from the slot
+// directory (stored length 0), never from the sidecar.
+//
 // Concurrency: mutations (Insert, Delete, Vacuum) require exclusive
-// access, but any number of readers may call Read and Scan concurrently
-// with each other — the page chain and page contents are only read, and
-// the shared mutable state they touch (the Stats counters and the
-// optional BufferCache) is internally synchronized. The table layer
-// relies on this: its parallel query workers scan disjoint segments under
-// a shared read lock that excludes writers.
+// access. Lock-free readers never touch a Segment directly — they scan a
+// SegView published by View() (see view.go), which stays valid under
+// concurrent mutation because mutations follow two rules:
+//
+//   - Inserts only append: a new slot, its payload (written below the
+//     previous free offset), and the page header are the only bytes
+//     touched, and no published view reads any of them — views bound
+//     their iteration by the slot counts captured at View() time.
+//   - Everything else copies: Delete clones the 8 KiB page and its
+//     sidecar row and swaps the clones in; Vacuum rebuilds the chain from
+//     scratch. Pages and rows reachable from a view are never mutated.
+//
+// The Stats counters and the optional BufferCache are internally
+// synchronized, so locked readers (Read, Scan) may also run concurrently
+// with each other, as the table layer's locked query mode relies on.
 type Segment struct {
 	pages   []*Page
+	sidecar [][]*synopsis.Set // per page: one entry per slot, nil = unknown
 	stats   *Stats
 	live    int   // live record count
 	bytes   int64 // live payload bytes
@@ -84,13 +103,23 @@ func NewSegment(stats *Stats) *Segment {
 
 // Insert appends a record and returns its id. Insertion tries the last
 // page first and allocates a new page when it does not fit, matching heap
-// file append behaviour.
+// file append behaviour. The sidecar entry is unknown (nil); use
+// InsertTagged to attach the record's attribute synopsis.
 func (s *Segment) Insert(rec []byte) (RecordID, error) {
+	return s.InsertTagged(rec, nil)
+}
+
+// InsertTagged appends a record together with its attribute synopsis,
+// which snapshot scans use to skip decoding records irrelevant to a
+// query. The synopsis is retained by pointer and must not be mutated
+// afterwards (the table layer's entity synopses are write-once).
+func (s *Segment) InsertTagged(rec []byte, syn *synopsis.Set) (RecordID, error) {
 	if len(rec) > MaxRecordSize {
 		return RecordID{}, ErrRecordTooLarge
 	}
 	if n := len(s.pages); n > 0 {
 		if slot, err := s.pages[n-1].Insert(rec); err == nil {
+			s.sidecar[n-1] = append(s.sidecar[n-1], syn)
 			s.noteInsert(rec)
 			return RecordID{Page: n - 1, Slot: slot}, nil
 		}
@@ -101,6 +130,7 @@ func (s *Segment) Insert(rec []byte) (RecordID, error) {
 		return RecordID{}, err
 	}
 	s.pages = append(s.pages, p)
+	s.sidecar = append(s.sidecar, append(make([]*synopsis.Set, 0, 8), syn))
 	s.noteInsert(rec)
 	return RecordID{Page: len(s.pages) - 1, Slot: slot}, nil
 }
@@ -126,7 +156,9 @@ func (s *Segment) Read(id RecordID) ([]byte, error) {
 	return rec, nil
 }
 
-// Delete tombstones the record for id.
+// Delete tombstones the record for id. The page and its sidecar row are
+// copied, mutated, and swapped in — published views keep reading the
+// pre-delete state.
 func (s *Segment) Delete(id RecordID) error {
 	if id.Page < 0 || id.Page >= len(s.pages) {
 		return ErrNotFound
@@ -136,9 +168,18 @@ func (s *Segment) Delete(id RecordID) error {
 		return ErrNotFound
 	}
 	n := int64(len(rec))
-	if !s.pages[id.Page].Delete(id.Slot) {
+	np := s.pages[id.Page].clone()
+	if !np.Delete(id.Slot) {
 		return ErrNotFound
 	}
+	row := s.sidecar[id.Page]
+	nrow := make([]*synopsis.Set, len(row))
+	copy(nrow, row)
+	if id.Slot < len(nrow) {
+		nrow[id.Slot] = nil
+	}
+	s.pages[id.Page] = np
+	s.sidecar[id.Page] = nrow
 	s.live--
 	s.bytes -= n
 	s.stats.addWrite(1, 0)
@@ -165,24 +206,46 @@ func (s *Segment) Scan(fn func(id RecordID, rec []byte) bool) {
 	}
 }
 
+// Synopsis returns the sidecar entry for id (nil when unknown or id is
+// not live).
+func (s *Segment) Synopsis(id RecordID) *synopsis.Set {
+	if id.Page < 0 || id.Page >= len(s.sidecar) {
+		return nil
+	}
+	row := s.sidecar[id.Page]
+	if id.Slot < 0 || id.Slot >= len(row) {
+		return nil
+	}
+	return row[id.Slot]
+}
+
 // Vacuum rewrites the segment without tombstones, reclaiming the space of
-// deleted records and dropping empty pages. Record ids change; the
-// returned map gives old → new ids for the caller to remap its indexes.
-// The rewrite is charged to the write counters like a physical copy.
+// deleted records and dropping empty pages. Sidecar entries move with
+// their records. Record ids change; the returned map gives old → new ids
+// for the caller to remap its indexes. The rewrite is charged to the
+// write counters like a physical copy. Published views keep the old page
+// chain.
 func (s *Segment) Vacuum() map[RecordID]RecordID {
 	remap := make(map[RecordID]RecordID, s.live)
 	old := s.pages
+	oldSidecar := s.sidecar
 	s.pages = nil
+	s.sidecar = nil
 	s.live = 0
 	s.bytes = 0
 	s.DropFromCache()
 	for pi, p := range old {
+		row := oldSidecar[pi]
 		for slot := 0; slot < p.NumSlots(); slot++ {
 			rec, ok := p.Read(slot)
 			if !ok {
 				continue
 			}
-			nid, err := s.Insert(rec)
+			var syn *synopsis.Set
+			if slot < len(row) {
+				syn = row[slot]
+			}
+			nid, err := s.InsertTagged(rec, syn)
 			if err != nil {
 				panic("storage: vacuum re-insert failed: " + err.Error())
 			}

@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"cinderella/internal/synopsis"
+)
+
+// TestSidecarTagging covers the record-synopsis sidecar bookkeeping:
+// tagged inserts retain the synopsis by pointer, untagged inserts stay
+// unknown, deletes clear the entry, and vacuum moves entries with their
+// records.
+func TestSidecarTagging(t *testing.T) {
+	seg := NewSegment(nil)
+	synA := synopsis.Of(1, 2)
+	synB := synopsis.Of(3)
+
+	idA, err := seg.InsertTagged([]byte("aaa"), synA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := seg.InsertTagged([]byte("bbb"), synB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idC, err := seg.Insert([]byte("ccc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := seg.Synopsis(idA); got != synA {
+		t.Fatalf("Synopsis(A) = %v, want the tagged pointer", got)
+	}
+	if got := seg.Synopsis(idB); got != synB {
+		t.Fatalf("Synopsis(B) = %v, want the tagged pointer", got)
+	}
+	if got := seg.Synopsis(idC); got != nil {
+		t.Fatalf("Synopsis(untagged) = %v, want nil", got)
+	}
+
+	if err := seg.Delete(idA); err != nil {
+		t.Fatal(err)
+	}
+	if got := seg.Synopsis(idA); got != nil {
+		t.Fatalf("Synopsis(deleted) = %v, want nil", got)
+	}
+
+	remap := seg.Vacuum()
+	nb, ok := remap[idB]
+	if !ok {
+		t.Fatal("vacuum lost record B")
+	}
+	if got := seg.Synopsis(nb); got == nil || !got.Equal(synB) {
+		t.Fatalf("Synopsis after vacuum = %v, want %v", got, synB)
+	}
+}
+
+// TestViewImmutableUnderMutation is the storage-level snapshot property:
+// a view captured before deletes, appends, and vacuum keeps returning
+// exactly the captured records, bytes, and sidecar synopses.
+func TestViewImmutableUnderMutation(t *testing.T) {
+	seg := NewSegment(nil)
+	type rec struct {
+		id  RecordID
+		b   string
+		syn *synopsis.Set
+	}
+	var want []rec
+	for i := 0; i < 300; i++ {
+		b := fmt.Sprintf("record-%04d-%s", i, "padding-padding-padding-padding")
+		syn := synopsis.Of(i % 7)
+		id, err := seg.InsertTagged([]byte(b), syn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec{id, b, syn})
+	}
+
+	v := seg.View()
+
+	// Mutate: delete a third, append enough to grow pages and extend
+	// the captured tail page's slot directory, then vacuum everything.
+	for i, r := range want {
+		if i%3 == 0 {
+			if err := seg.Delete(r.id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := seg.Insert([]byte(fmt.Sprintf("late-%05d-%s", i, "padding-padding"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg.Vacuum()
+
+	if v.NumRecords() != len(want) {
+		t.Fatalf("view live count %d, want %d", v.NumRecords(), len(want))
+	}
+	i := 0
+	v.Scan(func(id RecordID, n int, syn *synopsis.Set) bool {
+		if i >= len(want) {
+			t.Fatalf("view yielded more than the captured %d records", len(want))
+		}
+		w := want[i]
+		if id != w.id || n != len(w.b) || syn != w.syn {
+			t.Fatalf("view record %d = (%v,%d,%v), want (%v,%d,%v)",
+				i, id, n, syn, w.id, len(w.b), w.syn)
+		}
+		if got := string(v.Record(id)); got != w.b {
+			t.Fatalf("view record %d bytes = %q, want %q", i, got, w.b)
+		}
+		i++
+		return true
+	})
+	if i != len(want) {
+		t.Fatalf("view yielded %d records, want %d", i, len(want))
+	}
+}
+
+// TestViewChargesLikeLockedScan pins the accounting contract: a view
+// scan charges the shared Stats exactly like Segment.Scan over the same
+// data — per-page and per-record, whether or not the caller decodes.
+func TestViewChargesLikeLockedScan(t *testing.T) {
+	mk := func() *Segment {
+		seg := NewSegment(&Stats{})
+		var ids []RecordID
+		for i := 0; i < 500; i++ {
+			b := fmt.Sprintf("record-%04d-%s", i, "padding-padding-padding")
+			id, err := seg.InsertTagged([]byte(b), synopsis.Of(i%5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		for i := 0; i < len(ids); i += 4 {
+			if err := seg.Delete(ids[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seg.Stats().Reset()
+		return seg
+	}
+
+	locked := mk()
+	locked.Scan(func(_ RecordID, _ []byte) bool { return true })
+	lpr, _, lbr, _, lrr := locked.Stats().Snapshot()
+
+	snap := mk()
+	v := snap.View()
+	v.Scan(func(_ RecordID, _ int, _ *synopsis.Set) bool { return true })
+	spr, _, sbr, _, srr := snap.Stats().Snapshot()
+
+	if lpr != spr || lbr != sbr || lrr != srr {
+		t.Fatalf("locked scan charged (pages=%d bytes=%d records=%d), view scan (pages=%d bytes=%d records=%d)",
+			lpr, lbr, lrr, spr, sbr, srr)
+	}
+}

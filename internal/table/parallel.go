@@ -12,8 +12,9 @@ import (
 // Parallel partition scans.
 //
 // Queries that survive pruning scan each remaining partition
-// independently: segments are disjoint, and under the table's read lock
-// no writer can mutate them, so the scans are embarrassingly parallel.
+// independently: partitions are disjoint, and each scan runs either
+// against an immutable snapshot (default mode) or under the table's read
+// lock, so the scans are embarrassingly parallel in both modes.
 // runScans fans the per-partition work out over a bounded worker pool.
 // Determinism is preserved by construction — worker i-th unit writes only
 // slot i of a pre-sized result array, and the caller concatenates slots in
@@ -53,10 +54,15 @@ func (t *Table) runScans(n int, scan func(i int)) {
 }
 
 // partScan is one partition's private scan buffer: hits in storage order
-// plus the records-visited and byte-volume counters.
+// plus the records-visited and byte-volume counters. decoded and skipped
+// split the visited records by whether the sidecar synopsis let the scan
+// avoid the decode; they feed the telemetry decode counters only, never
+// QueryReport.
 type partScan struct {
 	hits      []Result
 	scanned   int
+	decoded   int   // records actually decoded
+	skipped   int   // records pruned by the sidecar without decoding
 	bytesRead int64 // live record bytes visited
 	bytesHit  int64 // live record bytes of hits (relevant to the query)
 }
@@ -73,6 +79,7 @@ func (t *Table) scanPartition(pid core.PartitionID, q *synopsis.Set) partScan {
 		if err != nil {
 			panic("table: corrupt record during scan: " + err.Error())
 		}
+		ps.decoded++
 		if q == nil || synopsis.Intersects(e.Synopsis(), q) {
 			ps.hits = append(ps.hits, Result{ID: id, Entity: e})
 			ps.bytesHit += int64(len(rec))
@@ -93,6 +100,7 @@ func (t *Table) scanPartitionWhere(pid core.PartitionID, preds []Pred) partScan 
 		if err != nil {
 			panic("table: corrupt record during scan: " + err.Error())
 		}
+		ps.decoded++
 		if entityMatches(e, preds) {
 			ps.hits = append(ps.hits, Result{ID: id, Entity: e})
 			ps.bytesHit += int64(len(rec))

@@ -50,8 +50,18 @@ func (t *Table) SelectSynopsis(q *synopsis.Set) []Result {
 // SelectWithReport runs the query and also returns execution counters.
 // Surviving partitions are scanned by the worker pool (see parallel.go);
 // results arrive in ascending partition-id order, identical to a serial
-// scan.
+// scan. In the default snapshot mode the query runs against a captured
+// consistent cut and never takes the table lock; in locked mode (see
+// SetLockedReads) it holds the shared read lock for the whole scan. The
+// results and every QueryReport counter are identical in both modes.
 func (t *Table) SelectWithReport(q *synopsis.Set) ([]Result, QueryReport) {
+	if t.lockedReads.Load() {
+		return t.selectLocked(q)
+	}
+	return t.selectSnap(q)
+}
+
+func (t *Table) selectLocked(q *synopsis.Set) ([]Result, QueryReport) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	start := t.obsStart()
@@ -76,6 +86,34 @@ func (t *Table) SelectWithReport(q *synopsis.Set) ([]Result, QueryReport) {
 	})
 	out := mergeScans(parts, &rep)
 
+	t.noteDecode(parts)
+	t.noteQuery(rep, lapNs(start))
+	return out, rep
+}
+
+func (t *Table) selectSnap(q *synopsis.Set) ([]Result, QueryReport) {
+	start := t.obsStart()
+	snap := t.capture()
+
+	var rep QueryReport
+	rep.PartitionsTotal = len(snap.parts)
+	survivors := make([]*partSnap, 0, len(snap.parts))
+	for _, ps := range snap.parts {
+		if ps.syn == nil || !synopsis.Intersects(ps.syn, q) {
+			rep.PartitionsPruned++
+			continue
+		}
+		survivors = append(survivors, ps)
+	}
+	rep.PartitionsTouched = len(survivors)
+
+	parts := make([]partScan, len(survivors))
+	t.runScans(len(survivors), func(i int) {
+		parts[i] = scanSnapPart(survivors[i], q)
+	})
+	out := mergeScans(parts, &rep)
+
+	t.noteDecode(parts)
 	t.noteQuery(rep, lapNs(start))
 	return out, rep
 }
@@ -83,15 +121,27 @@ func (t *Table) SelectWithReport(q *synopsis.Set) ([]Result, QueryReport) {
 // ScanAll returns every live entity (a full table scan over all
 // partitions, no pruning possible). Partitions are scanned in parallel
 // like Select; the result order is ascending partition id, then storage
-// order within the partition.
+// order within the partition. Like Select it runs lock-free against a
+// snapshot by default and under the read lock in locked mode.
 func (t *Table) ScanAll() []Result {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	pids := t.sortedPIDs()
-	parts := make([]partScan, len(pids))
-	t.runScans(len(pids), func(i int) {
-		parts[i] = t.scanPartition(pids[i], nil)
+	if t.lockedReads.Load() {
+		t.mu.RLock()
+		defer t.mu.RUnlock()
+		pids := t.sortedPIDs()
+		parts := make([]partScan, len(pids))
+		t.runScans(len(pids), func(i int) {
+			parts[i] = t.scanPartition(pids[i], nil)
+		})
+		var rep QueryReport
+		return mergeScans(parts, &rep)
+	}
+	snap := t.capture()
+	parts := make([]partScan, len(snap.parts))
+	t.runScans(len(snap.parts), func(i int) {
+		parts[i] = scanSnapPart(snap.parts[i], nil)
 	})
 	var rep QueryReport
-	return mergeScans(parts, &rep)
+	out := mergeScans(parts, &rep)
+	t.noteDecode(parts)
+	return out
 }

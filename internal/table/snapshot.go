@@ -1,0 +1,253 @@
+package table
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"cinderella/internal/core"
+	"cinderella/internal/obs"
+	"cinderella/internal/storage"
+	"cinderella/internal/synopsis"
+)
+
+// Epoch-based snapshot reads.
+//
+// Queries do not take the table lock. Instead, every mutation publishes —
+// still under the write lock, as its last step — an immutable per-
+// partition snapshot: the partition's pruning synopsis plus a frozen view
+// of its segment (page chain, record-synopsis sidecar, live counters).
+// Readers capture a consistent cut of these snapshots with three atomic
+// ingredients and no locks:
+//
+//   - partHandle: one atomic pointer per partition, swapped to the
+//     partition's latest partSnap at the end of each mutation that
+//     touched it. partSnap contents are immutable after publication
+//     (attribute synopses are copy-on-flip, segment views are
+//     copy-on-write; see refAdd and storage.SegView).
+//
+//   - partDir: the atomic partition directory, an id-ordered handle
+//     slice rebuilt only when a partition is created or dropped — the
+//     common mutation (an insert into an existing partition) republishes
+//     one handle and leaves the directory untouched.
+//
+//   - snapSeq: a seqlock. Writers make it odd in beginMut and even again
+//     in endMut after publishing; a reader captures the directory and
+//     every handle, then retries if the sequence was odd or moved. That
+//     makes the multi-partition cut atomic — a split that moves records
+//     between partitions can never be observed half-applied, so
+//     QueryReport and EFFICIENCY accounting stay exact under concurrent
+//     writes.
+//
+// A reader that keeps losing the seqlock race (pathological write storm)
+// falls back to capturing under the shared read lock — correctness never
+// depends on the optimistic path winning.
+//
+// Memory reclamation is garbage collection: a captured snapshot pins the
+// superseded pages and sidecar rows it references, and they are freed
+// when the last in-flight query drops them. Nothing is recycled in
+// place, so there is no epoch-advance or hazard-pointer protocol to get
+// wrong.
+
+// captureRetries bounds the optimistic seqlock attempts before a reader
+// falls back to the read lock.
+const captureRetries = 16
+
+// partSnap is one partition's published snapshot. Immutable.
+type partSnap struct {
+	pid  core.PartitionID
+	syn  *synopsis.Set // attribute synopsis for pruning (copy-on-flip, frozen)
+	view storage.SegView
+}
+
+// partHandle is the stable per-partition publication slot.
+type partHandle struct {
+	pid  core.PartitionID
+	snap atomic.Pointer[partSnap]
+}
+
+// partDir is the atomic partition directory, handles ordered by id.
+type partDir struct {
+	handles []*partHandle
+}
+
+// tableSnap is a consistent cut: every partition's snapshot at one
+// logical instant.
+type tableSnap struct {
+	parts []*partSnap
+}
+
+// beginMut opens a mutation: the seqlock goes odd so concurrent captures
+// retry instead of observing a half-published cut. Callers hold the
+// write lock.
+func (t *Table) beginMut() {
+	t.snapSeq.Add(1)
+}
+
+// markDirty records that pid's segment or synopsis changed and must be
+// republished at endMut. Callers hold the write lock.
+func (t *Table) markDirty(pid core.PartitionID) {
+	t.dirty[pid] = struct{}{}
+}
+
+// endMut republishes every dirty partition, rebuilds the directory when
+// partitions were created or dropped, and closes the seqlock. Callers
+// hold the write lock.
+func (t *Table) endMut() {
+	changed := len(t.dirty) > 0 || t.dirChanged
+	for pid := range t.dirty {
+		seg, ok := t.segs[pid]
+		h := t.handles[pid]
+		if !ok {
+			// Partition dropped.
+			if h != nil {
+				delete(t.handles, pid)
+				t.dirChanged = true
+			}
+			continue
+		}
+		ps := &partSnap{pid: pid, syn: t.attrSyn[pid], view: seg.View()}
+		if h == nil {
+			h = &partHandle{pid: pid}
+			t.handles[pid] = h
+			t.dirChanged = true
+		}
+		h.snap.Store(ps)
+	}
+	clear(t.dirty)
+	if t.dirChanged {
+		hs := make([]*partHandle, 0, len(t.handles))
+		for _, h := range t.handles {
+			hs = append(hs, h)
+		}
+		sort.Slice(hs, func(i, j int) bool { return hs[i].pid < hs[j].pid })
+		t.dir.Store(&partDir{handles: hs})
+		t.dirChanged = false
+	}
+	t.snapSeq.Add(1)
+	if changed {
+		t.observer().SetSnapshotEpoch(int64(t.epoch.Add(1)))
+	}
+}
+
+// capture returns a consistent cut of all partition snapshots without
+// blocking writers. The optimistic path costs one directory load plus
+// one pointer load per partition; contention falls back to the read
+// lock.
+func (t *Table) capture() tableSnap {
+	for try := 0; try < captureRetries; try++ {
+		s1 := t.snapSeq.Load()
+		if s1&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		snap := t.loadSnaps()
+		if t.snapSeq.Load() == s1 {
+			return snap
+		}
+	}
+	// Pathological write pressure: capture under the read lock, which
+	// excludes writers (and therefore any open seqlock window).
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.loadSnaps()
+}
+
+// loadSnaps loads the directory and every handle's current snapshot.
+func (t *Table) loadSnaps() tableSnap {
+	dir := t.dir.Load()
+	parts := make([]*partSnap, len(dir.handles))
+	for i, h := range dir.handles {
+		parts[i] = h.snap.Load()
+	}
+	return tableSnap{parts: parts}
+}
+
+// SetLockedReads switches the read paths (Select*, ScanAll, SelectWhere)
+// between snapshot mode (default, false) and the historical RWMutex mode,
+// where queries hold the shared read lock for the whole scan. The locked
+// mode is retained as the comparison baseline for benchmarks and
+// equivalence tests; results and QueryReport counters are identical in
+// both modes.
+func (t *Table) SetLockedReads(locked bool) {
+	t.lockedReads.Store(locked)
+}
+
+// SnapshotEpoch returns the number of snapshot publications so far (the
+// epoch gauge exported to telemetry).
+func (t *Table) SnapshotEpoch() uint64 { return t.epoch.Load() }
+
+// scanSnapPart scans one partition snapshot for the attribute-set query
+// q (nil = keep everything). Records whose sidecar synopsis is disjoint
+// from q are skipped without decoding; their visit is still charged to
+// the scanned/byte counters, keeping the report identical to a locked
+// scan. Sidecar synopses are the entities' exact attribute sets, so the
+// skip never changes the result set.
+func scanSnapPart(ps *partSnap, q *synopsis.Set) partScan {
+	var sc partScan
+	v := &ps.view
+	v.Scan(func(id storage.RecordID, n int, syn *synopsis.Set) bool {
+		sc.scanned++
+		sc.bytesRead += int64(n)
+		if q != nil && syn != nil && !synopsis.Intersects(syn, q) {
+			sc.skipped++
+			return true
+		}
+		eid, e, err := decodeRecord(v.Record(id))
+		if err != nil {
+			panic("table: corrupt record during snapshot scan: " + err.Error())
+		}
+		sc.decoded++
+		if q == nil || synopsis.Intersects(e.Synopsis(), q) {
+			sc.hits = append(sc.hits, Result{ID: eid, Entity: e})
+			sc.bytesHit += int64(n)
+		}
+		return true
+	})
+	return sc
+}
+
+// scanSnapPartWhere scans one partition snapshot for a predicate
+// conjunction. need is the set of predicate attributes: an entity lacking
+// any of them cannot match (SQL null semantics), so records whose sidecar
+// synopsis does not cover need are skipped without decoding.
+func scanSnapPartWhere(ps *partSnap, preds []Pred, need *synopsis.Set) partScan {
+	var sc partScan
+	v := &ps.view
+	v.Scan(func(id storage.RecordID, n int, syn *synopsis.Set) bool {
+		sc.scanned++
+		sc.bytesRead += int64(n)
+		if syn != nil && !synopsis.Subset(need, syn) {
+			sc.skipped++
+			return true
+		}
+		eid, e, err := decodeRecord(v.Record(id))
+		if err != nil {
+			panic("table: corrupt record during snapshot scan: " + err.Error())
+		}
+		sc.decoded++
+		if entityMatches(e, preds) {
+			sc.hits = append(sc.hits, Result{ID: eid, Entity: e})
+			sc.bytesHit += int64(n)
+		}
+		return true
+	})
+	return sc
+}
+
+// noteDecode publishes the decode/skip counts of one query's partition
+// scans to telemetry. These are CPU-side counters only — they never enter
+// QueryReport, whose fields stay bit-identical between read modes.
+func (t *Table) noteDecode(parts []partScan) {
+	r := t.observer()
+	if r == nil {
+		return
+	}
+	var dec, skip int64
+	for i := range parts {
+		dec += int64(parts[i].decoded)
+		skip += int64(parts[i].skipped)
+	}
+	r.Add(obs.CScanDecoded, dec)
+	r.Add(obs.CScanDecodeSkipped, skip)
+}

@@ -92,10 +92,12 @@ type rowLoc struct {
 
 // Table is a universal table over irregularly structured entities,
 // horizontally partitioned by the configured strategy. It is safe for
-// concurrent use: mutations serialize behind the write lock, while
-// read-only queries (Get, Select*, SelectWhere, ScanAll, and the
-// snapshot accessors) share a read lock and run concurrently with each
-// other.
+// concurrent use: mutations serialize behind the write lock, while the
+// scan-shaped queries (Select*, SelectWhere, ScanAll) run lock-free
+// against published partition snapshots (see snapshot.go) — readers
+// never block writers and writers never block readers. Point reads and
+// the introspection accessors share the read lock. SetLockedReads
+// restores the historical all-reads-under-RLock mode for comparison.
 type Table struct {
 	mu       sync.RWMutex
 	dict     *entity.Dictionary
@@ -108,10 +110,10 @@ type Table struct {
 	// against concurrent queries without taking the table write lock.
 	parallelism atomic.Int32
 
-	// obs is the optional telemetry registry. Written only under the
-	// write lock (New/SetObserver); read by mutators under the write
-	// lock and by queries under the read lock.
-	obs *obs.Registry
+	// obsv holds the optional telemetry registry. Atomic so lock-free
+	// snapshot readers and SetObserver need no lock ordering between
+	// them; a nil registry is a no-op at every call site.
+	obsv atomic.Pointer[obs.Registry]
 
 	cache *storage.BufferCache
 
@@ -120,12 +122,35 @@ type Table struct {
 	// attrRefs maintains the exact per-partition attribute synopsis for
 	// query pruning; it is independent of the partitioner's synopses,
 	// which may be query-relevance sets under workload-based mode.
+	// attrSyn values are copy-on-flip: they are replaced, never mutated,
+	// once published (snapshot readers hold them by pointer).
 	attrRefs  map[core.PartitionID]map[int]int
 	attrSyn   map[core.PartitionID]*synopsis.Set
 	entityAtt map[core.EntityID]*synopsis.Set // attribute synopsis cache
 	// zones holds per-partition per-attribute value ranges for predicate
-	// pruning (see zonemap.go). Maintained additively.
+	// pruning (see zonemap.go). Maintained additively. Guarded by zmu —
+	// snapshot readers consult zones without holding mu.
+	zmu   sync.Mutex
 	zones map[core.PartitionID]map[int]*zoneEntry
+	// zoneGen counts RebuildZoneMaps runs. Zones only ever widen between
+	// rebuilds, which makes them conservatively valid for any snapshot
+	// captured after the last rebuild; SelectWhere re-prunes when a
+	// rebuild raced its capture.
+	zoneGen atomic.Uint64
+
+	// Snapshot publication state (see snapshot.go). handles/dirty/
+	// dirChanged are writer-private under mu; dir and snapSeq are the
+	// reader-facing atomics; epoch counts publications.
+	dir        atomic.Pointer[partDir]
+	handles    map[core.PartitionID]*partHandle
+	dirty      map[core.PartitionID]struct{}
+	dirChanged bool
+	snapSeq    atomic.Uint64
+	epoch      atomic.Uint64
+
+	// lockedReads selects the historical RWMutex read mode (see
+	// SetLockedReads).
+	lockedReads atomic.Bool
 
 	nextID core.EntityID
 
@@ -135,8 +160,8 @@ type Table struct {
 	pendingAttrs *synopsis.Set
 	pendingDone  bool
 
-	// qmu guards queries: query counters are updated by readers holding
-	// only the shared read lock, so they need their own mutex.
+	// qmu guards queries: query counters are updated by lock-free
+	// readers, so they need their own mutex.
 	qmu     sync.Mutex
 	queries QueryStats
 }
@@ -183,7 +208,10 @@ func New(cfg Config) *Table {
 		attrSyn:   make(map[core.PartitionID]*synopsis.Set),
 		entityAtt: make(map[core.EntityID]*synopsis.Set),
 		zones:     make(map[core.PartitionID]map[int]*zoneEntry),
+		handles:   make(map[core.PartitionID]*partHandle),
+		dirty:     make(map[core.PartitionID]struct{}),
 	}
+	t.dir.Store(&partDir{})
 	t.parallelism.Store(int32(par))
 	t.assigner.SetMoveListener(t.onPlacement)
 	if cfg.Obs != nil {
@@ -191,6 +219,9 @@ func New(cfg Config) *Table {
 	}
 	return t
 }
+
+// observer returns the current telemetry registry (nil when detached).
+func (t *Table) observer() *obs.Registry { return t.obsv.Load() }
 
 // observable is implemented by partitioners that emit telemetry
 // themselves (core.Cinderella); baselines simply lack the method.
@@ -207,11 +238,12 @@ func (t *Table) SetObserver(r *obs.Registry) {
 }
 
 func (t *Table) setObserverLocked(r *obs.Registry) {
-	t.obs = r
+	t.obsv.Store(r)
 	if o, ok := t.assigner.(observable); ok {
 		o.SetObserver(r)
 	}
 	r.SetPartitions(int64(len(t.segs)))
+	r.SetSnapshotEpoch(int64(t.epoch.Load()))
 }
 
 // Dict returns the table's attribute dictionary.
@@ -242,8 +274,9 @@ func (t *Table) QueryStats() QueryStats {
 // when instrumented, into the telemetry registry (including the
 // streaming EFFICIENCY estimator: EntitiesReturned is Definition 1's
 // per-query numerator, EntitiesScanned its denominator — see
-// obs.Registry.NoteQuery). Callers hold the shared read lock; the query
-// counters have their own mutex and the registry is atomic throughout.
+// obs.Registry.NoteQuery). Callers may hold no lock at all (snapshot
+// reads): the query counters have their own mutex and the registry is
+// atomic throughout.
 func (t *Table) noteQuery(rep QueryReport, ns int64) {
 	t.qmu.Lock()
 	t.queries.Queries++
@@ -252,7 +285,7 @@ func (t *Table) noteQuery(rep QueryReport, ns int64) {
 	t.queries.EntitiesReturned += int64(rep.EntitiesReturned)
 	t.queries.EntitiesScanned += int64(rep.EntitiesScanned)
 	t.qmu.Unlock()
-	t.obs.NoteQuery(int64(rep.PartitionsTouched), int64(rep.PartitionsPruned),
+	t.observer().NoteQuery(int64(rep.PartitionsTouched), int64(rep.PartitionsPruned),
 		int64(rep.EntitiesReturned), int64(rep.EntitiesScanned),
 		rep.BytesRelevant, rep.BytesRead, ns)
 }
@@ -260,7 +293,7 @@ func (t *Table) noteQuery(rep QueryReport, ns int64) {
 // obsStart returns the wall clock for latency accounting, or the zero
 // time when uninstrumented (skipping the clock read on the hot path).
 func (t *Table) obsStart() time.Time {
-	if t.obs == nil {
+	if t.observer() == nil {
 		return time.Time{}
 	}
 	return time.Now()
@@ -291,14 +324,20 @@ func (t *Table) onPlacement(pl core.Placement) {
 		delete(t.segs, pl.From)
 		delete(t.attrRefs, pl.From)
 		delete(t.attrSyn, pl.From)
+		t.zmu.Lock()
 		delete(t.zones, pl.From)
+		t.zmu.Unlock()
+		t.markDirty(pl.From)
+		t.dirChanged = true
 		return
 	}
 
 	var rec []byte
+	var attrs *synopsis.Set
 	if pl.Entity == t.pendingID && !t.pendingDone {
 		// First physical placement of the in-flight record.
 		rec = t.pending
+		attrs = t.pendingAttrs
 		t.pendingDone = true
 	} else {
 		// Relocation of an existing record (split or cascade).
@@ -314,20 +353,21 @@ func (t *Table) onPlacement(pl core.Placement) {
 		if err := t.seg(loc.pid).Delete(loc.rid); err != nil {
 			panic(fmt.Sprintf("table: deleting moved entity %d: %v", pl.Entity, err))
 		}
-		t.refRemove(loc.pid, t.entityAtt[pl.Entity])
+		attrs = t.entityAtt[pl.Entity]
+		t.refRemove(loc.pid, attrs)
+		t.markDirty(loc.pid)
 	}
 
-	rid, err := t.seg(pl.To).Insert(rec)
+	rid, err := t.seg(pl.To).InsertTagged(rec, attrs)
 	if err != nil {
 		panic(fmt.Sprintf("table: inserting entity %d into partition %d: %v", pl.Entity, pl.To, err))
 	}
 	t.rows[pl.Entity] = rowLoc{pid: pl.To, rid: rid}
-	attrs := t.entityAtt[pl.Entity]
-	if attrs == nil {
-		attrs = t.pendingAttrs
+	if t.entityAtt[pl.Entity] == nil {
 		t.entityAtt[pl.Entity] = attrs
 	}
 	t.refAdd(pl.To, attrs)
+	t.markDirty(pl.To)
 	if _, e, err := decodeRecord(rec); err == nil {
 		t.zoneWiden(pl.To, e)
 	}
@@ -341,10 +381,17 @@ func (t *Table) seg(pid core.PartitionID) *storage.Segment {
 			s.AttachCache(t.cache)
 		}
 		t.segs[pid] = s
+		t.markDirty(pid)
+		t.dirChanged = true
 	}
 	return s
 }
 
+// refAdd and refRemove maintain the exact per-partition attribute
+// synopsis. The published sets are copy-on-flip: a set is cloned only
+// when membership actually changes (an attribute's refcount crosses zero)
+// and the clone replaces the map entry, so pointers held by published
+// snapshots stay frozen while the common no-flip case mutates nothing.
 func (t *Table) refAdd(pid core.PartitionID, attrs *synopsis.Set) {
 	refs := t.attrRefs[pid]
 	if refs == nil {
@@ -352,27 +399,39 @@ func (t *Table) refAdd(pid core.PartitionID, attrs *synopsis.Set) {
 		t.attrRefs[pid] = refs
 		t.attrSyn[pid] = synopsis.New(0)
 	}
-	syn := t.attrSyn[pid]
+	var cl *synopsis.Set
 	for _, a := range attrs.Elements(nil) {
 		if refs[a] == 0 {
-			syn.Add(a)
+			if cl == nil {
+				cl = t.attrSyn[pid].Clone()
+			}
+			cl.Add(a)
 		}
 		refs[a]++
+	}
+	if cl != nil {
+		t.attrSyn[pid] = cl
 	}
 }
 
 func (t *Table) refRemove(pid core.PartitionID, attrs *synopsis.Set) {
 	refs := t.attrRefs[pid]
-	syn := t.attrSyn[pid]
 	if refs == nil {
 		return
 	}
+	var cl *synopsis.Set
 	for _, a := range attrs.Elements(nil) {
 		refs[a]--
 		if refs[a] == 0 {
 			delete(refs, a)
-			syn.Remove(a)
+			if cl == nil {
+				cl = t.attrSyn[pid].Clone()
+			}
+			cl.Remove(a)
 		}
+	}
+	if cl != nil {
+		t.attrSyn[pid] = cl
 	}
 }
 
@@ -381,6 +440,8 @@ func (t *Table) refRemove(pid core.PartitionID, attrs *synopsis.Set) {
 func (t *Table) Insert(e *entity.Entity) core.EntityID {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.beginMut()
+	defer t.endMut()
 	t.nextID++
 	id := t.nextID
 	t.insertLocked(id, e)
@@ -393,6 +454,8 @@ func (t *Table) Insert(e *entity.Entity) core.EntityID {
 func (t *Table) InsertWithID(id core.EntityID, e *entity.Entity) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.beginMut()
+	defer t.endMut()
 	if id == 0 {
 		panic("table: InsertWithID with id 0")
 	}
@@ -419,9 +482,9 @@ func (t *Table) insertLocked(id core.EntityID, e *entity.Entity) {
 	t.beginOp(id, e)
 	t.assigner.Insert(core.Entity{ID: id, Syn: t.synizer.Synopsis(e), Size: e.Size()})
 	t.endOp(id)
-	if t.obs != nil {
-		t.obs.ObserveInsertNs(lapNs(start))
-		t.obs.SetPartitions(int64(len(t.segs)))
+	if r := t.observer(); r != nil {
+		r.ObserveInsertNs(lapNs(start))
+		r.SetPartitions(int64(len(t.segs)))
 	}
 }
 
@@ -481,6 +544,8 @@ func (t *Table) Get(id core.EntityID) (*entity.Entity, bool) {
 func (t *Table) Delete(id core.EntityID) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.beginMut()
+	defer t.endMut()
 	loc, ok := t.rows[id]
 	if !ok {
 		return false
@@ -489,10 +554,11 @@ func (t *Table) Delete(id core.EntityID) bool {
 		panic(fmt.Sprintf("table: deleting entity %d: %v", id, err))
 	}
 	t.refRemove(loc.pid, t.entityAtt[id])
+	t.markDirty(loc.pid)
 	delete(t.rows, id)
 	delete(t.entityAtt, id)
 	t.assigner.Delete(id)
-	t.obs.SetPartitions(int64(len(t.segs)))
+	t.observer().SetPartitions(int64(len(t.segs)))
 	return true
 }
 
@@ -500,6 +566,8 @@ func (t *Table) Delete(id core.EntityID) bool {
 func (t *Table) Update(id core.EntityID, e *entity.Entity) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.beginMut()
+	defer t.endMut()
 	loc, ok := t.rows[id]
 	if !ok {
 		return false
@@ -510,6 +578,7 @@ func (t *Table) Update(id core.EntityID, e *entity.Entity) bool {
 		panic(fmt.Sprintf("table: updating entity %d: %v", id, err))
 	}
 	t.refRemove(loc.pid, t.entityAtt[id])
+	t.markDirty(loc.pid)
 	delete(t.rows, id)
 	delete(t.entityAtt, id)
 
@@ -518,18 +587,19 @@ func (t *Table) Update(id core.EntityID, e *entity.Entity) bool {
 	if !t.pendingDone {
 		// In-place update: the partitioner kept the entity, no placement
 		// event fired; write the new bytes into the same partition.
-		rid, err := t.seg(pid).Insert(t.pending)
+		rid, err := t.seg(pid).InsertTagged(t.pending, t.pendingAttrs)
 		if err != nil {
 			panic(fmt.Sprintf("table: rewriting entity %d: %v", id, err))
 		}
 		t.rows[id] = rowLoc{pid: pid, rid: rid}
 		t.entityAtt[id] = t.pendingAttrs
 		t.refAdd(pid, t.pendingAttrs)
+		t.markDirty(pid)
 		t.zoneWiden(pid, e)
 		t.pendingDone = true
 	}
 	t.endOp(id)
-	t.obs.SetPartitions(int64(len(t.segs)))
+	t.observer().SetPartitions(int64(len(t.segs)))
 	return true
 }
 
@@ -540,12 +610,14 @@ func (t *Table) Update(id core.EntityID, e *entity.Entity) bool {
 func (t *Table) Compact(threshold float64) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.beginMut()
+	defer t.endMut()
 	c, ok := t.assigner.(*core.Cinderella)
 	if !ok {
 		return 0
 	}
 	n := c.Compact(threshold)
-	t.obs.SetPartitions(int64(len(t.segs)))
+	t.observer().SetPartitions(int64(len(t.segs)))
 	return n
 }
 
@@ -555,11 +627,14 @@ func (t *Table) Compact(threshold float64) int {
 func (t *Table) Vacuum() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.beginMut()
+	defer t.endMut()
 	released := 0
 	for pid, seg := range t.segs {
 		before := seg.NumPages()
 		remap := seg.Vacuum()
 		released += before - seg.NumPages()
+		t.markDirty(pid)
 		for id, loc := range t.rows {
 			if loc.pid != pid {
 				continue

@@ -193,12 +193,20 @@ func (p Pred) overlapZone(z *zoneEntry) bool {
 }
 
 // zoneWiden updates the zone maps of pid with an entity's fields.
+// Callers hold the table write lock; zmu additionally excludes lock-free
+// readers consulting the maps through zonesOverlap.
 func (t *Table) zoneWiden(pid core.PartitionID, e *entity.Entity) {
+	t.zmu.Lock()
+	defer t.zmu.Unlock()
 	zm := t.zones[pid]
 	if zm == nil {
 		zm = make(map[int]*zoneEntry)
 		t.zones[pid] = zm
 	}
+	widenInto(zm, e)
+}
+
+func widenInto(zm map[int]*zoneEntry, e *entity.Entity) {
 	for _, f := range e.Fields() {
 		z := zm[f.Attr]
 		if z == nil {
@@ -211,33 +219,38 @@ func (t *Table) zoneWiden(pid core.PartitionID, e *entity.Entity) {
 
 // RebuildZoneMaps recomputes exact zone maps for every partition by
 // scanning the data. Useful after many deletes or updates have made the
-// additive maps loose.
+// additive maps loose. The fresh maps are swapped in atomically under
+// zmu, and the zone generation is bumped so snapshot SelectWhere calls
+// that pruned against the old maps re-prune (zones only ever widen
+// between rebuilds, which keeps them conservative for any snapshot; a
+// rebuild is the one event that can shrink them).
 func (t *Table) RebuildZoneMaps() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.zones = make(map[core.PartitionID]map[int]*zoneEntry)
+	fresh := make(map[core.PartitionID]map[int]*zoneEntry)
 	for pid, seg := range t.segs {
-		pid := pid
+		zm := make(map[int]*zoneEntry)
 		seg.Scan(func(_ storage.RecordID, rec []byte) bool {
 			_, e, err := decodeRecord(rec)
 			if err != nil {
 				panic("table: corrupt record during zone rebuild: " + err.Error())
 			}
-			t.zoneWiden(pid, e)
+			widenInto(zm, e)
 			return true
 		})
+		fresh[pid] = zm
 	}
+	t.zmu.Lock()
+	t.zones = fresh
+	t.zmu.Unlock()
+	t.zoneGen.Add(1)
 }
 
-// SelectWhere returns entities satisfying ALL predicates (conjunction).
-// Partitions are pruned when (a) their attribute synopsis misses any
-// predicate attribute or (b) any predicate cannot overlap the
-// partition's value zone for that attribute.
-func (t *Table) SelectWhere(preds []Pred) ([]Result, QueryReport) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	start := t.obsStart()
-
+// predNeed validates preds and returns the set of predicate attributes.
+// An entity lacking any of them cannot satisfy the conjunction (SQL null
+// semantics), so the set prunes both partitions (against the partition
+// synopsis) and individual records (against the sidecar).
+func predNeed(preds []Pred) *synopsis.Set {
 	if len(preds) == 0 {
 		panic("table: SelectWhere needs at least one predicate")
 	}
@@ -248,6 +261,27 @@ func (t *Table) SelectWhere(preds []Pred) ([]Result, QueryReport) {
 		}
 		need.Add(p.Attr)
 	}
+	return need
+}
+
+// SelectWhere returns entities satisfying ALL predicates (conjunction).
+// Partitions are pruned when (a) their attribute synopsis misses any
+// predicate attribute or (b) any predicate cannot overlap the
+// partition's value zone for that attribute. Within surviving
+// partitions, snapshot scans additionally skip — without decoding —
+// records whose sidecar synopsis misses a predicate attribute.
+func (t *Table) SelectWhere(preds []Pred) ([]Result, QueryReport) {
+	if t.lockedReads.Load() {
+		return t.selectWhereLocked(preds)
+	}
+	return t.selectWhereSnap(preds)
+}
+
+func (t *Table) selectWhereLocked(preds []Pred) ([]Result, QueryReport) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	start := t.obsStart()
+	need := predNeed(preds)
 
 	var rep QueryReport
 	pids := t.sortedPIDs()
@@ -269,11 +303,53 @@ func (t *Table) SelectWhere(preds []Pred) ([]Result, QueryReport) {
 	})
 	out := mergeScans(parts, &rep)
 
+	t.noteDecode(parts)
+	t.noteQuery(rep, lapNs(start))
+	return out, rep
+}
+
+func (t *Table) selectWhereSnap(preds []Pred) ([]Result, QueryReport) {
+	start := t.obsStart()
+	need := predNeed(preds)
+
+	// Zone maps shrink only when RebuildZoneMaps swaps in fresh ones; the
+	// generation check makes sure the maps used for pruning were current
+	// for the captured snapshot (retry on the rare race with a rebuild).
+	var snap tableSnap
+	var survivors []*partSnap
+	var rep QueryReport
+	for {
+		gen := t.zoneGen.Load()
+		snap = t.capture()
+		rep = QueryReport{PartitionsTotal: len(snap.parts)}
+		survivors = survivors[:0]
+		for _, ps := range snap.parts {
+			if ps.syn == nil || !synopsis.Subset(need, ps.syn) || !t.zonesOverlap(ps.pid, preds) {
+				rep.PartitionsPruned++
+				continue
+			}
+			survivors = append(survivors, ps)
+		}
+		if t.zoneGen.Load() == gen {
+			break
+		}
+	}
+	rep.PartitionsTouched = len(survivors)
+
+	parts := make([]partScan, len(survivors))
+	t.runScans(len(survivors), func(i int) {
+		parts[i] = scanSnapPartWhere(survivors[i], preds, need)
+	})
+	out := mergeScans(parts, &rep)
+
+	t.noteDecode(parts)
 	t.noteQuery(rep, lapNs(start))
 	return out, rep
 }
 
 func (t *Table) zonesOverlap(pid core.PartitionID, preds []Pred) bool {
+	t.zmu.Lock()
+	defer t.zmu.Unlock()
 	zm := t.zones[pid]
 	if zm == nil {
 		return false

@@ -32,6 +32,16 @@ go test -race -run 'TestServer|TestCommitter|TestDurableClose|TestDurableLSN' \
 echo "== go test -race sharded suite"
 go test -race -run 'TestSharded' ./internal/shard
 
+# Snapshot-read pass: the mixed read/write contract — continuous writers
+# vs. lock-free ScanAll/Select/SelectWhere readers on Table and Sharded,
+# storage view immutability under mutation, locked-vs-snapshot
+# QueryReport equivalence, and reads served mid-drain — must hold under
+# the race detector.
+echo "== go test -race snapshot read suite"
+go test -race \
+	-run 'TestSnapshot|TestView|TestSidecar|TestShardedConcurrentWritersScanAll|TestServerReadsServedDuringDrain' \
+	./internal/table ./internal/storage ./internal/shard ./internal/server
+
 # End-to-end daemon smoke: build cinderellad, start it on an ephemeral
 # port, drive inserts and a query through the HTTP client, SIGTERM it,
 # and require a clean drained exit plus an intact WAL on reopen.
@@ -49,10 +59,29 @@ for i in $(seq 1 50); do
 done
 [ -s "$SMOKE/addr" ] || { echo "verify: daemon never bound"; cat "$SMOKE/daemon.log"; exit 1; }
 ADDR=$(cat "$SMOKE/addr")
-"$SMOKE/cinderella-load" -target "http://$ADDR" -entities 500 -clients 8 \
+"$SMOKE/cinderella-load" -target "http://$ADDR" -entities 500 -clients 8 -readers 4 \
 	|| { echo "verify: load against daemon failed"; cat "$SMOKE/daemon.log"; exit 1; }
+# Mid-drain read smoke: a background query loop runs across the SIGTERM
+# drain. Reads must stay served until the listener closes — the loop
+# exits on connection failure (curl code 000); any 503 on a read route
+# means drain rejected a reader, a regression in the read/write split.
+QLOG="$SMOKE/qdrain.log"
+: >"$QLOG"
+( while :; do
+	code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v1/query?attrs=universal_00") || code=000
+	echo "$code" >>"$QLOG"
+	[ "$code" = "000" ] && exit 0
+done ) &
+QPID=$!
+sleep 0.2
 kill -TERM "$DPID"
 wait "$DPID" || { echo "verify: daemon exited non-zero"; cat "$SMOKE/daemon.log"; exit 1; }
+wait "$QPID" 2>/dev/null || true
+if grep -q '^503$' "$QLOG"; then
+	echo "verify: reads rejected during drain"; sort "$QLOG" | uniq -c; exit 1
+fi
+grep -q '^200$' "$QLOG" || { echo "verify: no successful read around drain"; cat "$QLOG"; exit 1; }
+echo "mid-drain reads: $(grep -c '^200$' "$QLOG") served, none rejected"
 # Reopen the drained WAL: all 500 acked docs must replay.
 "$SMOKE/cinderellad" -addr 127.0.0.1:0 -wal "$SMOKE/smoke.wal" \
 	-addr-file "$SMOKE/addr2" >"$SMOKE/daemon2.log" 2>&1 &
