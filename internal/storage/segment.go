@@ -234,6 +234,12 @@ func (s *Segment) Vacuum() map[RecordID]RecordID {
 	s.live = 0
 	s.bytes = 0
 	s.DropFromCache()
+	if s.cacheID != 0 {
+		// Still-live views of the old chain keep touching the old
+		// cacheID; a fresh identity stops them from aliasing the rebuilt
+		// chain's pages in the cache.
+		s.cacheID = segmentIDs.Add(1)
+	}
 	for pi, p := range old {
 		row := oldSidecar[pi]
 		for slot := 0; slot < p.NumSlots(); slot++ {

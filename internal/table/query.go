@@ -133,7 +133,9 @@ func (t *Table) ScanAll() []Result {
 			parts[i] = t.scanPartition(pids[i], nil)
 		})
 		var rep QueryReport
-		return mergeScans(parts, &rep)
+		out := mergeScans(parts, &rep)
+		t.noteDecode(parts)
+		return out
 	}
 	snap := t.capture()
 	parts := make([]partScan, len(snap.parts))

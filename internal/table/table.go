@@ -132,10 +132,11 @@ type Table struct {
 	// snapshot readers consult zones without holding mu.
 	zmu   sync.Mutex
 	zones map[core.PartitionID]map[int]*zoneEntry
-	// zoneGen counts RebuildZoneMaps runs. Zones only ever widen between
-	// rebuilds, which makes them conservatively valid for any snapshot
-	// captured after the last rebuild; SelectWhere re-prunes when a
-	// rebuild raced its capture.
+	// zoneGen counts the events that can remove zone info: RebuildZoneMaps
+	// runs and partition drops. Zones only ever widen between those
+	// events, which makes them conservatively valid for any snapshot
+	// captured after the last one; SelectWhere re-prunes when either
+	// raced its capture.
 	zoneGen atomic.Uint64
 
 	// Snapshot publication state (see snapshot.go). handles/dirty/
@@ -327,6 +328,13 @@ func (t *Table) onPlacement(pl core.Placement) {
 		t.zmu.Lock()
 		delete(t.zones, pl.From)
 		t.zmu.Unlock()
+		// Dropping a partition removes zone info mid-mutation, but a
+		// snapshot reader may have captured a pre-mutation cut that still
+		// carries the partition's records (its merged-away records only
+		// appear in the destination at endMut). Bump the zone generation
+		// so selectWhereSnap re-captures instead of pruning that
+		// partition against the now-absent zone map.
+		t.zoneGen.Add(1)
 		t.markDirty(pl.From)
 		t.dirChanged = true
 		return

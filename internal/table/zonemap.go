@@ -352,7 +352,13 @@ func (t *Table) zonesOverlap(pid core.PartitionID, preds []Pred) bool {
 	defer t.zmu.Unlock()
 	zm := t.zones[pid]
 	if zm == nil {
-		return false
+		// Absent zone info must be conservative: a concurrently dropped
+		// partition loses its zone map before the post-drop snapshot is
+		// published, and a pre-mutation cut may still carry its records.
+		// Treating nil as overlapping keeps the snapshot path correct
+		// even without the zoneGen retry; partitions with no records
+		// were already pruned by the synopsis check.
+		return true
 	}
 	for _, p := range preds {
 		if !p.overlapZone(zm[p.Attr]) {

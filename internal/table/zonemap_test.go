@@ -1,7 +1,9 @@
 package table
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"cinderella/internal/core"
@@ -224,6 +226,124 @@ func TestSelectWhereAgreesWithBruteForce(t *testing.T) {
 					trial, attr, op, val, r.id, got[r.id], want)
 			}
 		}
+	}
+}
+
+func TestZonesOverlapMissingZoneMapIsConservative(t *testing.T) {
+	tbl := newTestTable(0.5, 100)
+	// A pid with no zone map (never seen, or concurrently dropped) must
+	// read as overlapping: a snapshot cut captured before a drop can
+	// still carry the dropped partition's records, and pruning it there
+	// would lose them.
+	if !tbl.zonesOverlap(core.PartitionID(9999), []Pred{predI(1, Eq, 0)}) {
+		t.Fatal("missing zone map pruned; absence of zone info must be non-prunable")
+	}
+}
+
+func TestPartitionDropBumpsZoneGen(t *testing.T) {
+	tbl := newTestTable(0.35, 40)
+	rng := rand.New(rand.NewSource(3))
+	var ids []core.EntityID
+	for i := 0; i < 400; i++ {
+		ids = append(ids, tbl.Insert(randomTestEntity(rng)))
+	}
+	// Delete enough to leave partitions underfilled so Compact merges —
+	// and therefore drops — at least one partition.
+	for i, id := range ids {
+		if i%4 != 0 {
+			tbl.Delete(id)
+		}
+	}
+	gen := tbl.zoneGen.Load()
+	if n := tbl.Compact(0.9); n == 0 {
+		t.Fatal("setup: compaction merged nothing, no drop exercised")
+	}
+	if tbl.zoneGen.Load() == gen {
+		t.Fatal("partition drop did not bump the zone generation; a snapshot SelectWhere that captured its cut before the drop could prune the dropped partition and lose its rows")
+	}
+}
+
+// TestSelectWhereSurvivesConcurrentCompaction races snapshot SelectWhere
+// readers against a writer that repeatedly creates, hollows out, and
+// compacts partitions — every round drops a partition whose surviving
+// rows move to a peer. Rows confirmed inserted (and never deleted) before
+// a query starts must always be in its result: the regression here was
+// pruning a concurrently dropped partition out of a pre-drop snapshot
+// cut via its deleted zone map.
+func TestSelectWhereSurvivesConcurrentCompaction(t *testing.T) {
+	tbl := newTestTable(0.35, 60)
+	preds := []Pred{predI(3, Ge, 0)}
+
+	var mu sync.Mutex
+	confirmed := make(map[core.EntityID]bool)
+
+	stop := make(chan struct{})
+	var wwg, rwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		defer close(stop)
+		rng := rand.New(rand.NewSource(77))
+		for round := 0; round < 150; round++ {
+			var churn []core.EntityID
+			for i := 0; i < 30; i++ {
+				e := &entity.Entity{}
+				e.Set(3, entity.Int(int64(rng.Intn(100))))
+				e.Set(4+round%3, entity.Int(1))
+				id := tbl.Insert(e)
+				if i%10 == 0 {
+					mu.Lock()
+					confirmed[id] = true
+					mu.Unlock()
+				} else {
+					churn = append(churn, id)
+				}
+			}
+			for _, id := range churn {
+				tbl.Delete(id)
+			}
+			tbl.Compact(0.95)
+		}
+	}()
+
+	errs := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				want := make([]core.EntityID, 0, len(confirmed))
+				for id := range confirmed {
+					want = append(want, id)
+				}
+				mu.Unlock()
+				res, _ := tbl.SelectWhere(preds)
+				got := make(map[core.EntityID]bool, len(res))
+				for _, h := range res {
+					got[h.ID] = true
+				}
+				for _, id := range want {
+					if !got[id] {
+						errs <- fmt.Errorf("SelectWhere lost entity %d during concurrent compaction", id)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wwg.Wait()
+	rwg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
 	}
 }
 
