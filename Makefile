@@ -5,7 +5,7 @@ OBS_PORT ?= 8080
 ADDR ?= 127.0.0.1:8263
 WAL ?= /tmp/cinderella.wal
 
-.PHONY: verify build vet test race bench-hotpath bench-obs bench-server bench-shard bench-read run-server obs-demo
+.PHONY: verify build vet test race bench-hotpath bench-obs bench-server bench-shard bench-read bench-wire run-server obs-demo
 
 # verify is the tier-1 gate: build everything, vet, full test suite under
 # the race detector.
@@ -58,6 +58,15 @@ bench-shard:
 # selective_decode_avoided_fraction >= 0.80.
 bench-read:
 	$(GO) run ./cmd/cinderella-bench -exp read -entities 50000 -json BENCH_read.json
+
+# bench-wire exercises the binary wire protocol: the steady-state
+# zero-allocation decode microbenchmark, then the end-to-end server
+# comparison (which re-records BENCH_server.json, now including the
+# binary batched-write numbers). The tracked result must show
+# wire_vs_http_group >= 3 at 64 clients.
+bench-wire:
+	$(GO) test -run - -bench BenchmarkWireDecode -benchmem ./internal/wire
+	$(GO) run ./cmd/cinderella-bench -exp server -json BENCH_server.json
 
 # run-server starts cinderellad in the foreground on $(ADDR) with the
 # WAL at $(WAL). Drive it with `cinderella-load -target http://$(ADDR)`

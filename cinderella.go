@@ -325,6 +325,80 @@ func (t *Table) QueryWithReport(attrs ...string) ([]Record, QueryReport) {
 	return out, rep
 }
 
+// Dict returns the table's attribute dictionary. The binary wire layer
+// (internal/wire) uses it to negotiate attribute ids with clients so
+// records cross the network in the entity codec's format; external
+// module users cannot name the internal type and go through Doc instead.
+func (t *Table) Dict() *entity.Dictionary { return t.dict }
+
+// EntityRecord is one query result at the entity layer: the record id
+// plus the decoded entity, attribute ids in the table dictionary's
+// space. It exists for the binary wire path, which re-encodes entities
+// with the internal codec instead of converting through Doc maps.
+type EntityRecord struct {
+	ID     ID
+	Entity *entity.Entity
+}
+
+// QueryEntities is Query without the Doc conversion: results keep their
+// decoded entities. The entities are fresh per-query decodes, owned by
+// the caller.
+func (t *Table) QueryEntities(attrs ...string) []EntityRecord {
+	ids := make([]int, 0, len(attrs))
+	for _, a := range attrs {
+		if id, ok := t.dict.Lookup(a); ok {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	res := t.inner.Select(ids...)
+	out := make([]EntityRecord, len(res))
+	for i, r := range res {
+		out[i] = EntityRecord{ID: r.ID, Entity: r.Entity}
+	}
+	return out
+}
+
+// GetEntity is Get without the Doc conversion. The returned entity is a
+// fresh decode owned by the caller.
+func (t *Table) GetEntity(id ID) (*entity.Entity, bool) {
+	return t.inner.Get(id)
+}
+
+// InsertEntity stores a pre-built entity whose attribute ids come from
+// this table's dictionary and returns its id. It rejects entities
+// referencing unregistered attribute ids — the binary ingest path
+// decodes untrusted bytes, so the id-space check is the trust boundary.
+// The entity is not retained; callers may reuse it.
+func (t *Table) InsertEntity(e *entity.Entity) (ID, error) {
+	if err := t.checkEntityAttrs(e); err != nil {
+		return 0, err
+	}
+	return t.inner.Insert(e), nil
+}
+
+// UpdateEntity replaces a document with a pre-built entity (see
+// InsertEntity). It reports whether id existed.
+func (t *Table) UpdateEntity(id ID, e *entity.Entity) (bool, error) {
+	if err := t.checkEntityAttrs(e); err != nil {
+		return false, err
+	}
+	return t.inner.Update(id, e), nil
+}
+
+// checkEntityAttrs verifies every attribute id is registered. Fields are
+// sorted, so checking the last suffices.
+func (t *Table) checkEntityAttrs(e *entity.Entity) error {
+	if fs := e.Fields(); len(fs) > 0 {
+		if max := fs[len(fs)-1].Attr; max >= t.dict.Len() {
+			return fmt.Errorf("cinderella: entity references unregistered attribute id %d (dictionary has %d)", max, t.dict.Len())
+		}
+	}
+	return nil
+}
+
 // ScanAll returns every live document (a full scan over all partitions;
 // no pruning is possible). Like Query it runs lock-free against a
 // consistent snapshot by default, so a long scan never stalls writers.

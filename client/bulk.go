@@ -1,0 +1,50 @@
+package client
+
+import (
+	"context"
+	"fmt"
+)
+
+// BulkOp is one operation in a /v1/bulk request. Op is "insert",
+// "update", or "delete"; insert needs Doc, update needs ID+Doc, delete
+// needs ID.
+type BulkOp struct {
+	Op  string `json:"op"`
+	ID  ID     `json:"id,omitempty"`
+	Doc Doc    `json:"doc,omitempty"`
+}
+
+// BulkResult is one operation's outcome from a bulk request. Exactly
+// one of ID / Updated / Deleted / Error is meaningful, keyed by the
+// op's kind. Unapplied marks ops the server never attempted because an
+// earlier op failed — only those are safe to resend; everything before
+// the failure is applied and durable once the call returns nil.
+type BulkResult struct {
+	ID        ID     `json:"id,omitempty"`
+	Updated   *bool  `json:"updated,omitempty"`
+	Deleted   *bool  `json:"deleted,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Unapplied bool   `json:"unapplied,omitempty"`
+}
+
+// Bulk sends a batch of mutations in one request: the JSON fallback for
+// batched writes when the binary protocol is unavailable. Ops apply in
+// order under one group-commit ack. A nil error means the response
+// arrived; inspect each result for per-op outcomes (partial failure
+// does not fail the call).
+func (c *Client) Bulk(ctx context.Context, ops []BulkOp) ([]BulkResult, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	var resp struct {
+		Results []BulkResult `json:"results"`
+	}
+	req := map[string]any{"ops": ops}
+	if err := c.do(ctx, "POST", "/v1/bulk", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(ops) {
+		return nil, fmt.Errorf("client: bulk response has %d results for %d ops", len(resp.Results), len(ops))
+	}
+	return resp.Results, nil
+}

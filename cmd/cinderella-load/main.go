@@ -37,6 +37,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/url"
 	"os"
 	"sync"
@@ -137,9 +138,16 @@ func main() {
 	jsonl := flag.String("json", "", "load newline-delimited JSON from this file instead of synthetic data")
 	obsAddr := flag.String("obs", "", "serve the ops endpoint on this address (e.g. :8080)")
 	hold := flag.Bool("hold", false, "with -obs: keep serving after the report until interrupted")
-	target := flag.String("target", "", "drive a running cinderellad at this base URL instead of an embedded table")
+	target := flag.String("target", "", "drive a running cinderellad at this base URL instead of an embedded table (with -proto binary: a host:port)")
 	clients := flag.Int("clients", 16, "with -target: concurrent insert workers")
 	readers := flag.Int("readers", 0, "with -target: concurrent query workers running alongside the inserts")
+	proto := flag.String("proto", "http", "with -target: protocol to drive, http or binary")
+	batch := flag.Int("batch", 1, "with -target: ops per client-side batch (http >1 uses /v1/bulk)")
+	payload := flag.Int("payload", 0, "with -target: extra pad bytes added to every document")
+	sweep := flag.Bool("sweep", false, "with -target: run the clients×payload×batch sweep instead of a single run")
+	sweepClients := flag.String("sweep-clients", "1,16,64", "with -sweep: comma-separated client counts")
+	sweepPayloads := flag.String("sweep-payloads", "0,256", "with -sweep: comma-separated pad byte sizes")
+	sweepBatches := flag.String("sweep-batches", "1,16,128", "with -sweep: comma-separated batch sizes")
 	flag.Parse()
 
 	// Validate everything up front so bad invocations fail fast with a
@@ -172,12 +180,43 @@ func main() {
 	if *hold && *obsAddr == "" {
 		errs = append(errs, "-hold requires -obs")
 	}
+	if *proto != "http" && *proto != "binary" {
+		errs = append(errs, fmt.Sprintf("-proto must be http or binary, got %q", *proto))
+	}
+	if *batch < 1 {
+		errs = append(errs, fmt.Sprintf("-batch must be >= 1, got %d", *batch))
+	}
+	if *payload < 0 {
+		errs = append(errs, fmt.Sprintf("-payload must be non-negative, got %d", *payload))
+	}
 	if *target != "" {
-		if u, err := url.Parse(*target); err != nil || u.Scheme == "" || u.Host == "" {
+		if *proto == "binary" {
+			if _, _, err := net.SplitHostPort(*target); err != nil {
+				errs = append(errs, fmt.Sprintf("-target with -proto binary must be host:port, got %q", *target))
+			}
+		} else if u, err := url.Parse(*target); err != nil || u.Scheme == "" || u.Host == "" {
 			errs = append(errs, fmt.Sprintf("-target must be a base URL like http://127.0.0.1:8263, got %q", *target))
 		}
 		if *obsAddr != "" || *hold {
 			errs = append(errs, "-obs/-hold apply only to local mode (the server has its own /metrics)")
+		}
+	} else if *proto != "http" || *batch > 1 || *payload > 0 || *sweep {
+		errs = append(errs, "-proto/-batch/-payload/-sweep require -target (they drive a live daemon)")
+	}
+	var clientsList, payloadList, batchList []int
+	if *sweep {
+		var err error
+		if clientsList, err = parseIntList(*sweepClients); err != nil {
+			errs = append(errs, "-sweep-clients: "+err.Error())
+		}
+		if payloadList, err = parseIntList(*sweepPayloads); err != nil {
+			errs = append(errs, "-sweep-payloads: "+err.Error())
+		}
+		if batchList, err = parseIntList(*sweepBatches); err != nil {
+			errs = append(errs, "-sweep-batches: "+err.Error())
+		}
+		if *readers > 0 {
+			errs = append(errs, "-readers applies only to the single-run http mode, not -sweep")
 		}
 	}
 	if len(errs) > 0 {
@@ -203,6 +242,16 @@ func main() {
 	}
 
 	if *target != "" {
+		// The bench-harness path: any cell shape beyond the plain
+		// single-run HTTP load, or an explicit sweep.
+		if *sweep || *proto == "binary" || *batch > 1 || *payload > 0 {
+			cells := buildCells(*sweep, *clients, *payload, *batch, clientsList, payloadList, batchList)
+			if err := runNetBench(*proto, *target, ds, cells); err != nil {
+				fmt.Fprintln(os.Stderr, "cinderella-load: "+err.Error())
+				os.Exit(1)
+			}
+			return
+		}
 		if err := runTarget(*target, ds, *clients, *readers); err != nil {
 			fmt.Fprintln(os.Stderr, "cinderella-load: "+err.Error())
 			os.Exit(1)

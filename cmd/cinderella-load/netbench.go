@@ -1,0 +1,384 @@
+package main
+
+// The network bench harness behind -proto/-batch/-payload/-sweep: drives
+// a running cinderellad over HTTP/JSON or the binary wire protocol and
+// reports per-cell throughput, ack-latency percentiles, and transport
+// bytes per operation. A "cell" is one (clients, payload, batch) point;
+// -sweep crosses the three axes so one invocation maps the whole
+// surface for a protocol.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cinderella/client"
+	"cinderella/internal/datagen"
+)
+
+// benchCell is one sweep point.
+type benchCell struct {
+	clients int
+	payload int // extra pad bytes added to every document
+	batch   int // ops per client-side batch
+}
+
+// cellResult is one cell's measurements.
+type cellResult struct {
+	acked      int64
+	failed     int64
+	elapsed    time.Duration
+	p50, p99   time.Duration
+	bytesPerOp float64
+	firstErr   error
+}
+
+func (r cellResult) opsPerSec() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.acked) / r.elapsed.Seconds()
+}
+
+// parseIntList parses "1,8,64" into ints.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad list element %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list %q", s)
+	}
+	return out, nil
+}
+
+// padDocs returns docs with an extra pad attribute of padBytes, leaving
+// the originals untouched. padBytes 0 returns docs as-is.
+func padDocs(docs []client.Doc, padBytes int) []client.Doc {
+	if padBytes <= 0 {
+		return docs
+	}
+	pad := strings.Repeat("x", padBytes)
+	out := make([]client.Doc, len(docs))
+	for i, d := range docs {
+		nd := make(client.Doc, len(d)+1)
+		for k, v := range d {
+			nd[k] = v
+		}
+		nd["pad"] = pad
+		out[i] = nd
+	}
+	return out
+}
+
+// latRecorder collects per-op ack latencies for percentile reporting.
+// One slice per worker, merged at the end — no contention on the hot
+// path.
+type latRecorder struct {
+	per [][]int64
+}
+
+func newLatRecorder(workers int) *latRecorder {
+	return &latRecorder{per: make([][]int64, workers)}
+}
+
+func (l *latRecorder) add(worker int, d time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		l.per[worker] = append(l.per[worker], int64(d))
+	}
+}
+
+func (l *latRecorder) percentiles() (p50, p99 time.Duration) {
+	var all []int64
+	for _, s := range l.per {
+		all = append(all, s...)
+	}
+	if len(all) == 0 {
+		return 0, 0
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	idx := func(q float64) int64 {
+		i := int(q * float64(len(all)-1))
+		return all[i]
+	}
+	return time.Duration(idx(0.50)), time.Duration(idx(0.99))
+}
+
+// runNetBench runs every cell against target and prints one row per
+// cell. proto selects the transport; target is a base URL for http and
+// a host:port for binary.
+func runNetBench(proto, target string, ds *datagen.Dataset, cells []benchCell) error {
+	baseDocs := make([]client.Doc, len(ds.Entities))
+	for i, e := range ds.Entities {
+		baseDocs[i] = entityDoc(e, ds.Dict)
+	}
+
+	fmt.Printf("%-7s %8s %8s %6s %12s %10s %10s %10s\n",
+		"proto", "clients", "payload", "batch", "ops/s", "p50", "p99", "bytes/op")
+	for _, cell := range cells {
+		docs := padDocs(baseDocs, cell.payload)
+		var res cellResult
+		var err error
+		switch proto {
+		case "binary":
+			res, err = runCellBinary(target, docs, cell)
+		default:
+			res, err = runCellHTTP(target, docs, cell)
+		}
+		if err != nil {
+			return fmt.Errorf("cell clients=%d payload=%d batch=%d: %w",
+				cell.clients, cell.payload, cell.batch, err)
+		}
+		fmt.Printf("%-7s %8d %8d %6d %12.1f %10v %10v %10.1f\n",
+			proto, cell.clients, cell.payload, cell.batch,
+			res.opsPerSec(), res.p50.Round(time.Microsecond), res.p99.Round(time.Microsecond),
+			res.bytesPerOp)
+		if res.failed > 0 {
+			fmt.Printf("  %d ops failed (first: %v)\n", res.failed, res.firstErr)
+		}
+	}
+	return nil
+}
+
+// runCellBinary drives one cell over the binary protocol: each worker
+// claims a contiguous chunk of `batch` docs and inserts it with
+// InsertMany, so the client-side batcher fills frames to the configured
+// size while concurrent workers share frames and group commits.
+func runCellBinary(target string, docs []client.Doc, cell benchCell) (cellResult, error) {
+	conns := cell.clients/8 + 1
+	if conns > 16 {
+		conns = 16
+	}
+	bc, err := client.NewBinary(target,
+		client.WithConns(conns),
+		client.WithBatch(cell.batch, 0, 0))
+	if err != nil {
+		return cellResult{}, err
+	}
+	defer bc.Close()
+	ctx := context.Background()
+	if err := bc.Ping(ctx); err != nil {
+		return cellResult{}, fmt.Errorf("probing %s: %w", target, err)
+	}
+
+	var res cellResult
+	var next atomic.Int64
+	var acked, failed atomic.Int64
+	var firstErr atomic.Value
+	lat := newLatRecorder(cell.clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cell.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(cell.batch))) - cell.batch
+				if lo >= len(docs) {
+					return
+				}
+				hi := lo + cell.batch
+				if hi > len(docs) {
+					hi = len(docs)
+				}
+				t0 := time.Now()
+				ids, err := bc.InsertMany(ctx, docs[lo:hi])
+				d := time.Since(t0)
+				ok := 0
+				for _, id := range ids {
+					if id != 0 {
+						ok++
+					}
+				}
+				acked.Add(int64(ok))
+				if n := hi - lo - ok; n > 0 {
+					failed.Add(int64(n))
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+					}
+				}
+				lat.add(w, d, ok)
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	res.acked = acked.Load()
+	res.failed = failed.Load()
+	if e, _ := firstErr.Load().(error); e != nil {
+		res.firstErr = e
+	}
+	res.p50, res.p99 = lat.percentiles()
+	if res.acked > 0 {
+		res.bytesPerOp = float64(bc.BytesSent()+bc.BytesReceived()) / float64(res.acked)
+	}
+	return res, nil
+}
+
+// runCellHTTP drives one cell over HTTP/JSON: batch 1 uses /v1/insert,
+// larger batches use the /v1/bulk fallback. Transport bytes are counted
+// by a wrapping RoundTripper (bodies exactly, headers estimated from
+// their serialized form).
+func runCellHTTP(target string, docs []client.Doc, cell benchCell) (cellResult, error) {
+	ct := &countingTransport{rt: &http.Transport{
+		MaxIdleConns:        cell.clients * 2,
+		MaxIdleConnsPerHost: cell.clients * 2,
+	}}
+	c, err := client.New(target, client.WithHTTPClient(&http.Client{Transport: ct}))
+	if err != nil {
+		return cellResult{}, err
+	}
+	ctx := context.Background()
+	if _, err := c.Health(ctx); err != nil {
+		return cellResult{}, fmt.Errorf("probing %s: %w", target, err)
+	}
+
+	var res cellResult
+	var next atomic.Int64
+	var acked, failed atomic.Int64
+	var firstErr atomic.Value
+	lat := newLatRecorder(cell.clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cell.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(cell.batch))) - cell.batch
+				if lo >= len(docs) {
+					return
+				}
+				hi := lo + cell.batch
+				if hi > len(docs) {
+					hi = len(docs)
+				}
+				t0 := time.Now()
+				if cell.batch == 1 {
+					_, err := c.Insert(ctx, docs[lo])
+					d := time.Since(t0)
+					if err != nil {
+						failed.Add(1)
+						firstErr.CompareAndSwap(nil, err)
+						continue
+					}
+					acked.Add(1)
+					lat.add(w, d, 1)
+					continue
+				}
+				ops := make([]client.BulkOp, hi-lo)
+				for i := range ops {
+					ops[i] = client.BulkOp{Op: "insert", Doc: docs[lo+i]}
+				}
+				results, err := c.Bulk(ctx, ops)
+				d := time.Since(t0)
+				if err != nil {
+					failed.Add(int64(hi - lo))
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				ok := 0
+				for _, r := range results {
+					if r.Error == "" && !r.Unapplied {
+						ok++
+					}
+				}
+				acked.Add(int64(ok))
+				if n := hi - lo - ok; n > 0 {
+					failed.Add(int64(n))
+				}
+				lat.add(w, d, ok)
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	res.acked = acked.Load()
+	res.failed = failed.Load()
+	if e, _ := firstErr.Load().(error); e != nil {
+		res.firstErr = e
+	}
+	res.p50, res.p99 = lat.percentiles()
+	if res.acked > 0 {
+		res.bytesPerOp = float64(ct.in.Load()+ct.out.Load()) / float64(res.acked)
+	}
+	return res, nil
+}
+
+// countingTransport counts transport bytes: request/response bodies
+// exactly, headers by their serialized size (status/request line plus
+// "k: v\r\n" per header) — close enough for bytes/op comparisons.
+type countingTransport struct {
+	rt      http.RoundTripper
+	in, out atomic.Int64
+}
+
+func (t *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	hdr := int64(len(req.Method) + len(req.URL.RequestURI()) + 12)
+	for k, vs := range req.Header {
+		for _, v := range vs {
+			hdr += int64(len(k) + len(v) + 4)
+		}
+	}
+	t.out.Add(hdr + req.ContentLength)
+	resp, err := t.rt.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	rhdr := int64(len(resp.Status) + 11)
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			rhdr += int64(len(k) + len(v) + 4)
+		}
+	}
+	t.in.Add(rhdr)
+	resp.Body = &countingBody{rc: resp.Body, n: &t.in}
+	return resp, nil
+}
+
+type countingBody struct {
+	rc interface {
+		Read([]byte) (int, error)
+		Close() error
+	}
+	n *atomic.Int64
+}
+
+func (b *countingBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	b.n.Add(int64(n))
+	return n, err
+}
+
+func (b *countingBody) Close() error { return b.rc.Close() }
+
+// buildCells crosses the sweep axes (or yields the single configured
+// cell when -sweep is off).
+func buildCells(sweep bool, clients, payload, batch int, clientsList, payloadList, batchList []int) []benchCell {
+	if !sweep {
+		return []benchCell{{clients: clients, payload: payload, batch: batch}}
+	}
+	var cells []benchCell
+	for _, c := range clientsList {
+		for _, p := range payloadList {
+			for _, b := range batchList {
+				cells = append(cells, benchCell{clients: c, payload: p, batch: b})
+			}
+		}
+	}
+	return cells
+}

@@ -7,10 +7,16 @@
 // Usage:
 //
 //	cinderellad -wal table.wal [-addr :8263] [-w W] [-b B] [-shards N]
+//	            [-bin-addr :8264] [-bin-addr-file PATH]
 //	            [-strategy cinderella|universal|hash|roundrobin|schemaexact]
 //	            [-inflight N] [-read-inflight N] [-queue N]
 //	            [-commit-delay D] [-commit-max N]
 //	            [-per-op-sync] [-addr-file PATH] [-checkpoint-on-exit=false]
+//
+// -bin-addr additionally serves the length-prefixed binary protocol
+// (package internal/wire) on its own port. Both protocols share one
+// store and one group committer, so a binary batch and an HTTP insert
+// can ride the same fsync. -bin-addr-file mirrors -addr-file.
 //
 // With -shards N (N > 1) the daemon runs N independent Cinderella
 // partitioners, hash-routing documents by id and striping durability
@@ -44,6 +50,7 @@ import (
 	"cinderella/internal/obs"
 	"cinderella/internal/server"
 	"cinderella/internal/shard"
+	"cinderella/internal/wire"
 )
 
 var strategies = map[string]cinderella.Strategy{
@@ -57,6 +64,8 @@ var strategies = map[string]cinderella.Strategy{
 func main() {
 	addr := flag.String("addr", ":8263", "listen address (use 127.0.0.1:0 for an ephemeral port)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	binAddr := flag.String("bin-addr", "", "binary wire protocol listen address (empty = HTTP only)")
+	binAddrFile := flag.String("bin-addr-file", "", "write the bound binary address to this file once listening")
 	walPath := flag.String("wal", "cinderella.wal", "write-ahead log path (with -shards >1: a directory of striped WALs)")
 	shards := flag.Int("shards", 1, "number of independent shards (>1 stripes the WAL and runs one partitioner per shard)")
 	w := flag.Float64("w", 0.5, "Cinderella weight w ∈ [0,1]")
@@ -104,11 +113,14 @@ func main() {
 		Obs:                reg,
 	}
 	var d server.Store
+	var ws wire.Store // entity-level view of the same store, for -bin-addr
 	var err error
 	if *shards > 1 {
-		d, err = shard.Open(*walPath, shard.Options{Shards: *shards, Config: cfg})
+		sh, serr := shard.Open(*walPath, shard.Options{Shards: *shards, Config: cfg})
+		d, ws, err = sh, sh, serr
 	} else {
-		d, err = cinderella.OpenFile(*walPath, cfg)
+		dt, derr := cinderella.OpenFile(*walPath, cfg)
+		d, ws, err = dt, dt, derr
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cinderellad: opening %s: %v\n", *walPath, err)
@@ -146,6 +158,35 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
+	// Binary wire protocol listener: same store, same group committer —
+	// a binary batch and an HTTP insert can share one fsync.
+	var wsrv *wire.Server
+	if *binAddr != "" {
+		var ack wire.Acker
+		if com := srv.Committer(); com != nil {
+			ack = com
+		}
+		wsrv = wire.New(ws, ack, wire.Config{Obs: reg})
+		bln, err := net.Listen("tcp", *binAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cinderellad: listen %s: %v\n", *binAddr, err)
+			os.Exit(1)
+		}
+		binBound := bln.Addr().String()
+		fmt.Printf("cinderellad: binary protocol on %s\n", binBound)
+		if *binAddrFile != "" {
+			if err := os.WriteFile(*binAddrFile, []byte(binBound+"\n"), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "cinderellad: writing -bin-addr-file: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		go func() {
+			if err := wsrv.Serve(bln); err != nil {
+				serveErr <- err
+			}
+		}()
+	}
+
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 
@@ -160,6 +201,9 @@ func main() {
 	// Drain: reject new work first so Shutdown only waits on requests
 	// already admitted. A second signal cuts the wait short.
 	srv.BeginDrain()
+	if wsrv != nil {
+		wsrv.BeginDrain() // binary writes now get StatusRetry; reads keep working
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	go func() {
 		<-sigc
@@ -167,6 +211,13 @@ func main() {
 	}()
 	if err := hs.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "cinderellad: shutdown: %v\n", err)
+	}
+	if wsrv != nil {
+		// The committer is still running, so in-flight binary batches get
+		// their durability acks before the connections close.
+		if err := wsrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "cinderellad: wire shutdown: %v\n", err)
+		}
 	}
 	cancel()
 

@@ -209,6 +209,76 @@ func (d *DurableTable) InsertWithID(id ID, doc Doc) error {
 	return nil
 }
 
+// InsertEntity stores a pre-built entity durably (see Table.InsertEntity
+// for the id-space contract) and returns its id. The binary wire path
+// uses it so a decoded record goes straight into the table and the WAL
+// without a Doc round trip. The entity is not retained.
+func (d *DurableTable) InsertEntity(e *entity.Entity) (ID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	if err := d.Table.checkEntityAttrs(e); err != nil {
+		return 0, err
+	}
+	if err := d.logNewAttrs(); err != nil {
+		return 0, err
+	}
+	id := d.inner.Insert(e)
+	if err := d.w.Append(wal.Op{Kind: wal.KindInsert, ID: uint64(id), Data: e.Marshal(nil)}); err != nil {
+		return 0, err
+	}
+	d.noteAppend()
+	return id, nil
+}
+
+// InsertEntityWithID stores a pre-built entity durably under a
+// caller-chosen id (the sharded router's binary ingest path). Like
+// InsertWithID it panics if id is zero or already live.
+func (d *DurableTable) InsertEntityWithID(id ID, e *entity.Entity) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.Table.checkEntityAttrs(e); err != nil {
+		return err
+	}
+	if err := d.logNewAttrs(); err != nil {
+		return err
+	}
+	d.inner.InsertWithID(id, e)
+	if err := d.w.Append(wal.Op{Kind: wal.KindInsert, ID: uint64(id), Data: e.Marshal(nil)}); err != nil {
+		return err
+	}
+	d.noteAppend()
+	return nil
+}
+
+// UpdateEntity replaces a document durably with a pre-built entity.
+func (d *DurableTable) UpdateEntity(id ID, e *entity.Entity) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false, ErrClosed
+	}
+	if err := d.Table.checkEntityAttrs(e); err != nil {
+		return false, err
+	}
+	if err := d.logNewAttrs(); err != nil {
+		return false, err
+	}
+	if !d.inner.Update(id, e) {
+		return false, nil
+	}
+	if err := d.w.Append(wal.Op{Kind: wal.KindUpdate, ID: uint64(id), Data: e.Marshal(nil)}); err != nil {
+		return false, err
+	}
+	d.noteAppend()
+	return true, nil
+}
+
 // Update replaces the document durably.
 func (d *DurableTable) Update(id ID, doc Doc) (bool, error) {
 	d.mu.Lock()

@@ -31,32 +31,106 @@ func (e *Entity) Marshal(dst []byte) []byte {
 	return dst
 }
 
+// MarshalRemap encodes the entity like Marshal but maps every attribute
+// id through remap first. remap must be injective over the entity's
+// attributes and must report ok for all of them; a false return aborts
+// with an error naming the offending id. The output field order follows
+// the entity's (pre-remap) order, which may not be ascending in the
+// remapped id space — Unmarshal and UnmarshalInto restore the sorted
+// invariant on decode. The wire layer uses this to translate records
+// from a shard-local dictionary into the wire dictionary without
+// mutating entities that may be shared with concurrent readers.
+func (e *Entity) MarshalRemap(dst []byte, remap func(int) (int, bool)) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(e.fields)))
+	for _, f := range e.fields {
+		id, ok := remap(f.Attr)
+		if !ok {
+			return nil, fmt.Errorf("entity: no remapping for attribute id %d", f.Attr)
+		}
+		dst = binary.AppendUvarint(dst, uint64(id))
+		dst = append(dst, byte(f.Value.kind))
+		switch f.Value.kind {
+		case KindInt:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(f.Value.i))
+		case KindFloat:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f.Value.f))
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(f.Value.s)))
+			dst = append(dst, f.Value.s...)
+		}
+	}
+	return dst, nil
+}
+
+// Remap rewrites every attribute id in place through remap and restores
+// the sorted-fields invariant. remap must be injective; a false return
+// aborts with an error and leaves the entity in an unspecified state
+// (callers discard it on error). The cached synopsis is invalidated; the
+// byte size is unchanged (ids do not contribute to SIZE()). The sort is
+// an insertion sort: remappings between dense dictionaries are
+// near-order-preserving, so the common case is a single linear pass and
+// no allocation — this keeps the binary ingest path at zero allocations
+// per op.
+func (e *Entity) Remap(remap func(int) (int, bool)) error {
+	for i := range e.fields {
+		id, ok := remap(e.fields[i].Attr)
+		if !ok {
+			return fmt.Errorf("entity: no remapping for attribute id %d", e.fields[i].Attr)
+		}
+		e.fields[i].Attr = id
+	}
+	for i := 1; i < len(e.fields); i++ {
+		for j := i; j > 0 && e.fields[j-1].Attr > e.fields[j].Attr; j-- {
+			e.fields[j-1], e.fields[j] = e.fields[j], e.fields[j-1]
+		}
+	}
+	e.syn = nil
+	return nil
+}
+
 // Unmarshal decodes a record produced by Marshal. It returns the decoded
 // entity and the number of bytes consumed.
 func Unmarshal(src []byte) (*Entity, int, error) {
+	e := &Entity{}
+	n, err := UnmarshalInto(e, src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return e, n, nil
+}
+
+// UnmarshalInto decodes a record produced by Marshal into dst, reusing
+// dst's field storage. It returns the number of bytes consumed. On error
+// dst is left in an unspecified state. In steady state (dst's field
+// slice has grown to the workload's arity) a decode of numeric fields
+// allocates nothing; each string value costs exactly one allocation —
+// the copy out of the caller's (typically pooled and reused) buffer.
+func UnmarshalInto(dst *Entity, src []byte) (int, error) {
+	dst.fields = dst.fields[:0]
+	dst.syn = nil
+	dst.size = 0
 	n, off := binary.Uvarint(src)
 	if off <= 0 {
-		return nil, 0, fmt.Errorf("entity: corrupt record header")
+		return 0, fmt.Errorf("entity: corrupt record header")
 	}
 	// A field occupies at least 3 bytes (attr id, kind, empty-string
 	// length), so any larger count is corrupt; checking up front bounds
-	// the allocation below against hostile headers.
+	// the growth below against hostile headers.
 	if n > uint64(len(src)-off)/3 {
-		return nil, 0, fmt.Errorf("entity: field count %d exceeds record size", n)
+		return 0, fmt.Errorf("entity: field count %d exceeds record size", n)
 	}
-	e := &Entity{fields: make([]Field, 0, n)}
 	const maxAttr = 1 << 31 // dictionary ids are small and dense
 	for i := uint64(0); i < n; i++ {
 		attr, k := binary.Uvarint(src[off:])
 		if k <= 0 {
-			return nil, 0, fmt.Errorf("entity: corrupt attribute id at offset %d", off)
+			return 0, fmt.Errorf("entity: corrupt attribute id at offset %d", off)
 		}
 		if attr > maxAttr {
-			return nil, 0, fmt.Errorf("entity: implausible attribute id %d", attr)
+			return 0, fmt.Errorf("entity: implausible attribute id %d", attr)
 		}
 		off += k
 		if off >= len(src) {
-			return nil, 0, fmt.Errorf("entity: truncated record")
+			return 0, fmt.Errorf("entity: truncated record")
 		}
 		kind := ValueKind(src[off])
 		off++
@@ -64,40 +138,40 @@ func Unmarshal(src []byte) (*Entity, int, error) {
 		switch kind {
 		case KindInt:
 			if off+8 > len(src) {
-				return nil, 0, fmt.Errorf("entity: truncated int value")
+				return 0, fmt.Errorf("entity: truncated int value")
 			}
 			v = Int(int64(binary.LittleEndian.Uint64(src[off:])))
 			off += 8
 		case KindFloat:
 			if off+8 > len(src) {
-				return nil, 0, fmt.Errorf("entity: truncated float value")
+				return 0, fmt.Errorf("entity: truncated float value")
 			}
 			v = Float(math.Float64frombits(binary.LittleEndian.Uint64(src[off:])))
 			off += 8
 		case KindString:
 			l, k := binary.Uvarint(src[off:])
 			if k <= 0 {
-				return nil, 0, fmt.Errorf("entity: corrupt string length at offset %d", off)
+				return 0, fmt.Errorf("entity: corrupt string length at offset %d", off)
 			}
 			off += k
 			// Compare in uint64 space: a hostile length must not be
 			// truncated to a negative int before the bounds check.
 			if l > uint64(len(src)-off) {
-				return nil, 0, fmt.Errorf("entity: truncated string value")
+				return 0, fmt.Errorf("entity: truncated string value")
 			}
 			v = Str(string(src[off : off+int(l)]))
 			off += int(l)
 		default:
-			return nil, 0, fmt.Errorf("entity: unknown value kind %d", kind)
+			return 0, fmt.Errorf("entity: unknown value kind %d", kind)
 		}
 		// Records are written sorted, so appending keeps the invariant;
 		// fall back to Set if an out-of-order record sneaks in.
-		if m := len(e.fields); m > 0 && e.fields[m-1].Attr >= int(attr) {
-			e.Set(int(attr), v)
+		if m := len(dst.fields); m > 0 && dst.fields[m-1].Attr >= int(attr) {
+			dst.Set(int(attr), v)
 			continue
 		}
-		e.fields = append(e.fields, Field{Attr: int(attr), Value: v})
-		e.size += fieldOverhead + v.Size()
+		dst.fields = append(dst.fields, Field{Attr: int(attr), Value: v})
+		dst.size += fieldOverhead + v.Size()
 	}
-	return e, off, nil
+	return off, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -16,6 +17,7 @@ import (
 	"cinderella/client"
 	"cinderella/internal/obs"
 	"cinderella/internal/server"
+	"cinderella/internal/wire"
 )
 
 // ServerBench measures what group commit buys the service layer: the
@@ -46,6 +48,15 @@ type ServerBenchResult struct {
 	HTTPPerOpOpsPerSec float64 `json:"http_per_op_ops_per_sec"`
 	HTTPGroupOpsPerSec float64 `json:"http_group_ops_per_sec"`
 	HTTPGroupSpeedup   float64 `json:"http_group_speedup"`
+
+	// The binary wire protocol (internal/wire) with client-side batching,
+	// sharing the same group committer. This is the network-gap fix: the
+	// acceptance bar is WireVsHTTPGroup ≥ 3 at 64 clients.
+	WireBatchOpsPerSec float64 `json:"wire_batch_ops_per_sec"`
+	WireBytesPerOp     float64 `json:"wire_bytes_per_op"`
+	WireOps            int64   `json:"wire_ops"`
+	WireFrames         int64   `json:"wire_frames"`
+	WireVsHTTPGroup    float64 `json:"wire_vs_http_group"`
 }
 
 // ServerBench runs the comparison with 64 concurrent clients and a
@@ -103,6 +114,12 @@ func serverBench(clients int, dur time.Duration) ServerBenchResult {
 	res.HTTPGroupOpsPerSec = httpRun(clients, dur, false, nextDoc)
 	if res.HTTPPerOpOpsPerSec > 0 {
 		res.HTTPGroupSpeedup = res.HTTPGroupOpsPerSec / res.HTTPPerOpOpsPerSec
+	}
+
+	// End-to-end over the binary wire protocol with client batching.
+	res.WireBatchOpsPerSec, res.WireBytesPerOp, res.WireOps, res.WireFrames = wireRun(clients, dur, nextDoc)
+	if res.HTTPGroupOpsPerSec > 0 {
+		res.WireVsHTTPGroup = res.WireBatchOpsPerSec / res.HTTPGroupOpsPerSec
 	}
 	return res
 }
@@ -211,6 +228,83 @@ func httpRun(clients int, dur time.Duration, perOpSync bool, nextDoc func() cind
 	return float64(acked.Load()) / elapsed.Seconds()
 }
 
+// wireRun measures acked inserts/s through the binary wire server and
+// the batching binary client, sharing a group committer the way
+// cinderellad wires them together. Returns throughput, frame bytes per
+// acked op, and the server's op/frame counters (frames < ops shows the
+// client batching at work).
+func wireRun(clients int, dur time.Duration, nextDoc func() cinderella.Doc) (opsPerSec, bytesPerOp float64, ops, frames int64) {
+	dir, err := os.MkdirTemp("", "cinderella-serverbench-wire")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	reg := obs.New(obs.Options{})
+	d, err := cinderella.OpenFile(filepath.Join(dir, "bench.wal"), cinderella.Config{
+		PartitionSizeLimit: 4096,
+		Obs:                reg,
+	})
+	if err != nil {
+		panic(err)
+	}
+	com := server.NewCommitter(d, 0, 0, reg)
+	wsrv := wire.New(d, com, wire.Config{Obs: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go wsrv.Serve(ln)
+
+	conns := clients/8 + 1
+	if conns > 16 {
+		conns = 16
+	}
+	bc, err := client.NewBinary(ln.Addr().String(), client.WithConns(conns))
+	if err != nil {
+		panic(err)
+	}
+	defer func() {
+		bc.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		wsrv.Shutdown(ctx)
+		cancel()
+		com.Stop()
+		d.Close()
+	}()
+
+	var acked atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := bc.Insert(context.Background(), nextDoc()); err != nil {
+					panic(err)
+				}
+				acked.Add(1)
+			}
+		}()
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	opsPerSec = float64(acked.Load()) / elapsed.Seconds()
+	if n := acked.Load(); n > 0 {
+		bytesPerOp = float64(bc.BytesSent()+bc.BytesReceived()) / float64(n)
+	}
+	return opsPerSec, bytesPerOp, reg.Counter(obs.CWireOps), reg.Counter(obs.CWireFrames)
+}
+
 // benchDocs builds a pool of small documents cycling through a few
 // schema shapes so the partitioner has real (if light) work to do. The
 // pool is built outside the timed region: the benchmark measures the
@@ -243,4 +337,6 @@ func (r ServerBenchResult) Print(w io.Writer) {
 		r.GroupCommits, r.GroupMeanBatch, r.GroupSpeedup)
 	fprintf(w, "  http:    per-op sync %.0f ops/s, group commit %.0f ops/s — %.1fx\n",
 		r.HTTPPerOpOpsPerSec, r.HTTPGroupOpsPerSec, r.HTTPGroupSpeedup)
+	fprintf(w, "  binary:  batched wire %.0f ops/s (%.1f bytes/op, %d ops over %d frames) — %.1fx vs http group\n",
+		r.WireBatchOpsPerSec, r.WireBytesPerOp, r.WireOps, r.WireFrames, r.WireVsHTTPGroup)
 }

@@ -19,6 +19,12 @@ func TestServerBenchSmoke(t *testing.T) {
 	if r.GroupCommits <= 0 || r.GroupMeanBatch < 1 {
 		t.Fatalf("committer never batched: %d commits, mean %.1f", r.GroupCommits, r.GroupMeanBatch)
 	}
+	if r.WireBatchOpsPerSec <= 0 || r.WireOps <= 0 {
+		t.Fatalf("no wire progress: %.0f ops/s, %d ops", r.WireBatchOpsPerSec, r.WireOps)
+	}
+	if r.WireFrames >= r.WireOps {
+		t.Fatalf("wire client never batched: %d frames for %d ops", r.WireFrames, r.WireOps)
+	}
 	// No throughput assertion here — 60ms on a loaded CI box is noise
 	// territory; cmd/cinderella-bench -exp server runs the real thing.
 	var buf bytes.Buffer

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync/atomic"
 )
 
@@ -69,9 +70,24 @@ func (r *Registry) Serve(addr string) error {
 // buckets in seconds.
 func (r *Registry) WriteMetrics(w io.Writer) {
 	for c := Counter(0); c < numCounters; c++ {
+		// Labeled counters ('{' in the name) are samples of a shared
+		// family, rendered below with a single HELP/TYPE header.
+		if strings.ContainsRune(counterNames[c], '{') {
+			continue
+		}
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			counterNames[c], counterHelp[c], counterNames[c], counterNames[c], r.Counter(c))
 	}
+
+	// Per-protocol traffic families: one family per direction, one sample
+	// per protocol, so dashboards can sum or split by the proto label.
+	byteFamily := func(name, help string, httpC, wireC Counter) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		fmt.Fprintf(w, "%s{proto=\"http\"} %d\n", name, r.Counter(httpC))
+		fmt.Fprintf(w, "%s{proto=\"binary\"} %d\n", name, r.Counter(wireC))
+	}
+	byteFamily("cinderella_server_bytes_in_total", "Request bytes received, by protocol.", CBytesInHTTP, CBytesInWire)
+	byteFamily("cinderella_server_bytes_out_total", "Response bytes sent, by protocol.", CBytesOutHTTP, CBytesOutWire)
 
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
@@ -80,6 +96,7 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 	gauge("cinderella_partitions", "Current partition count.", float64(r.Partitions()))
 	gauge("cinderella_server_inflight", "HTTP API requests currently executing.", float64(r.ServerInflight()))
 	gauge("cinderella_server_queued", "HTTP API requests waiting in the admission queue.", float64(r.ServerQueued()))
+	gauge("cinderella_wire_connections", "Open binary wire protocol connections.", float64(r.WireConns()))
 	gauge("cinderella_snapshot_epoch", "Snapshot-publication epoch of the lock-free read path.", float64(r.SnapshotEpoch()))
 	gauge("cinderella_efficiency",
 		"Streaming EFFICIENCY (Definition 1, entity-count units) over all queries.",

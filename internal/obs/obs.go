@@ -65,6 +65,19 @@ const (
 	CGroupCommits
 	CGroupCommitOps
 
+	// Per-protocol traffic accounting and the binary wire protocol's
+	// frame/op counters, published by internal/server (http) and
+	// internal/wire (binary). The byte counters export as one labeled
+	// family per direction: cinderella_server_bytes_{in,out}_total{proto=...}.
+	CBytesInHTTP
+	CBytesOutHTTP
+	CBytesInWire
+	CBytesOutWire
+	CWireFrames
+	CWireOps
+	CWireErrors
+	CWireRejected
+
 	numCounters
 )
 
@@ -98,6 +111,17 @@ var counterNames = [numCounters]string{
 	CSrvErrors:         "cinderella_server_errors_total",
 	CGroupCommits:      "cinderella_server_group_commits_total",
 	CGroupCommitOps:    "cinderella_server_group_commit_ops_total",
+	// Labeled names ('{' present) are skipped by the generic /metrics
+	// loop and rendered as proper labeled families in WriteMetrics; the
+	// expvar snapshot uses them verbatim as map keys.
+	CBytesInHTTP:  `cinderella_server_bytes_in_total{proto="http"}`,
+	CBytesOutHTTP: `cinderella_server_bytes_out_total{proto="http"}`,
+	CBytesInWire:  `cinderella_server_bytes_in_total{proto="binary"}`,
+	CBytesOutWire: `cinderella_server_bytes_out_total{proto="binary"}`,
+	CWireFrames:   "cinderella_wire_frames_total",
+	CWireOps:      "cinderella_wire_ops_total",
+	CWireErrors:   "cinderella_wire_errors_total",
+	CWireRejected: "cinderella_wire_rejected_total",
 }
 
 // counterHelp documents each counter for the /metrics HELP lines.
@@ -130,6 +154,14 @@ var counterHelp = [numCounters]string{
 	CSrvErrors:         "HTTP API requests answered with a 4xx/5xx error status.",
 	CGroupCommits:      "Group-commit batches flushed (one WAL fsync each, at most).",
 	CGroupCommitOps:    "Acknowledged operations covered by group-commit batches.",
+	CBytesInHTTP:       "Request bytes received, by protocol.",
+	CBytesOutHTTP:      "Response bytes sent, by protocol.",
+	CBytesInWire:       "Request bytes received, by protocol.",
+	CBytesOutWire:      "Response bytes sent, by protocol.",
+	CWireFrames:        "Binary wire protocol frames served.",
+	CWireOps:           "Operations applied through the binary wire protocol.",
+	CWireErrors:        "Binary wire frames answered with an error status (or dropped as malformed).",
+	CWireRejected:      "Binary wire write frames rejected with a retryable status (draining).",
 }
 
 // effSample is one query's contribution to the windowed estimator.
@@ -180,12 +212,17 @@ type state struct {
 	// a mutation republished partition snapshots for lock-free readers.
 	snapEpoch atomic.Int64
 
+	// wireConns is the open-binary-connections gauge, maintained by
+	// internal/wire.
+	wireConns atomic.Int64
+
 	insertNs    Histogram
 	queryNs     Histogram
 	walAppendNs Histogram
 	walSyncNs   Histogram
 	serverNs    Histogram
 	batchSize   Histogram // group-commit batch sizes (unit: operations)
+	wireBatch   Histogram // binary wire batch sizes (unit: operations per frame)
 
 	// Streaming EFFICIENCY (Definition 1). The cumulative sums use the
 	// paper's entity-count SIZE() units, mirroring the offline
@@ -229,6 +266,7 @@ func New(opts Options) *Registry {
 		walSyncNs:   newLatencyHistogram(),
 		serverNs:    newLatencyHistogram(),
 		batchSize:   newBatchHistogram(),
+		wireBatch:   newBatchHistogram(),
 		effRing:     make([]effSample, opts.EffWindow),
 	}
 	if opts.TraceCap > 0 {
@@ -353,6 +391,33 @@ func (r *Registry) ObserveBatchSize(ops int64) {
 		return
 	}
 	r.batchSize.Observe(ops)
+}
+
+// ObserveWireBatch records one binary wire batch frame's operation
+// count. Nil-safe.
+func (r *Registry) ObserveWireBatch(ops int64) {
+	if r == nil {
+		return
+	}
+	r.wireBatch.Observe(ops)
+}
+
+// AddWireConns adjusts the open-binary-connections gauge by delta
+// (+1 on accept, -1 on close). Nil-safe.
+func (r *Registry) AddWireConns(delta int64) {
+	if r == nil {
+		return
+	}
+	r.wireConns.Add(delta)
+}
+
+// WireConns returns the number of currently open binary wire
+// connections.
+func (r *Registry) WireConns() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.wireConns.Load()
 }
 
 // AddServerInflight adjusts the executing-requests gauge by delta
@@ -548,6 +613,7 @@ type Snapshot struct {
 	Partitions       int64                        `json:"partitions"`
 	ServerInflight   int64                        `json:"server_inflight"`
 	ServerQueued     int64                        `json:"server_queued"`
+	WireConns        int64                        `json:"wire_connections"`
 	SnapshotEpoch    int64                        `json:"snapshot_epoch"`
 	Efficiency       float64                      `json:"efficiency"`
 	EfficiencyBytes  float64                      `json:"efficiency_bytes"`
@@ -592,6 +658,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Partitions:      r.Partitions(),
 		ServerInflight:  r.ServerInflight(),
 		ServerQueued:    r.ServerQueued(),
+		WireConns:       r.WireConns(),
 		SnapshotEpoch:   r.SnapshotEpoch(),
 		Efficiency:      r.Efficiency(),
 		EfficiencyBytes: r.EfficiencyBytes(),
@@ -628,5 +695,6 @@ func (r *Registry) histograms() []namedHist {
 		{"cinderella_wal_sync_duration_seconds", "Wall time of WAL fsyncs.", &r.walSyncNs, 1e9},
 		{"cinderella_server_request_duration_seconds", "Wall time of served HTTP API requests (admission wait incl.).", &r.serverNs, 1e9},
 		{"cinderella_server_group_commit_batch_size", "Operations acknowledged per group-commit batch.", &r.batchSize, 1},
+		{"cinderella_wire_batch_ops", "Operations per binary wire batch frame.", &r.wireBatch, 1},
 	}
 }

@@ -5,6 +5,7 @@
 // Wire format (all bodies JSON, all errors {"error": "..."}):
 //
 //	POST /v1/insert      {"doc":{...}}            → {"id":N}
+//	POST /v1/bulk        {"ops":[...]}            → {"results":[...]}
 //	GET  /v1/doc?id=N                             → {"id":N,"doc":{...}}
 //	POST /v1/update      {"id":N,"doc":{...}}     → {"updated":bool}
 //	POST /v1/delete      {"id":N}                 → {"deleted":bool}
@@ -43,6 +44,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -162,6 +164,7 @@ func New(d Store, cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/insert", s.handleInsert)
+	s.route("POST /v1/bulk", s.handleBulk)
 	s.routeRead("GET /v1/doc", s.handleGet)
 	s.route("POST /v1/update", s.handleUpdate)
 	s.route("POST /v1/delete", s.handleDelete)
@@ -190,6 +193,11 @@ func New(d Store, cfg Config) *Server {
 // the API routes.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Committer returns the group committer acknowledging this server's
+// writes, or nil under PerOpSync. The binary wire server shares it so
+// one fsync covers a batch of writes across both protocols.
+func (s *Server) Committer() *Committer { return s.com }
+
 // route registers an API handler behind admission control, the request
 // timeout, and telemetry.
 func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request) (int, error)) {
@@ -198,16 +206,21 @@ func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request
 		if !s.admit(w, r) {
 			return
 		}
+		cr := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
+		cw := &countingWriter{ResponseWriter: w}
 		defer func() {
 			<-s.sem
 			s.obs.AddServerInflight(-1)
+			s.obs.Add(obs.CBytesInHTTP, cr.n)
+			s.obs.Add(obs.CBytesOutHTTP, cw.n)
 			s.obs.ObserveServerNs(time.Since(start).Nanoseconds())
 		}()
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		r.Body = cr
+		w = cw
 
 		code, err := h(w, r)
 		s.obs.Add(obs.CSrvRequests, 1)
@@ -236,16 +249,21 @@ func (s *Server) routeRead(pattern string, h func(http.ResponseWriter, *http.Req
 			return
 		}
 		s.obs.AddServerInflight(1)
+		cr := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
+		cw := &countingWriter{ResponseWriter: w}
 		defer func() {
 			<-s.rsem
 			s.obs.AddServerInflight(-1)
+			s.obs.Add(obs.CBytesInHTTP, cr.n)
+			s.obs.Add(obs.CBytesOutHTTP, cw.n)
 			s.obs.ObserveServerNs(time.Since(start).Nanoseconds())
 		}()
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		r.Body = cr
+		w = cw
 
 		code, err := h(w, r)
 		s.obs.Add(obs.CSrvRequests, 1)
@@ -393,6 +411,89 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, erro
 		return http.StatusInternalServerError, fmt.Errorf("applied but not durable: %w", err)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id})
+	return 0, nil
+}
+
+// bulkOp is one operation in a /v1/bulk request. Op is "insert",
+// "update", or "delete"; insert needs doc, update needs id+doc, delete
+// needs id.
+type bulkOp struct {
+	Op  string         `json:"op"`
+	ID  uint64         `json:"id,omitempty"`
+	Doc map[string]any `json:"doc,omitempty"`
+}
+
+type bulkRequest struct {
+	Ops []bulkOp `json:"ops"`
+}
+
+// bulkResult is one operation's outcome. Mirrors the binary protocol's
+// partial-failure contract: ops apply in order, the first hard failure
+// carries Error, every later op is Unapplied (and only those may be
+// retried — the applied prefix is durable once the 200 arrives).
+type bulkResult struct {
+	ID        uint64 `json:"id,omitempty"`
+	Updated   *bool  `json:"updated,omitempty"`
+	Deleted   *bool  `json:"deleted,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Unapplied bool   `json:"unapplied,omitempty"`
+}
+
+// handleBulk is the JSON fallback for clients that want batched writes
+// without the binary protocol: many ops per request, one group-commit
+// ack covering the applied prefix.
+func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req bulkRequest
+	if err := readJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if len(req.Ops) == 0 {
+		return http.StatusBadRequest, errors.New("empty ops list")
+	}
+	results := make([]bulkResult, len(req.Ops))
+	applied := 0
+	for i, op := range req.Ops {
+		var opErr error
+		switch op.Op {
+		case "insert":
+			var doc cinderella.Doc
+			if doc, opErr = toDoc(op.Doc); opErr == nil {
+				var id cinderella.ID
+				if id, opErr = s.d.Insert(doc); opErr == nil {
+					results[i].ID = uint64(id)
+				}
+			}
+		case "update":
+			var doc cinderella.Doc
+			if doc, opErr = toDoc(op.Doc); opErr == nil {
+				var ok bool
+				if ok, opErr = s.d.Update(cinderella.ID(op.ID), doc); opErr == nil {
+					results[i].Updated = &ok
+				}
+			}
+		case "delete":
+			var ok bool
+			if ok, opErr = s.d.Delete(cinderella.ID(op.ID)); opErr == nil {
+				results[i].Deleted = &ok
+			}
+		default:
+			opErr = fmt.Errorf("unknown op %q", op.Op)
+		}
+		if opErr != nil {
+			results[i].Error = opErr.Error()
+			for j := i + 1; j < len(results); j++ {
+				results[j].Unapplied = true
+			}
+			break
+		}
+		applied++
+	}
+	if applied > 0 {
+		if err := s.ack(r, s.d.LastLSN()); err != nil {
+			return http.StatusInternalServerError, fmt.Errorf("applied but not durable: %w", err)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 	return 0, nil
 }
 
@@ -605,6 +706,33 @@ func toDoc(obj map[string]any) (cinderella.Doc, error) {
 		}
 	}
 	return doc, nil
+}
+
+// countingReader counts body bytes actually read — the per-protocol
+// traffic accounting behind cinderella_server_bytes_in_total.
+type countingReader struct {
+	r io.ReadCloser
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+func (cr *countingReader) Close() error { return cr.r.Close() }
+
+// countingWriter counts response bytes written.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.ResponseWriter.Write(p)
+	cw.n += int64(n)
+	return n, err
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -536,3 +536,79 @@ func TestServerReadsServedDuringDrain(t *testing.T) {
 		t.Fatalf("mid-drain Query: %v err=%v", recs, err)
 	}
 }
+
+func TestServerBulk(t *testing.T) {
+	h := newHarness(t, Config{})
+	ctx := context.Background()
+
+	// Happy path: inserts, then an update and a delete of the new docs.
+	results, err := h.cl.Bulk(ctx, []client.BulkOp{
+		{Op: "insert", Doc: client.Doc{"name": "a", "v": int64(1)}},
+		{Op: "insert", Doc: client.Doc{"name": "b", "v": int64(2)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].ID == 0 || results[1].ID == 0 {
+		t.Fatalf("insert results: %+v", results)
+	}
+	idA, idB := results[0].ID, results[1].ID
+
+	results, err = h.cl.Bulk(ctx, []client.BulkOp{
+		{Op: "update", ID: idA, Doc: client.Doc{"name": "a2"}},
+		{Op: "delete", ID: idB},
+		{Op: "delete", ID: 99999}, // miss, not an error
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Updated == nil || !*results[0].Updated {
+		t.Fatalf("update result: %+v", results[0])
+	}
+	if results[1].Deleted == nil || !*results[1].Deleted {
+		t.Fatalf("delete result: %+v", results[1])
+	}
+	if results[2].Deleted == nil || *results[2].Deleted {
+		t.Fatalf("delete-miss result: %+v", results[2])
+	}
+	if h.d.DurableLSN() < h.d.LastLSN() {
+		t.Fatalf("bulk ack before durability: %d < %d", h.d.DurableLSN(), h.d.LastLSN())
+	}
+
+	// Partial failure: a bad op mid-list stops the batch. The applied
+	// prefix stays applied and durable; the suffix is marked unapplied.
+	before := h.d.Len()
+	results, err = h.cl.Bulk(ctx, []client.BulkOp{
+		{Op: "insert", Doc: client.Doc{"name": "c"}},
+		{Op: "frobnicate"},
+		{Op: "insert", Doc: client.Doc{"name": "d"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].ID == 0 || results[0].Error != "" {
+		t.Fatalf("applied prefix: %+v", results[0])
+	}
+	if results[1].Error == "" || !strings.Contains(results[1].Error, "frobnicate") {
+		t.Fatalf("failed op: %+v", results[1])
+	}
+	if !results[2].Unapplied {
+		t.Fatalf("suffix not marked unapplied: %+v", results[2])
+	}
+	if got := h.d.Len(); got != before+1 {
+		t.Fatalf("table grew by %d docs, want 1", got-before)
+	}
+	if h.d.DurableLSN() < h.d.LastLSN() {
+		t.Fatalf("applied prefix not durable: %d < %d", h.d.DurableLSN(), h.d.LastLSN())
+	}
+
+	// Empty ops list is a client error.
+	resp, err := http.Post(h.ts.URL+"/v1/bulk", "application/json", strings.NewReader(`{"ops":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty bulk: got %d, want 400", resp.StatusCode)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"cinderella"
+	"cinderella/internal/entity"
 )
 
 // manifestVersion guards the on-disk layout.
@@ -85,6 +86,20 @@ type Sharded struct {
 	// syncMu serializes SyncTo/Sync/Checkpoint snapshots so gDurable
 	// advances through consistent cuts.
 	syncMu sync.Mutex
+
+	// The binary wire layer negotiates attribute ids against one
+	// process-scoped dictionary, but every shard's table owns its own
+	// (WAL-logged) dictionary, so the id spaces diverge. wireDict is the
+	// process-scoped space; toShard/toWire are per-shard translation
+	// caches (index = source id, value = target id, -1 = not yet
+	// resolved). Ids are dense and stable in both spaces, so the caches
+	// are append-only and never invalidated. wireDict is not persisted:
+	// wire ids are session-scoped and clients re-register names after a
+	// restart (the wire handshake's session token detects that).
+	wireDict *entity.Dictionary
+	remapMu  sync.RWMutex
+	toShard  [][]int32 // [shard][wire id] -> shard-local id
+	toWire   [][]int32 // [shard][shard-local id] -> wire id
 }
 
 // Open opens (or creates) a sharded table rooted at dir. Existing shard
@@ -130,7 +145,13 @@ func Open(dir string, opts Options) (*Sharded, error) {
 		}
 	}
 
-	s := &Sharded{dir: dir, shards: make([]*cinderella.DurableTable, n)}
+	s := &Sharded{
+		dir:      dir,
+		shards:   make([]*cinderella.DurableTable, n),
+		wireDict: entity.NewDictionary(),
+		toShard:  make([][]int32, n),
+		toWire:   make([][]int32, n),
+	}
 
 	// Replay all shards concurrently. Each shard directory must exist —
 	// a manifest promising a shard whose directory is gone is corruption,
@@ -307,6 +328,141 @@ func (s *Sharded) Delete(id cinderella.ID) (bool, error) {
 		s.gAppend.Add(1)
 	}
 	return ok, err
+}
+
+// Dict returns the process-scoped wire dictionary. Entities passed to
+// InsertEntity/UpdateEntity use its id space; entities returned by
+// GetEntity/QueryEntities are translated back into it.
+func (s *Sharded) Dict() *entity.Dictionary { return s.wireDict }
+
+// shardID translates a wire attribute id to shard si's local id. Unknown
+// wire ids (never registered in the wire dictionary) report false — the
+// trust boundary for ids decoded from untrusted wire bytes.
+func (s *Sharded) shardID(si, w int) (int, bool) {
+	s.remapMu.RLock()
+	m := s.toShard[si]
+	if w >= 0 && w < len(m) && m[w] >= 0 {
+		id := int(m[w])
+		s.remapMu.RUnlock()
+		return id, true
+	}
+	s.remapMu.RUnlock()
+	if w < 0 || w >= s.wireDict.Len() {
+		return 0, false
+	}
+	// Registering the name in the shard dictionary is safe here: the
+	// shard WAL logs new attributes with the next mutation on that shard.
+	id := s.shards[si].Dict().ID(s.wireDict.Name(w))
+	s.remapMu.Lock()
+	setRemap(&s.toShard[si], w, int32(id))
+	setRemap(&s.toWire[si], id, int32(w))
+	s.remapMu.Unlock()
+	return id, true
+}
+
+// wireID translates shard si's local attribute id to a wire id,
+// registering the name in the wire dictionary on first sight. Local ids
+// come from decoded shard records, so they are always valid.
+func (s *Sharded) wireID(si, local int) int {
+	s.remapMu.RLock()
+	m := s.toWire[si]
+	if local < len(m) && m[local] >= 0 {
+		w := int(m[local])
+		s.remapMu.RUnlock()
+		return w
+	}
+	s.remapMu.RUnlock()
+	w := s.wireDict.ID(s.shards[si].Dict().Name(local))
+	s.remapMu.Lock()
+	setRemap(&s.toWire[si], local, int32(w))
+	setRemap(&s.toShard[si], w, int32(local))
+	s.remapMu.Unlock()
+	return w
+}
+
+// setRemap grows m to cover index k (filling with -1) and sets m[k] = v.
+// Callers hold remapMu.
+func setRemap(m *[]int32, k int, v int32) {
+	for len(*m) <= k {
+		*m = append(*m, -1)
+	}
+	(*m)[k] = v
+}
+
+// InsertEntity stores a pre-built entity durably on its shard and
+// returns its globally unique id. Attribute ids are in the wire
+// dictionary's space; the entity is remapped in place to the owning
+// shard's space (it is not retained, but callers must re-encode before
+// reuse). Unknown wire ids fail without applying anything.
+func (s *Sharded) InsertEntity(e *entity.Entity) (cinderella.ID, error) {
+	id := cinderella.ID(s.nextID.Add(1))
+	si := s.route(id)
+	if err := e.Remap(func(w int) (int, bool) { return s.shardID(si, w) }); err != nil {
+		return 0, err
+	}
+	if err := s.shards[si].InsertEntityWithID(id, e); err != nil {
+		return 0, err
+	}
+	s.gAppend.Add(1)
+	return id, nil
+}
+
+// UpdateEntity replaces a document durably with a pre-built entity in
+// the wire dictionary's id space (see InsertEntity).
+func (s *Sharded) UpdateEntity(id cinderella.ID, e *entity.Entity) (bool, error) {
+	if id == 0 {
+		return false, nil
+	}
+	si := s.route(id)
+	if err := e.Remap(func(w int) (int, bool) { return s.shardID(si, w) }); err != nil {
+		return false, err
+	}
+	ok, err := s.shards[si].UpdateEntity(id, e)
+	if ok && err == nil {
+		s.gAppend.Add(1)
+	}
+	return ok, err
+}
+
+// GetEntity returns the entity with the given id, remapped into the wire
+// dictionary's space. The entity is a fresh decode owned by the caller.
+func (s *Sharded) GetEntity(id cinderella.ID) (*entity.Entity, bool) {
+	if id == 0 {
+		return nil, false
+	}
+	si := s.route(id)
+	e, ok := s.shards[si].GetEntity(id)
+	if !ok {
+		return nil, false
+	}
+	// Local ids always translate, so this cannot fail.
+	e.Remap(func(local int) (int, bool) { return s.wireID(si, local), true })
+	return e, true
+}
+
+// QueryEntities fans out like Query but keeps the decoded entities,
+// remapped into the wire dictionary's space. The entities are fresh
+// per-query decodes owned by the caller.
+func (s *Sharded) QueryEntities(attrs ...string) []cinderella.EntityRecord {
+	per := make([][]cinderella.EntityRecord, len(s.shards))
+	var wg sync.WaitGroup
+	for i, d := range s.shards {
+		wg.Add(1)
+		go func(i int, d *cinderella.DurableTable) {
+			defer wg.Done()
+			recs := d.QueryEntities(attrs...)
+			for _, r := range recs {
+				r.Entity.Remap(func(local int) (int, bool) { return s.wireID(i, local), true })
+			}
+			per[i] = recs
+		}(i, d)
+	}
+	wg.Wait()
+	var out []cinderella.EntityRecord
+	for _, r := range per {
+		out = append(out, r...)
+	}
+	return out
 }
 
 // Len returns the number of live documents across all shards.

@@ -32,6 +32,16 @@ go test -race -run 'TestServer|TestCommitter|TestDurableClose|TestDurableLSN' \
 echo "== go test -race sharded suite"
 go test -race -run 'TestSharded' ./internal/shard
 
+# Wire-protocol pass: the binary codec and server (frame parsing, batch
+# partial failure, drain semantics, restart durability), the binary
+# client's retry contract (retry only provably-unapplied ops), and the
+# steady-state zero-allocation decode guard must hold under the race
+# detector.
+echo "== go test -race wire protocol suite"
+go test -race \
+	-run 'TestBinary|TestFrame|TestReadFrame|TestAttrs|TestDictDelta|TestHello|TestDecodeSteadyStateZeroAlloc|TestServer' \
+	./internal/wire ./client
+
 # Snapshot-read pass: the mixed read/write contract — continuous writers
 # vs. lock-free ScanAll/Select/SelectWhere readers on Table and Sharded,
 # storage view immutability under mutation, locked-vs-snapshot
@@ -126,5 +136,41 @@ kill -TERM "$DPID"
 wait "$DPID" || true
 [ "$DOCS" = "500" ] || { echo "verify: reopened sharded daemon has $DOCS docs, want 500"; exit 1; }
 echo "sharded e2e smoke: 500 docs drained, replayed across 4 shards, and recounted"
+
+# Binary wire smoke: the same drill over the binary protocol. Start the
+# daemon with both listeners, drive batched inserts through the binary
+# port, SIGTERM it, and require a clean drained exit with every acked
+# write surviving the reopen — zero acked-write loss over the wire path.
+echo "== cinderellad binary wire e2e smoke"
+"$SMOKE/cinderellad" -addr 127.0.0.1:0 -bin-addr 127.0.0.1:0 -wal "$SMOKE/wire.wal" \
+	-addr-file "$SMOKE/addr5" -bin-addr-file "$SMOKE/baddr" >"$SMOKE/daemon5.log" 2>&1 &
+DPID=$!
+for i in $(seq 1 50); do
+	[ -s "$SMOKE/baddr" ] && break
+	sleep 0.1
+done
+[ -s "$SMOKE/baddr" ] || { echo "verify: binary port never bound"; cat "$SMOKE/daemon5.log"; exit 1; }
+BADDR=$(cat "$SMOKE/baddr")
+"$SMOKE/cinderella-load" -proto binary -target "$BADDR" -entities 500 -clients 8 -batch 32 \
+	>"$SMOKE/wireload.log" 2>&1 \
+	|| { echo "verify: binary load failed"; cat "$SMOKE/wireload.log" "$SMOKE/daemon5.log"; exit 1; }
+cat "$SMOKE/wireload.log"
+if grep -q 'ops failed' "$SMOKE/wireload.log"; then
+	echo "verify: binary load had failed ops"; cat "$SMOKE/daemon5.log"; exit 1
+fi
+kill -TERM "$DPID"
+wait "$DPID" || { echo "verify: binary daemon exited non-zero"; cat "$SMOKE/daemon5.log"; exit 1; }
+"$SMOKE/cinderellad" -addr 127.0.0.1:0 -wal "$SMOKE/wire.wal" \
+	-addr-file "$SMOKE/addr6" >"$SMOKE/daemon6.log" 2>&1 &
+DPID=$!
+for i in $(seq 1 50); do
+	[ -s "$SMOKE/addr6" ] && break
+	sleep 0.1
+done
+DOCS=$(curl -sf "http://$(cat "$SMOKE/addr6")/v1/health" | sed 's/.*"docs":\([0-9]*\).*/\1/')
+kill -TERM "$DPID"
+wait "$DPID" || true
+[ "$DOCS" = "500" ] || { echo "verify: reopened wire daemon has $DOCS docs, want 500"; exit 1; }
+echo "binary wire smoke: 500 docs acked over the wire, drained, and recounted"
 
 echo "verify: OK"
