@@ -5,7 +5,7 @@ OBS_PORT ?= 8080
 ADDR ?= 127.0.0.1:8263
 WAL ?= /tmp/cinderella.wal
 
-.PHONY: verify build vet test race bench-hotpath bench-obs bench-server bench-shard bench-read bench-wire run-server obs-demo
+.PHONY: verify build vet test race bench-hotpath bench-obs bench-server bench-shard bench-read bench-wire bench-trace run-server obs-demo
 
 # verify is the tier-1 gate: build everything, vet, full test suite under
 # the race detector.
@@ -67,6 +67,15 @@ bench-read:
 bench-wire:
 	$(GO) test -run - -bench BenchmarkWireDecode -benchmem ./internal/wire
 	$(GO) run ./cmd/cinderella-bench -exp server -json BENCH_server.json
+
+# bench-trace measures the query-tracing subsystem's overhead — 1-in-64
+# span sampling plus the always-on partition heat map, against a
+# trace-disabled registry — and regenerates BENCH_trace.json (see
+# cmd/cinderella-bench -exp trace). The tracked result must show
+# within_budget=true (<= 5% query-path overhead, with 50 µs/query of
+# absolute headroom against timer noise).
+bench-trace:
+	$(GO) run ./cmd/cinderella-bench -exp trace -entities 50000 -json BENCH_trace.json
 
 # run-server starts cinderellad in the foreground on $(ADDR) with the
 # WAL at $(WAL). Drive it with `cinderella-load -target http://$(ADDR)`

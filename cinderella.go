@@ -289,21 +289,24 @@ type Record struct {
 // pruning partitions whose synopsis is disjoint from the attribute set.
 // Unknown attribute names simply match nothing.
 func (t *Table) Query(attrs ...string) []Record {
-	ids := make([]int, 0, len(attrs))
-	for _, a := range attrs {
-		if id, ok := t.dict.Lookup(a); ok {
-			ids = append(ids, id)
-		}
-	}
+	ids := t.attrIDs(attrs)
 	if len(ids) == 0 {
 		return nil
 	}
-	res := t.inner.Select(ids...)
-	out := make([]Record, len(res))
-	for i, r := range res {
-		out[i] = Record{ID: r.ID, Doc: t.toDoc(r.Entity)}
+	return t.toRecords(t.inner.Select(ids...))
+}
+
+// QuerySpanned is Query filling an externally created query span — the
+// shard coordinator's fan-out children come through here. sp may be
+// nil. A query with no known attributes returns nil without touching
+// the table; the span then stays empty.
+func (t *Table) QuerySpanned(sp *obs.QuerySpan, attrs ...string) []Record {
+	ids := t.attrIDs(attrs)
+	if len(ids) == 0 {
+		return nil
 	}
-	return out
+	res, _ := t.inner.SelectSpanned(synopsis.Of(ids...), sp)
+	return t.toRecords(res)
 }
 
 // QueryReport describes one query's execution.
@@ -311,18 +314,45 @@ type QueryReport = table.QueryReport
 
 // QueryWithReport runs Query and also returns pruning counters.
 func (t *Table) QueryWithReport(attrs ...string) ([]Record, QueryReport) {
+	res, rep := t.inner.SelectWithReport(synopsis.Of(t.attrIDs(attrs)...))
+	return t.toRecords(res), rep
+}
+
+// QueryWithReportSpanned runs QueryWithReport filling an externally
+// created query span — the shard coordinator's fan-out children and the
+// service layer's forced traces come through here. sp may be nil.
+func (t *Table) QueryWithReportSpanned(sp *obs.QuerySpan, attrs ...string) ([]Record, QueryReport) {
+	res, rep := t.inner.SelectSpanned(synopsis.Of(t.attrIDs(attrs)...), sp)
+	return t.toRecords(res), rep
+}
+
+// QueryTraced runs QueryWithReport under a forced trace: the query
+// always gets a fully detailed span (sampling bypassed), returned
+// inline alongside the results. The span is nil when the table is
+// uninstrumented. Backs the server's ?trace=1 and the wire protocol's
+// trace flag.
+func (t *Table) QueryTraced(attrs ...string) ([]Record, QueryReport, *obs.QuerySpan) {
+	sp := t.obsr.StartQueryForced(obs.KindSelect)
+	recs, rep := t.QueryWithReportSpanned(sp, attrs...)
+	return recs, rep, sp
+}
+
+func (t *Table) attrIDs(attrs []string) []int {
 	ids := make([]int, 0, len(attrs))
 	for _, a := range attrs {
 		if id, ok := t.dict.Lookup(a); ok {
 			ids = append(ids, id)
 		}
 	}
-	res, rep := t.inner.SelectWithReport(synopsis.Of(ids...))
+	return ids
+}
+
+func (t *Table) toRecords(res []table.Result) []Record {
 	out := make([]Record, len(res))
 	for i, r := range res {
 		out[i] = Record{ID: r.ID, Doc: t.toDoc(r.Entity)}
 	}
-	return out, rep
+	return out
 }
 
 // Dict returns the table's attribute dictionary. The binary wire layer
@@ -344,12 +374,7 @@ type EntityRecord struct {
 // decoded entities. The entities are fresh per-query decodes, owned by
 // the caller.
 func (t *Table) QueryEntities(attrs ...string) []EntityRecord {
-	ids := make([]int, 0, len(attrs))
-	for _, a := range attrs {
-		if id, ok := t.dict.Lookup(a); ok {
-			ids = append(ids, id)
-		}
-	}
+	ids := t.attrIDs(attrs)
 	if len(ids) == 0 {
 		return nil
 	}
@@ -359,6 +384,29 @@ func (t *Table) QueryEntities(attrs ...string) []EntityRecord {
 		out[i] = EntityRecord{ID: r.ID, Entity: r.Entity}
 	}
 	return out
+}
+
+// QueryEntitiesSpanned is QueryEntities filling an externally created
+// query span (sp may be nil). A query with no known attributes returns
+// nil without touching the table; the span then stays empty.
+func (t *Table) QueryEntitiesSpanned(sp *obs.QuerySpan, attrs ...string) []EntityRecord {
+	ids := t.attrIDs(attrs)
+	if len(ids) == 0 {
+		return nil
+	}
+	res, _ := t.inner.SelectSpanned(synopsis.Of(ids...), sp)
+	out := make([]EntityRecord, len(res))
+	for i, r := range res {
+		out[i] = EntityRecord{ID: r.ID, Entity: r.Entity}
+	}
+	return out
+}
+
+// QueryEntitiesTraced is QueryEntities under a forced trace (see
+// QueryTraced); the span is nil when the table is uninstrumented.
+func (t *Table) QueryEntitiesTraced(attrs ...string) ([]EntityRecord, *obs.QuerySpan) {
+	sp := t.obsr.StartQueryForced(obs.KindSelect)
+	return t.QueryEntitiesSpanned(sp, attrs...), sp
 }
 
 // GetEntity is Get without the Doc conversion. The returned entity is a
@@ -403,12 +451,13 @@ func (t *Table) checkEntityAttrs(e *entity.Entity) error {
 // no pruning is possible). Like Query it runs lock-free against a
 // consistent snapshot by default, so a long scan never stalls writers.
 func (t *Table) ScanAll() []Record {
-	res := t.inner.ScanAll()
-	out := make([]Record, len(res))
-	for i, r := range res {
-		out[i] = Record{ID: r.ID, Doc: t.toDoc(r.Entity)}
-	}
-	return out
+	return t.toRecords(t.inner.ScanAll())
+}
+
+// ScanAllSpanned is ScanAll filling an externally created query span
+// (sp may be nil) — the shard coordinator's fan-out children.
+func (t *Table) ScanAllSpanned(sp *obs.QuerySpan) []Record {
+	return t.toRecords(t.inner.ScanAllSpanned(sp))
 }
 
 // SetLockedReads switches Query/QueryWhere/ScanAll between the default

@@ -19,6 +19,7 @@ package client
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -694,10 +695,23 @@ func (b *Binary) Get(ctx context.Context, id ID) (Doc, bool, error) {
 // Query returns all documents instantiating at least one attribute.
 // Unknown attribute names match nothing.
 func (b *Binary) Query(ctx context.Context, attrs ...string) ([]Record, error) {
+	recs, _, err := b.query(ctx, attrs, 0)
+	return recs, err
+}
+
+// QueryTraced is Query with an inline server-side trace: the wire
+// request carries the trace flag, and the server returns the query's
+// full span tree (sampling bypassed) as JSON alongside the records.
+// The trace is nil when the server is uninstrumented.
+func (b *Binary) QueryTraced(ctx context.Context, attrs ...string) ([]Record, json.RawMessage, error) {
+	return b.query(ctx, attrs, wire.QueryFlagTrace)
+}
+
+func (b *Binary) query(ctx context.Context, attrs []string, flags byte) ([]Record, json.RawMessage, error) {
 	// Register so the server can resolve the ids; names the server has
 	// never seen just match nothing, same as HTTP.
 	if err := b.ensureAttrs(ctx, attrs); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	b.attrMu.Lock()
 	payload := binary.AppendUvarint(nil, uint64(len(attrs)))
@@ -705,42 +719,55 @@ func (b *Binary) Query(ctx context.Context, attrs ...string) ([]Record, error) {
 		payload = binary.AppendUvarint(payload, uint64(b.attrs[a]))
 	}
 	b.attrMu.Unlock()
+	if flags != 0 {
+		payload = append(payload, flags)
+	}
 	status, resp, err := b.exchange(ctx, wire.OpQuery, payload)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if status != wire.StatusOK {
-		return nil, &WireError{Status: status, Message: wire.DecodeErrorPayload(resp)}
+		return nil, nil, &WireError{Status: status, Message: wire.DecodeErrorPayload(resp)}
 	}
 	off, err := b.applyDelta(resp)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n, off, err := wire.ReadUvarint(resp, off)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if n > uint64(len(resp)-off) {
-		return nil, errors.New("client: record count exceeds query response")
+		return nil, nil, errors.New("client: record count exceeds query response")
 	}
 	out := make([]Record, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var id uint64
 		if id, off, err = wire.ReadUvarint(resp, off); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		e, used, err := entity.Unmarshal(resp[off:])
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		off += used
 		doc, err := b.toDoc(e)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, Record{ID: ID(id), Doc: doc})
 	}
-	return out, nil
+	var trace json.RawMessage
+	if flags&wire.QueryFlagTrace != 0 {
+		s, _, err := wire.ReadString(resp, off)
+		if err != nil {
+			return nil, nil, fmt.Errorf("client: traced query response missing trace: %w", err)
+		}
+		if s != "" {
+			trace = json.RawMessage(s)
+		}
+	}
+	return out, trace, nil
 }
 
 // Ping round-trips an empty frame — the binary health probe.

@@ -144,36 +144,50 @@ func (c *Client) Delete(ctx context.Context, id ID) (bool, error) {
 
 // Query returns all documents instantiating at least one attribute.
 func (c *Client) Query(ctx context.Context, attrs ...string) ([]Record, error) {
-	recs, _, err := c.query(ctx, "/v1/query", attrs)
+	recs, _, _, err := c.query(ctx, "/v1/query", attrs, false)
 	return recs, err
 }
 
 // QueryWithReport also returns the server-side pruning report.
 func (c *Client) QueryWithReport(ctx context.Context, attrs ...string) ([]Record, QueryReport, error) {
-	return c.query(ctx, "/v1/query-report", attrs)
+	recs, rep, _, err := c.query(ctx, "/v1/query-report", attrs, false)
+	return recs, rep, err
 }
 
-func (c *Client) query(ctx context.Context, path string, attrs []string) ([]Record, QueryReport, error) {
+// QueryTraced is QueryWithReport with an inline server-side trace
+// (?trace=1): the server bypasses trace sampling and returns the
+// query's full span tree — per-partition scan stats, prune rationale,
+// per-shard children — as raw JSON. The trace is nil when the server is
+// uninstrumented.
+func (c *Client) QueryTraced(ctx context.Context, attrs ...string) ([]Record, QueryReport, json.RawMessage, error) {
+	return c.query(ctx, "/v1/query-report", attrs, true)
+}
+
+func (c *Client) query(ctx context.Context, path string, attrs []string, trace bool) ([]Record, QueryReport, json.RawMessage, error) {
 	var resp struct {
 		Records []struct {
 			ID  uint64         `json:"id"`
 			Doc map[string]any `json:"doc"`
 		} `json:"records"`
-		Report QueryReport `json:"report"`
+		Report QueryReport     `json:"report"`
+		Trace  json.RawMessage `json:"trace"`
 	}
 	q := path + "?attrs=" + url.QueryEscape(strings.Join(attrs, ","))
+	if trace {
+		q += "&trace=1"
+	}
 	if err := c.do(ctx, http.MethodGet, q, nil, &resp); err != nil {
-		return nil, QueryReport{}, err
+		return nil, QueryReport{}, nil, err
 	}
 	out := make([]Record, len(resp.Records))
 	for i, r := range resp.Records {
 		doc, err := fromWire(r.Doc)
 		if err != nil {
-			return nil, QueryReport{}, err
+			return nil, QueryReport{}, nil, err
 		}
 		out[i] = Record{ID: ID(r.ID), Doc: doc}
 	}
-	return out, resp.Report, nil
+	return out, resp.Report, resp.Trace, nil
 }
 
 // Partitions returns the server's current partitioning.

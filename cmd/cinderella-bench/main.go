@@ -45,11 +45,11 @@ import (
 var knownExps = []string{
 	"all", "fig4", "fig5", "fig6", "fig7", "fig8", "tab1",
 	"efficiency", "cache", "churn", "hotpath", "obs", "server", "shard",
-	"read",
+	"read", "trace",
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath, obs, server, shard, read")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath, obs, server, shard, read, trace")
 	entities := flag.Int("entities", 100000, "DBpedia-like entity count")
 	sf := flag.Float64("sf", 0.02, "TPC-H-style scale factor for tab1")
 	seed := flag.Int64("seed", 1, "PRNG seed")
@@ -185,6 +185,13 @@ func main() {
 	if want("read") {
 		run("read", func() {
 			r := experiments.ReadBench(o)
+			r.Print(os.Stdout)
+			writeJSON(r)
+		})
+	}
+	if want("trace") {
+		run("trace", func() {
+			r := experiments.TraceBench(o)
 			r.Print(os.Stdout)
 			writeJSON(r)
 		})

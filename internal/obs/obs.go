@@ -78,6 +78,10 @@ const (
 	CWireErrors
 	CWireRejected
 
+	// Query-tracing counters, published by FinishQuery (span.go).
+	CTraceSampled
+	CSlowQueries
+
 	numCounters
 )
 
@@ -122,6 +126,8 @@ var counterNames = [numCounters]string{
 	CWireOps:      "cinderella_wire_ops_total",
 	CWireErrors:   "cinderella_wire_errors_total",
 	CWireRejected: "cinderella_wire_rejected_total",
+	CTraceSampled: "cinderella_trace_sampled_total",
+	CSlowQueries:  "cinderella_slow_queries_total",
 }
 
 // counterHelp documents each counter for the /metrics HELP lines.
@@ -162,6 +168,8 @@ var counterHelp = [numCounters]string{
 	CWireOps:           "Operations applied through the binary wire protocol.",
 	CWireErrors:        "Binary wire frames answered with an error status (or dropped as malformed).",
 	CWireRejected:      "Binary wire write frames rejected with a retryable status (draining).",
+	CTraceSampled:      "Root query spans captured by the 1-in-N span tracer.",
+	CSlowQueries:       "Queries at or over the slow-query threshold, retained in the slow log.",
 }
 
 // effSample is one query's contribution to the windowed estimator.
@@ -177,6 +185,19 @@ type Options struct {
 	// TraceCap bounds the event trace ring. Default 4096; negative
 	// disables tracing entirely.
 	TraceCap int
+	// TraceSampleEvery is the query span tracer's sampling period: every
+	// N-th query gets a detailed span (prune rationale, per-partition
+	// scan timing). Default 64; 1 traces everything; negative disables
+	// the span tracer (heat accounting and slow-query synthesis remain).
+	TraceSampleEvery int
+	// SlowLogCap bounds the slow-query span ring. Default 128.
+	SlowLogCap int
+	// TraceRecentCap bounds the recent-sampled-traces ring. Default 64.
+	TraceRecentCap int
+	// DisableHeat turns off the per-partition heat map. It exists only
+	// so overhead benchmarks can measure an untraced baseline; the heat
+	// map is meant to stay on unconditionally in production.
+	DisableHeat bool
 }
 
 // Registry aggregates live telemetry for one table (or one process — it
@@ -236,19 +257,32 @@ type state struct {
 	effLen      int
 
 	trace *Trace
+
+	// Query tracing (span.go) and the partition heat map (heat.go).
+	// traceEvery is immutable after New (0 = tracer disabled); slowNs is
+	// the armed slow-query threshold (0 = disarmed).
+	traceEvery int64
+	sampleTick atomic.Uint64
+	traceID    atomic.Uint64
+	slowNs     atomic.Int64
+	slow       *spanRing
+	recent     *spanRing
+	heat       *heatMap // nil when Options.DisableHeat
 }
 
 // shardSlot attributes a core counter subset to one shard. The aggregate
 // totals in state.counters remain exact; slots are an additional
 // attribution dimension, not a partition of every counter.
 type shardSlot struct {
-	id         int32
-	inserts    atomic.Int64
-	deletes    atomic.Int64
-	updates    atomic.Int64
-	queries    atomic.Int64
-	walAppends atomic.Int64
-	partitions atomic.Int64 // gauge: this shard's partition count
+	id          int32
+	inserts     atomic.Int64
+	deletes     atomic.Int64
+	updates     atomic.Int64
+	queries     atomic.Int64
+	walAppends  atomic.Int64
+	scanDecoded atomic.Int64 // records decoded by this shard's query scans
+	scanSkipped atomic.Int64 // records its sidecar pruned without decoding
+	partitions  atomic.Int64 // gauge: this shard's partition count
 }
 
 // New returns a Registry sized by opts.
@@ -259,6 +293,15 @@ func New(opts Options) *Registry {
 	if opts.TraceCap == 0 {
 		opts.TraceCap = 4096
 	}
+	if opts.TraceSampleEvery == 0 {
+		opts.TraceSampleEvery = 64
+	}
+	if opts.SlowLogCap <= 0 {
+		opts.SlowLogCap = 128
+	}
+	if opts.TraceRecentCap <= 0 {
+		opts.TraceRecentCap = 64
+	}
 	st := &state{
 		insertNs:    newLatencyHistogram(),
 		queryNs:     newLatencyHistogram(),
@@ -268,6 +311,14 @@ func New(opts Options) *Registry {
 		batchSize:   newBatchHistogram(),
 		wireBatch:   newBatchHistogram(),
 		effRing:     make([]effSample, opts.EffWindow),
+		slow:        newSpanRing(opts.SlowLogCap),
+		recent:      newSpanRing(opts.TraceRecentCap),
+	}
+	if opts.TraceSampleEvery > 0 {
+		st.traceEvery = int64(opts.TraceSampleEvery)
+	}
+	if !opts.DisableHeat {
+		st.heat = newHeatMap()
 	}
 	if opts.TraceCap > 0 {
 		st.trace = newTrace(opts.TraceCap)
@@ -311,6 +362,10 @@ func (r *Registry) Add(c Counter, n int64) {
 			r.slot.updates.Add(n)
 		case CWALAppends:
 			r.slot.walAppends.Add(n)
+		case CScanDecoded:
+			r.slot.scanDecoded.Add(n)
+		case CScanDecodeSkipped:
+			r.slot.scanSkipped.Add(n)
 		}
 	}
 }
@@ -596,13 +651,15 @@ type HistogramSnapshot struct {
 
 // ShardSnapshot is the per-shard attribution block of a Snapshot.
 type ShardSnapshot struct {
-	Shard      int32 `json:"shard"`
-	Inserts    int64 `json:"inserts"`
-	Deletes    int64 `json:"deletes"`
-	Updates    int64 `json:"updates"`
-	Queries    int64 `json:"queries"`
-	WALAppends int64 `json:"wal_appends"`
-	Partitions int64 `json:"partitions"`
+	Shard       int32 `json:"shard"`
+	Inserts     int64 `json:"inserts"`
+	Deletes     int64 `json:"deletes"`
+	Updates     int64 `json:"updates"`
+	Queries     int64 `json:"queries"`
+	WALAppends  int64 `json:"wal_appends"`
+	ScanDecoded int64 `json:"scan_decoded"`
+	ScanSkipped int64 `json:"scan_decode_skipped"`
+	Partitions  int64 `json:"partitions"`
 }
 
 // Snapshot is a point-in-time JSON-serializable view of the registry,
@@ -622,6 +679,8 @@ type Snapshot struct {
 	Histograms       map[string]HistogramSnapshot `json:"histograms"`
 	TraceEvents      uint64                       `json:"trace_events"`
 	Shards           []ShardSnapshot              `json:"shards,omitempty"`
+	SlowThresholdNs  int64                        `json:"slow_threshold_ns,omitempty"`
+	Heat             []PartitionHeat              `json:"heat,omitempty"`
 }
 
 // ShardSnapshots returns the per-shard attribution blocks, ordered by
@@ -634,13 +693,15 @@ func (r *Registry) ShardSnapshots() []ShardSnapshot {
 	out := make([]ShardSnapshot, 0, len(r.shards))
 	for _, s := range r.shards {
 		out = append(out, ShardSnapshot{
-			Shard:      s.id,
-			Inserts:    s.inserts.Load(),
-			Deletes:    s.deletes.Load(),
-			Updates:    s.updates.Load(),
-			Queries:    s.queries.Load(),
-			WALAppends: s.walAppends.Load(),
-			Partitions: s.partitions.Load(),
+			Shard:       s.id,
+			Inserts:     s.inserts.Load(),
+			Deletes:     s.deletes.Load(),
+			Updates:     s.updates.Load(),
+			Queries:     s.queries.Load(),
+			WALAppends:  s.walAppends.Load(),
+			ScanDecoded: s.scanDecoded.Load(),
+			ScanSkipped: s.scanSkipped.Load(),
+			Partitions:  s.partitions.Load(),
 		})
 	}
 	r.shardMu.Unlock()
@@ -667,6 +728,8 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	s.WindowEfficiency, s.WindowQueries = r.WindowEfficiency()
 	s.Shards = r.ShardSnapshots()
+	s.SlowThresholdNs = int64(r.SlowThreshold())
+	s.Heat = r.HeatSnapshot()
 	for c := Counter(0); c < numCounters; c++ {
 		s.Counters[counterNames[c]] = r.counters[c].Load()
 	}

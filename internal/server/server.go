@@ -119,6 +119,7 @@ type Store interface {
 	Delete(cinderella.ID) (bool, error)
 	Query(...string) []cinderella.Record
 	QueryWithReport(...string) ([]cinderella.Record, cinderella.QueryReport)
+	QueryTraced(...string) ([]cinderella.Record, cinderella.QueryReport, *obs.QuerySpan)
 	Partitions() []cinderella.PartitionStat
 	Compact(float64) (int, error)
 	Checkpoint() error
@@ -578,6 +579,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, error
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
+	if wantTrace(r) {
+		recs, _, sp := s.d.QueryTraced(attrs...)
+		writeJSON(w, http.StatusOK, map[string]any{"records": wireRecords(recs), "trace": sp})
+		return 0, nil
+	}
 	recs := s.d.Query(attrs...)
 	writeJSON(w, http.StatusOK, map[string]any{"records": wireRecords(recs)})
 	return 0, nil
@@ -588,9 +594,26 @@ func (s *Server) handleQueryReport(w http.ResponseWriter, r *http.Request) (int,
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
+	if wantTrace(r) {
+		recs, rep, sp := s.d.QueryTraced(attrs...)
+		writeJSON(w, http.StatusOK, map[string]any{"records": wireRecords(recs), "report": rep, "trace": sp})
+		return 0, nil
+	}
 	recs, rep := s.d.QueryWithReport(attrs...)
 	writeJSON(w, http.StatusOK, map[string]any{"records": wireRecords(recs), "report": rep})
 	return 0, nil
+}
+
+// wantTrace reports whether the request opted into an inline query
+// trace (?trace=1). The trace bypasses sampling: the full span tree —
+// per-partition scan stats, prune rationale, per-shard children — is
+// returned with the results ("trace": null when uninstrumented).
+func wantTrace(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true":
+		return true
+	}
+	return false
 }
 
 func (s *Server) handlePartitions(w http.ResponseWriter, r *http.Request) (int, error) {

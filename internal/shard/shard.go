@@ -27,11 +27,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cinderella"
 	"cinderella/internal/entity"
+	"cinderella/internal/obs"
 )
 
 // manifestVersion guards the on-disk layout.
@@ -100,6 +103,11 @@ type Sharded struct {
 	remapMu  sync.RWMutex
 	toShard  [][]int32 // [shard][wire id] -> shard-local id
 	toWire   [][]int32 // [shard][shard-local id] -> wire id
+
+	// obs is the registry family's root handle (shard views feed it);
+	// fan-out queries start their root spans here. Nil when
+	// uninstrumented.
+	obs *obs.Registry
 }
 
 // Open opens (or creates) a sharded table rooted at dir. Existing shard
@@ -151,6 +159,7 @@ func Open(dir string, opts Options) (*Sharded, error) {
 		wireDict: entity.NewDictionary(),
 		toShard:  make([][]int32, n),
 		toWire:   make([][]int32, n),
+		obs:      opts.Config.Obs,
 	}
 
 	// Replay all shards concurrently. Each shard directory must exist —
@@ -444,13 +453,32 @@ func (s *Sharded) GetEntity(id cinderella.ID) (*entity.Entity, bool) {
 // remapped into the wire dictionary's space. The entities are fresh
 // per-query decodes owned by the caller.
 func (s *Sharded) QueryEntities(attrs ...string) []cinderella.EntityRecord {
+	sp, children, start := s.startFan(obs.KindSelect, attrs)
+	out := s.queryEntitiesSpanned(children, attrs...)
+	s.finishFan(sp, start)
+	return out
+}
+
+// QueryEntitiesTraced is QueryEntities under a forced trace (sampling
+// bypassed, full detail): the wire protocol's trace flag. The root span
+// holds one child per shard, merged in shard order; nil when
+// uninstrumented.
+func (s *Sharded) QueryEntitiesTraced(attrs ...string) ([]cinderella.EntityRecord, *obs.QuerySpan) {
+	sp := s.obs.StartQueryForced(obs.KindSelect)
+	sp, children, start := s.fanChildren(sp, attrs)
+	out := s.queryEntitiesSpanned(children, attrs...)
+	s.finishFan(sp, start)
+	return out, sp
+}
+
+func (s *Sharded) queryEntitiesSpanned(children []*obs.QuerySpan, attrs ...string) []cinderella.EntityRecord {
 	per := make([][]cinderella.EntityRecord, len(s.shards))
 	var wg sync.WaitGroup
 	for i, d := range s.shards {
 		wg.Add(1)
 		go func(i int, d *cinderella.DurableTable) {
 			defer wg.Done()
-			recs := d.QueryEntities(attrs...)
+			recs := d.QueryEntitiesSpanned(children[i], attrs...)
 			for _, r := range recs {
 				r.Entity.Remap(func(local int) (int, bool) { return s.wireID(i, local), true })
 			}
@@ -484,9 +512,11 @@ func (s *Sharded) LastID() cinderella.ID {
 // Per-shard results are partition-id ordered, so the merged order is the
 // deterministic (shard, pid) order.
 func (s *Sharded) Query(attrs ...string) []cinderella.Record {
-	per := fanOut(s.shards, func(d *cinderella.DurableTable) []cinderella.Record {
-		return d.Query(attrs...)
+	sp, children, start := s.startFan(obs.KindSelect, attrs)
+	per := fanOut(s.shards, func(i int, d *cinderella.DurableTable) []cinderella.Record {
+		return d.QuerySpanned(children[i], attrs...)
 	})
+	s.finishFan(sp, start)
 	var out []cinderella.Record
 	for _, r := range per {
 		out = append(out, r...)
@@ -500,12 +530,30 @@ func (s *Sharded) Query(attrs ...string) []cinderella.Record {
 // EntitiesReturned/EntitiesScanned are exactly the fan-out query's
 // relevant and read volumes — sharding never skews the accounting.
 func (s *Sharded) QueryWithReport(attrs ...string) ([]cinderella.Record, cinderella.QueryReport) {
+	sp, children, start := s.startFan(obs.KindSelect, attrs)
+	recs, rep := s.queryWithReportSpanned(children, attrs...)
+	s.finishFan(sp, start)
+	return recs, rep
+}
+
+// QueryTraced is QueryWithReport under a forced trace (sampling
+// bypassed, full detail): the server's ?trace=1. The root span holds
+// one child per shard, merged in shard order; nil when uninstrumented.
+func (s *Sharded) QueryTraced(attrs ...string) ([]cinderella.Record, cinderella.QueryReport, *obs.QuerySpan) {
+	sp := s.obs.StartQueryForced(obs.KindSelect)
+	sp, children, start := s.fanChildren(sp, attrs)
+	recs, rep := s.queryWithReportSpanned(children, attrs...)
+	s.finishFan(sp, start)
+	return recs, rep, sp
+}
+
+func (s *Sharded) queryWithReportSpanned(children []*obs.QuerySpan, attrs ...string) ([]cinderella.Record, cinderella.QueryReport) {
 	type shardResult struct {
 		recs []cinderella.Record
 		rep  cinderella.QueryReport
 	}
-	per := fanOut(s.shards, func(d *cinderella.DurableTable) shardResult {
-		recs, rep := d.QueryWithReport(attrs...)
+	per := fanOut(s.shards, func(i int, d *cinderella.DurableTable) shardResult {
+		recs, rep := d.QueryWithReportSpanned(children[i], attrs...)
 		return shardResult{recs, rep}
 	})
 	var out []cinderella.Record
@@ -528,9 +576,11 @@ func (s *Sharded) QueryWithReport(attrs ...string) ([]cinderella.Record, cindere
 // lock-free snapshot (unless locked reads are enabled), so a full scan
 // never stalls the sharded write path.
 func (s *Sharded) ScanAll() []cinderella.Record {
-	per := fanOut(s.shards, func(d *cinderella.DurableTable) []cinderella.Record {
-		return d.ScanAll()
+	sp, children, start := s.startFan(obs.KindScanAll, nil)
+	per := fanOut(s.shards, func(i int, d *cinderella.DurableTable) []cinderella.Record {
+		return d.ScanAllSpanned(children[i])
 	})
+	s.finishFan(sp, start)
 	var out []cinderella.Record
 	for _, r := range per {
 		out = append(out, r...)
@@ -550,7 +600,7 @@ func (s *Sharded) SetLockedReads(locked bool) {
 // order; each shard's slice is partition-id ordered, so the result is the
 // same deterministic (shard, pid) order queries merge in.
 func (s *Sharded) Partitions() []cinderella.PartitionStat {
-	per := fanOut(s.shards, func(d *cinderella.DurableTable) []cinderella.PartitionStat {
+	per := fanOut(s.shards, func(_ int, d *cinderella.DurableTable) []cinderella.PartitionStat {
 		return d.Partitions()
 	})
 	var out []cinderella.PartitionStat
@@ -562,18 +612,59 @@ func (s *Sharded) Partitions() []cinderella.PartitionStat {
 
 // fanOut runs fn against every shard concurrently and returns the results
 // in shard order.
-func fanOut[T any](shards []*cinderella.DurableTable, fn func(*cinderella.DurableTable) T) []T {
+func fanOut[T any](shards []*cinderella.DurableTable, fn func(int, *cinderella.DurableTable) T) []T {
 	out := make([]T, len(shards))
 	var wg sync.WaitGroup
 	for i, d := range shards {
 		wg.Add(1)
 		go func(i int, d *cinderella.DurableTable) {
 			defer wg.Done()
-			out[i] = fn(d)
+			out[i] = fn(i, d)
 		}(i, d)
 	}
 	wg.Wait()
 	return out
+}
+
+// startFan begins a (possibly nil) sampled root span for a fan-out query
+// and one child per shard. See fanChildren.
+func (s *Sharded) startFan(kind obs.SpanKind, attrs []string) (*obs.QuerySpan, []*obs.QuerySpan, time.Time) {
+	return s.fanChildren(s.obs.StartQuery(kind), attrs)
+}
+
+// fanChildren attaches one child span per shard to the root sp. Children
+// are created serially, in shard order, *before* the goroutine fan-out:
+// each goroutine then writes only its own child, and the wg.Wait barrier
+// publishes them back, so the merged span tree is deterministic (shard
+// order) without any locking. A nil sp yields a slice of nil children —
+// every downstream spanned call tolerates nil.
+func (s *Sharded) fanChildren(sp *obs.QuerySpan, attrs []string) (*obs.QuerySpan, []*obs.QuerySpan, time.Time) {
+	children := make([]*obs.QuerySpan, len(s.shards))
+	if sp == nil {
+		return nil, children, time.Time{}
+	}
+	if sp.WantDetail() {
+		if attrs == nil {
+			sp.SetQuery("scan-all")
+		} else {
+			sp.SetQuery("select(" + strings.Join(attrs, ",") + ")")
+		}
+	}
+	for i := range s.shards {
+		children[i] = sp.NewChild(int32(i))
+	}
+	return sp, children, time.Now()
+}
+
+// finishFan completes the root span: FinishQuery sums the per-shard
+// children into the root aggregates. Heat was already fed by each
+// shard's own FinishQuery (children carry the shard id), so the root
+// passes no part spans.
+func (s *Sharded) finishFan(sp *obs.QuerySpan, start time.Time) {
+	if sp == nil {
+		return
+	}
+	s.obs.FinishQuery(sp, time.Since(start).Nanoseconds(), obs.QueryAgg{}, nil)
 }
 
 // Compact merges underfilled partitions on every shard and returns the
@@ -641,7 +732,7 @@ func (s *Sharded) Sync() error {
 
 // syncShards fsyncs every shard WAL concurrently. Callers hold syncMu.
 func (s *Sharded) syncShards() error {
-	errs := fanOut(s.shards, func(d *cinderella.DurableTable) error {
+	errs := fanOut(s.shards, func(_ int, d *cinderella.DurableTable) error {
 		return d.SyncTo(d.LastLSN())
 	})
 	return errors.Join(errs...)
@@ -654,7 +745,7 @@ func (s *Sharded) Checkpoint() error {
 	s.syncMu.Lock()
 	defer s.syncMu.Unlock()
 	snap := s.gAppend.Load()
-	errs := fanOut(s.shards, func(d *cinderella.DurableTable) error {
+	errs := fanOut(s.shards, func(_ int, d *cinderella.DurableTable) error {
 		return d.Checkpoint()
 	})
 	if err := errors.Join(errs...); err != nil {
@@ -667,7 +758,7 @@ func (s *Sharded) Checkpoint() error {
 // Close syncs and closes every shard log. Idempotent per shard (the
 // underlying tables' Close is a no-op the second time).
 func (s *Sharded) Close() error {
-	errs := fanOut(s.shards, func(d *cinderella.DurableTable) error {
+	errs := fanOut(s.shards, func(_ int, d *cinderella.DurableTable) error {
 		return d.Close()
 	})
 	return errors.Join(errs...)

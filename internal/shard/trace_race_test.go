@@ -1,0 +1,173 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cinderella/internal/obs"
+)
+
+// spanHeatKey / spanHeatTotals mirror the heat map's aggregation when
+// folding retained span trees back into per-(shard, partition) cells.
+type spanHeatKey struct {
+	shard int32
+	pid   uint64
+}
+
+type spanHeatTotals struct {
+	queries, read, relevant, decoded, skipped int64
+	bytesRead, bytesRelevant, bytesSkipped    int64
+}
+
+// TestTraceShardedHeatMatchesSpans races continuous writers against
+// traced fan-out readers on a 4-shard store and requires the heat map to
+// equal the fold of every retained root span's children, cell for cell.
+// Each shard's parts are stamped with its shard id by the shard's own
+// registry handle, so the comparison also pins the per-shard heat
+// attribution. Run under -race this covers the serial child creation /
+// parallel child fill contract of the fan-out tracer.
+func TestTraceShardedHeatMatchesSpans(t *testing.T) {
+	const readers, queriesEach, shards = 4, 25, 4
+	total := readers * queriesEach
+	reg := obs.New(obs.Options{TraceSampleEvery: 1, TraceRecentCap: total})
+	cfg := testConfig()
+	cfg.Obs = reg
+	s, err := Open(t.TempDir(), Options{Shards: shards, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 600; i++ {
+		if _, err := s.Insert(docFor(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Insert(docFor(rng)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(100 + w))
+	}
+
+	var rd sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rd.Add(1)
+		go func(seed int64) {
+			defer rd.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < queriesEach; i++ {
+				a1 := "c0_a" + string(rune('0'+rng.Intn(10)))
+				switch i % 3 {
+				case 0:
+					s.Query(a1, "c1_a3")
+				case 1:
+					s.QueryWithReport(a1)
+				case 2:
+					s.ScanAll()
+				}
+			}
+		}(int64(r))
+	}
+	rd.Wait()
+	close(stop)
+	writers.Wait()
+
+	spans := reg.RecentTraces()
+	if len(spans) != total {
+		t.Fatalf("recent ring holds %d spans, want all %d fan-out queries", len(spans), total)
+	}
+
+	fromSpans := map[spanHeatKey]*spanHeatTotals{}
+	for _, sp := range spans {
+		if sp.Shard != -1 {
+			t.Fatalf("root span shard = %d, want -1", sp.Shard)
+		}
+		if len(sp.Parts) != 0 {
+			t.Fatalf("sharded root carries parts directly: %+v", sp.Parts)
+		}
+		if len(sp.Children) != shards {
+			t.Fatalf("root has %d children, want %d", len(sp.Children), shards)
+		}
+		var scanned, returned int64
+		for i, c := range sp.Children {
+			if c.Shard != int32(i) {
+				t.Fatalf("children out of shard order: child %d has shard %d", i, c.Shard)
+			}
+			scanned += c.EntitiesScanned
+			returned += c.EntitiesReturned
+			for _, p := range c.Parts {
+				if p.Shard != c.Shard {
+					t.Fatalf("part on shard-%d child stamped shard %d", c.Shard, p.Shard)
+				}
+				k := spanHeatKey{shard: p.Shard, pid: p.Partition}
+				tt := fromSpans[k]
+				if tt == nil {
+					tt = &spanHeatTotals{}
+					fromSpans[k] = tt
+				}
+				tt.queries++
+				tt.read += p.Scanned
+				tt.relevant += p.Returned
+				tt.decoded += p.Decoded
+				tt.skipped += p.Skipped
+				tt.bytesRead += p.BytesRead
+				tt.bytesRelevant += p.BytesRelevant
+				tt.bytesSkipped += p.BytesSkipped
+			}
+		}
+		// The root's aggregates are the deterministic child merge.
+		if sp.EntitiesScanned != scanned || sp.EntitiesReturned != returned {
+			t.Fatalf("root sums %d/%d != child sums %d/%d",
+				sp.EntitiesScanned, sp.EntitiesReturned, scanned, returned)
+		}
+	}
+
+	heat := reg.HeatSnapshot()
+	seen := map[spanHeatKey]bool{}
+	shardsTouched := map[int32]bool{}
+	for _, h := range heat {
+		k := spanHeatKey{shard: h.Shard, pid: h.Partition}
+		seen[k] = true
+		shardsTouched[h.Shard] = true
+		want := fromSpans[k]
+		if want == nil {
+			t.Errorf("heat has (shard %d, partition %d) but no span touched it", h.Shard, h.Partition)
+			continue
+		}
+		if h.Queries != want.queries || h.RecordsRead != want.read ||
+			h.RecordsRelevant != want.relevant || h.RecordsDecoded != want.decoded ||
+			h.RecordsSkipped != want.skipped || h.BytesRead != want.bytesRead ||
+			h.BytesRelevant != want.bytesRelevant || h.BytesSkipped != want.bytesSkipped {
+			t.Errorf("(shard %d, partition %d): heat %+v != span fold %+v", h.Shard, h.Partition, h, *want)
+		}
+	}
+	for k := range fromSpans {
+		if !seen[k] {
+			t.Errorf("spans touched (shard %d, partition %d) but heat has no row", k.shard, k.pid)
+		}
+	}
+	// ScanAll fans out to every shard, so all four must appear in heat.
+	for i := int32(0); i < shards; i++ {
+		if !shardsTouched[i] {
+			t.Errorf("shard %d never appeared in the heat map", i)
+		}
+	}
+}

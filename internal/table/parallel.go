@@ -3,6 +3,7 @@ package table
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cinderella/internal/core"
 	"cinderella/internal/storage"
@@ -53,25 +54,44 @@ func (t *Table) runScans(n int, scan func(i int)) {
 	wg.Wait()
 }
 
+// runTimedScans fills parts[i] = scan(i) through the worker pool,
+// additionally stamping each slot's scan wall time when timed (sampled
+// spans record per-partition timing; everyone else skips the clock
+// reads).
+func (t *Table) runTimedScans(parts []partScan, timed bool, scan func(i int) partScan) {
+	t.runScans(len(parts), func(i int) {
+		if !timed {
+			parts[i] = scan(i)
+			return
+		}
+		st := time.Now()
+		parts[i] = scan(i)
+		parts[i].ns = time.Since(st).Nanoseconds()
+	})
+}
+
 // partScan is one partition's private scan buffer: hits in storage order
 // plus the records-visited and byte-volume counters. decoded and skipped
 // split the visited records by whether the sidecar synopsis let the scan
-// avoid the decode; they feed the telemetry decode counters only, never
-// QueryReport.
+// avoid the decode; they feed the telemetry decode counters, the heat
+// map, and query spans only — never QueryReport.
 type partScan struct {
+	pid       core.PartitionID
 	hits      []Result
 	scanned   int
 	decoded   int   // records actually decoded
 	skipped   int   // records pruned by the sidecar without decoding
 	bytesRead int64 // live record bytes visited
 	bytesHit  int64 // live record bytes of hits (relevant to the query)
+	bytesSkip int64 // live record bytes of sidecar-skipped records
+	ns        int64 // scan wall time; recorded only for sampled spans
 }
 
 // scanPartition scans one partition's segment, decoding every live record
 // (the union branch for this partition) and filtering by the query
 // synopsis. A nil q keeps every record (full scan).
 func (t *Table) scanPartition(pid core.PartitionID, q *synopsis.Set) partScan {
-	var ps partScan
+	ps := partScan{pid: pid}
 	t.segs[pid].Scan(func(rid storage.RecordID, rec []byte) bool {
 		ps.scanned++
 		ps.bytesRead += int64(len(rec))
@@ -92,7 +112,7 @@ func (t *Table) scanPartition(pid core.PartitionID, q *synopsis.Set) partScan {
 // scanPartitionWhere scans one partition's segment filtering by value
 // predicates (conjunction).
 func (t *Table) scanPartitionWhere(pid core.PartitionID, preds []Pred) partScan {
-	var ps partScan
+	ps := partScan{pid: pid}
 	t.segs[pid].Scan(func(_ storage.RecordID, rec []byte) bool {
 		ps.scanned++
 		ps.bytesRead += int64(len(rec))

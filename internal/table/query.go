@@ -1,8 +1,12 @@
 package table
 
 import (
+	"strconv"
+	"strings"
+
 	"cinderella/internal/core"
 	"cinderella/internal/entity"
+	"cinderella/internal/obs"
 	"cinderella/internal/synopsis"
 )
 
@@ -55,13 +59,24 @@ func (t *Table) SelectSynopsis(q *synopsis.Set) []Result {
 // SetLockedReads) it holds the shared read lock for the whole scan. The
 // results and every QueryReport counter are identical in both modes.
 func (t *Table) SelectWithReport(q *synopsis.Set) ([]Result, QueryReport) {
-	if t.lockedReads.Load() {
-		return t.selectLocked(q)
-	}
-	return t.selectSnap(q)
+	return t.SelectSpanned(q, t.observer().StartQuery(obs.KindSelect))
 }
 
-func (t *Table) selectLocked(q *synopsis.Set) ([]Result, QueryReport) {
+// SelectSpanned runs SelectWithReport filling an externally created
+// query span — a shard fan-out child or a forced trace. sp may be nil
+// (heat accounting still happens). Root spans are retained by the
+// registry in FinishQuery; child spans by their parent's coordinator.
+func (t *Table) SelectSpanned(q *synopsis.Set, sp *obs.QuerySpan) ([]Result, QueryReport) {
+	if sp.WantDetail() {
+		sp.SetQuery(t.describeSelect(q))
+	}
+	if t.lockedReads.Load() {
+		return t.selectLocked(q, sp)
+	}
+	return t.selectSnap(q, sp)
+}
+
+func (t *Table) selectLocked(q *synopsis.Set, sp *obs.QuerySpan) ([]Result, QueryReport) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	start := t.obsStart()
@@ -74,6 +89,7 @@ func (t *Table) selectLocked(q *synopsis.Set) ([]Result, QueryReport) {
 		syn := t.attrSyn[pid]
 		if syn == nil || !synopsis.Intersects(syn, q) {
 			rep.PartitionsPruned++
+			sp.Prune(uint64(pid), obs.PruneSynopsisDisjoint)
 			continue
 		}
 		survivors = append(survivors, pid)
@@ -81,17 +97,18 @@ func (t *Table) selectLocked(q *synopsis.Set) ([]Result, QueryReport) {
 	rep.PartitionsTouched = len(survivors)
 
 	parts := make([]partScan, len(survivors))
-	t.runScans(len(survivors), func(i int) {
-		parts[i] = t.scanPartition(survivors[i], q)
+	t.runTimedScans(parts, sp.TimeScans(), func(i int) partScan {
+		return t.scanPartition(survivors[i], q)
 	})
 	out := mergeScans(parts, &rep)
 
-	t.noteDecode(parts)
-	t.noteQuery(rep, lapNs(start))
+	ns := lapNs(start)
+	t.noteQuery(rep, ns)
+	t.noteScans(sp, parts, rep, ns)
 	return out, rep
 }
 
-func (t *Table) selectSnap(q *synopsis.Set) ([]Result, QueryReport) {
+func (t *Table) selectSnap(q *synopsis.Set, sp *obs.QuerySpan) ([]Result, QueryReport) {
 	start := t.obsStart()
 	snap := t.capture()
 
@@ -101,6 +118,7 @@ func (t *Table) selectSnap(q *synopsis.Set) ([]Result, QueryReport) {
 	for _, ps := range snap.parts {
 		if ps.syn == nil || !synopsis.Intersects(ps.syn, q) {
 			rep.PartitionsPruned++
+			sp.Prune(uint64(ps.pid), obs.PruneSynopsisDisjoint)
 			continue
 		}
 		survivors = append(survivors, ps)
@@ -108,13 +126,14 @@ func (t *Table) selectSnap(q *synopsis.Set) ([]Result, QueryReport) {
 	rep.PartitionsTouched = len(survivors)
 
 	parts := make([]partScan, len(survivors))
-	t.runScans(len(survivors), func(i int) {
-		parts[i] = scanSnapPart(survivors[i], q)
+	t.runTimedScans(parts, sp.TimeScans(), func(i int) partScan {
+		return scanSnapPart(survivors[i], q)
 	})
 	out := mergeScans(parts, &rep)
 
-	t.noteDecode(parts)
-	t.noteQuery(rep, lapNs(start))
+	ns := lapNs(start)
+	t.noteQuery(rep, ns)
+	t.noteScans(sp, parts, rep, ns)
 	return out, rep
 }
 
@@ -124,26 +143,83 @@ func (t *Table) selectSnap(q *synopsis.Set) ([]Result, QueryReport) {
 // order within the partition. Like Select it runs lock-free against a
 // snapshot by default and under the read lock in locked mode.
 func (t *Table) ScanAll() []Result {
+	return t.ScanAllSpanned(t.observer().StartQuery(obs.KindScanAll))
+}
+
+// ScanAllSpanned runs ScanAll filling an externally created query span
+// (sp may be nil). Full scans feed the heat map and span trees but, as
+// before, do not enter the query counters or the EFFICIENCY estimator —
+// they have no pruning decision to measure.
+func (t *Table) ScanAllSpanned(sp *obs.QuerySpan) []Result {
+	if sp.WantDetail() {
+		sp.SetQuery("scan-all")
+	}
+	start := t.obsStart()
 	if t.lockedReads.Load() {
 		t.mu.RLock()
 		defer t.mu.RUnlock()
 		pids := t.sortedPIDs()
 		parts := make([]partScan, len(pids))
-		t.runScans(len(pids), func(i int) {
-			parts[i] = t.scanPartition(pids[i], nil)
+		t.runTimedScans(parts, sp.TimeScans(), func(i int) partScan {
+			return t.scanPartition(pids[i], nil)
 		})
 		var rep QueryReport
+		rep.PartitionsTotal = len(pids)
+		rep.PartitionsTouched = len(pids)
 		out := mergeScans(parts, &rep)
-		t.noteDecode(parts)
+		t.noteScans(sp, parts, rep, lapNs(start))
 		return out
 	}
 	snap := t.capture()
 	parts := make([]partScan, len(snap.parts))
-	t.runScans(len(snap.parts), func(i int) {
-		parts[i] = scanSnapPart(snap.parts[i], nil)
+	t.runTimedScans(parts, sp.TimeScans(), func(i int) partScan {
+		return scanSnapPart(snap.parts[i], nil)
 	})
 	var rep QueryReport
+	rep.PartitionsTotal = len(snap.parts)
+	rep.PartitionsTouched = len(snap.parts)
 	out := mergeScans(parts, &rep)
-	t.noteDecode(parts)
+	t.noteScans(sp, parts, rep, lapNs(start))
 	return out
+}
+
+// describeSelect renders the query for span trees: attribute names when
+// the table has a dictionary, raw ids otherwise. Built only when a span
+// wants detail — never on the unsampled hot path.
+func (t *Table) describeSelect(q *synopsis.Set) string {
+	var b strings.Builder
+	b.WriteString("select(")
+	first := true
+	q.ForEach(func(id int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(t.attrName(id))
+	})
+	b.WriteByte(')')
+	return b.String()
+}
+
+// describeWhere renders a predicate conjunction for span trees.
+func (t *Table) describeWhere(preds []Pred) string {
+	var b strings.Builder
+	b.WriteString("where(")
+	for i, p := range preds {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(t.attrName(p.Attr))
+		b.WriteString(p.Op.String())
+		b.WriteString(p.Value.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (t *Table) attrName(id int) string {
+	if t.dict != nil && id >= 0 && id < t.dict.Len() {
+		return t.dict.Name(id)
+	}
+	return "#" + strconv.Itoa(id)
 }

@@ -184,13 +184,14 @@ func (t *Table) SnapshotEpoch() uint64 { return t.epoch.Load() }
 // scan. Sidecar synopses are the entities' exact attribute sets, so the
 // skip never changes the result set.
 func scanSnapPart(ps *partSnap, q *synopsis.Set) partScan {
-	var sc partScan
+	sc := partScan{pid: ps.pid}
 	v := &ps.view
 	v.Scan(func(id storage.RecordID, n int, syn *synopsis.Set) bool {
 		sc.scanned++
 		sc.bytesRead += int64(n)
 		if q != nil && syn != nil && !synopsis.Intersects(syn, q) {
 			sc.skipped++
+			sc.bytesSkip += int64(n)
 			return true
 		}
 		eid, e, err := decodeRecord(v.Record(id))
@@ -212,13 +213,14 @@ func scanSnapPart(ps *partSnap, q *synopsis.Set) partScan {
 // any of them cannot match (SQL null semantics), so records whose sidecar
 // synopsis does not cover need are skipped without decoding.
 func scanSnapPartWhere(ps *partSnap, preds []Pred, need *synopsis.Set) partScan {
-	var sc partScan
+	sc := partScan{pid: ps.pid}
 	v := &ps.view
 	v.Scan(func(id storage.RecordID, n int, syn *synopsis.Set) bool {
 		sc.scanned++
 		sc.bytesRead += int64(n)
 		if syn != nil && !synopsis.Subset(need, syn) {
 			sc.skipped++
+			sc.bytesSkip += int64(n)
 			return true
 		}
 		eid, e, err := decodeRecord(v.Record(id))
@@ -235,10 +237,12 @@ func scanSnapPartWhere(ps *partSnap, preds []Pred, need *synopsis.Set) partScan 
 	return sc
 }
 
-// noteDecode publishes the decode/skip counts of one query's partition
-// scans to telemetry. These are CPU-side counters only — they never enter
+// noteScans publishes the per-partition scan results of one query to
+// telemetry: the decode/skip counters (attributed per shard through the
+// registry handle), the always-on heat map, and — when sp is non-nil —
+// the query span. These are CPU-side signals only; they never enter
 // QueryReport, whose fields stay bit-identical between read modes.
-func (t *Table) noteDecode(parts []partScan) {
+func (t *Table) noteScans(sp *obs.QuerySpan, parts []partScan, rep QueryReport, ns int64) {
 	r := t.observer()
 	if r == nil {
 		return
@@ -250,4 +254,32 @@ func (t *Table) noteDecode(parts []partScan) {
 	}
 	r.Add(obs.CScanDecoded, dec)
 	r.Add(obs.CScanDecodeSkipped, skip)
+
+	var spans []obs.PartSpan
+	if len(parts) > 0 {
+		spans = make([]obs.PartSpan, len(parts))
+		for i := range parts {
+			p := &parts[i]
+			spans[i] = obs.PartSpan{
+				Partition:     uint64(p.pid),
+				Scanned:       int64(p.scanned),
+				Returned:      int64(len(p.hits)),
+				Decoded:       int64(p.decoded),
+				Skipped:       int64(p.skipped),
+				BytesRead:     p.bytesRead,
+				BytesRelevant: p.bytesHit,
+				BytesSkipped:  p.bytesSkip,
+				ScanNs:        p.ns,
+			}
+		}
+	}
+	r.FinishQuery(sp, ns, obs.QueryAgg{
+		PartitionsTotal:   int64(rep.PartitionsTotal),
+		PartitionsTouched: int64(rep.PartitionsTouched),
+		PartitionsPruned:  int64(rep.PartitionsPruned),
+		EntitiesScanned:   int64(rep.EntitiesScanned),
+		EntitiesReturned:  int64(rep.EntitiesReturned),
+		BytesRead:         rep.BytesRead,
+		BytesRelevant:     rep.BytesRelevant,
+	}, spans)
 }

@@ -6,6 +6,7 @@ import (
 
 	"cinderella/internal/core"
 	"cinderella/internal/entity"
+	"cinderella/internal/obs"
 	"cinderella/internal/storage"
 	"cinderella/internal/synopsis"
 )
@@ -271,13 +272,22 @@ func predNeed(preds []Pred) *synopsis.Set {
 // partitions, snapshot scans additionally skip — without decoding —
 // records whose sidecar synopsis misses a predicate attribute.
 func (t *Table) SelectWhere(preds []Pred) ([]Result, QueryReport) {
-	if t.lockedReads.Load() {
-		return t.selectWhereLocked(preds)
-	}
-	return t.selectWhereSnap(preds)
+	return t.SelectWhereSpanned(preds, t.observer().StartQuery(obs.KindSelectWhere))
 }
 
-func (t *Table) selectWhereLocked(preds []Pred) ([]Result, QueryReport) {
+// SelectWhereSpanned runs SelectWhere filling an externally created
+// query span (a fan-out child or a forced trace); sp may be nil.
+func (t *Table) SelectWhereSpanned(preds []Pred, sp *obs.QuerySpan) ([]Result, QueryReport) {
+	if sp.WantDetail() {
+		sp.SetQuery(t.describeWhere(preds))
+	}
+	if t.lockedReads.Load() {
+		return t.selectWhereLocked(preds, sp)
+	}
+	return t.selectWhereSnap(preds, sp)
+}
+
+func (t *Table) selectWhereLocked(preds []Pred, sp *obs.QuerySpan) ([]Result, QueryReport) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	start := t.obsStart()
@@ -289,8 +299,14 @@ func (t *Table) selectWhereLocked(preds []Pred) ([]Result, QueryReport) {
 	survivors := pids[:0]
 	for _, pid := range pids {
 		syn := t.attrSyn[pid]
-		if syn == nil || !synopsis.Subset(need, syn) || !t.zonesOverlap(pid, preds) {
+		if syn == nil || !synopsis.Subset(need, syn) {
 			rep.PartitionsPruned++
+			sp.Prune(uint64(pid), obs.PruneSynopsisMissing)
+			continue
+		}
+		if !t.zonesOverlap(pid, preds) {
+			rep.PartitionsPruned++
+			sp.Prune(uint64(pid), obs.PruneZoneMiss)
 			continue
 		}
 		survivors = append(survivors, pid)
@@ -298,17 +314,18 @@ func (t *Table) selectWhereLocked(preds []Pred) ([]Result, QueryReport) {
 	rep.PartitionsTouched = len(survivors)
 
 	parts := make([]partScan, len(survivors))
-	t.runScans(len(survivors), func(i int) {
-		parts[i] = t.scanPartitionWhere(survivors[i], preds)
+	t.runTimedScans(parts, sp.TimeScans(), func(i int) partScan {
+		return t.scanPartitionWhere(survivors[i], preds)
 	})
 	out := mergeScans(parts, &rep)
 
-	t.noteDecode(parts)
-	t.noteQuery(rep, lapNs(start))
+	ns := lapNs(start)
+	t.noteQuery(rep, ns)
+	t.noteScans(sp, parts, rep, ns)
 	return out, rep
 }
 
-func (t *Table) selectWhereSnap(preds []Pred) ([]Result, QueryReport) {
+func (t *Table) selectWhereSnap(preds []Pred, sp *obs.QuerySpan) ([]Result, QueryReport) {
 	start := t.obsStart()
 	need := predNeed(preds)
 
@@ -323,9 +340,16 @@ func (t *Table) selectWhereSnap(preds []Pred) ([]Result, QueryReport) {
 		snap = t.capture()
 		rep = QueryReport{PartitionsTotal: len(snap.parts)}
 		survivors = survivors[:0]
+		sp.ResetPrunes() // a zone-rebuild retry re-prunes from scratch
 		for _, ps := range snap.parts {
-			if ps.syn == nil || !synopsis.Subset(need, ps.syn) || !t.zonesOverlap(ps.pid, preds) {
+			if ps.syn == nil || !synopsis.Subset(need, ps.syn) {
 				rep.PartitionsPruned++
+				sp.Prune(uint64(ps.pid), obs.PruneSynopsisMissing)
+				continue
+			}
+			if !t.zonesOverlap(ps.pid, preds) {
+				rep.PartitionsPruned++
+				sp.Prune(uint64(ps.pid), obs.PruneZoneMiss)
 				continue
 			}
 			survivors = append(survivors, ps)
@@ -337,13 +361,14 @@ func (t *Table) selectWhereSnap(preds []Pred) ([]Result, QueryReport) {
 	rep.PartitionsTouched = len(survivors)
 
 	parts := make([]partScan, len(survivors))
-	t.runScans(len(survivors), func(i int) {
-		parts[i] = scanSnapPartWhere(survivors[i], preds, need)
+	t.runTimedScans(parts, sp.TimeScans(), func(i int) partScan {
+		return scanSnapPartWhere(survivors[i], preds, need)
 	})
 	out := mergeScans(parts, &rep)
 
-	t.noteDecode(parts)
-	t.noteQuery(rep, lapNs(start))
+	ns := lapNs(start)
+	t.noteQuery(rep, ns)
+	t.noteScans(sp, parts, rep, ns)
 	return out, rep
 }
 

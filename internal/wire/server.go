@@ -5,6 +5,7 @@ import (
 	"context"
 	cryptorand "crypto/rand"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -28,6 +29,7 @@ type Store interface {
 	Delete(cinderella.ID) (bool, error)
 	GetEntity(cinderella.ID) (*entity.Entity, bool)
 	QueryEntities(...string) []cinderella.EntityRecord
+	QueryEntitiesTraced(...string) ([]cinderella.EntityRecord, *obs.QuerySpan)
 	LastLSN() uint64
 	SyncTo(uint64) error
 }
@@ -474,7 +476,10 @@ func (s *Server) handleGet(c *conn, f Frame) {
 
 // handleQuery answers OpQuery: dictionary delta, record count, then
 // (id, entity) pairs. Query attributes are wire dictionary ids the
-// client registered via OpAttrs; unknown ids are a client error.
+// client registered via OpAttrs; unknown ids are a client error. An
+// optional trailing flags byte may request an inline trace
+// (QueryFlagTrace): the response then additionally carries the span
+// tree as length-prefixed JSON after the records.
 func (s *Server) handleQuery(c *conn, f Frame) {
 	p := f.Payload
 	n, pos, err := ReadUvarint(p, 0)
@@ -501,7 +506,25 @@ func (s *Server) handleQuery(c *conn, f Frame) {
 		}
 		c.names = append(c.names, dict.Name(int(id)))
 	}
-	recs := s.st.QueryEntities(c.names...)
+	var flags byte
+	if pos < len(p) {
+		flags = p[pos]
+	}
+
+	var recs []cinderella.EntityRecord
+	var traceJSON []byte
+	if flags&QueryFlagTrace != 0 {
+		var sp *obs.QuerySpan
+		recs, sp = s.st.QueryEntitiesTraced(c.names...)
+		if sp != nil {
+			if traceJSON, err = json.Marshal(sp); err != nil {
+				traceJSON = nil
+			}
+		}
+	} else {
+		recs = s.st.QueryEntities(c.names...)
+	}
+
 	off := len(c.out)
 	c.out = BeginFrame(c.out, StatusOK, f.Seq)
 	s.appendDictDelta(c)
@@ -509,6 +532,9 @@ func (s *Server) handleQuery(c *conn, f Frame) {
 	for _, r := range recs {
 		c.out = binary.AppendUvarint(c.out, uint64(r.ID))
 		c.out = r.Entity.Marshal(c.out)
+	}
+	if flags&QueryFlagTrace != 0 {
+		c.out = AppendString(c.out, string(traceJSON))
 	}
 	c.out = EndFrame(c.out, off)
 }

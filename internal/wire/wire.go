@@ -88,6 +88,16 @@ const (
 	BatchDelete
 )
 
+// OpQuery flag bits. The flags byte trails the attribute-id list; it is
+// optional, so pre-flag clients (which simply omit it) keep working.
+const (
+	// QueryFlagTrace requests an inline query trace: the response
+	// carries, after the records, a length-prefixed JSON span tree
+	// (empty string when the server is uninstrumented). Tracing bypasses
+	// sampling — the span always has full detail.
+	QueryFlagTrace byte = 1 << 0
+)
+
 // Per-op result codes in a batch response.
 const (
 	ResOK        byte = 0 // applied; insert carries the new id

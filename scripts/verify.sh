@@ -13,11 +13,24 @@ echo "== go test -race ./..."
 go test -race ./...
 
 # Telemetry regressions get a dedicated pass: the efficiency-exactness
-# property test, the SetParallelism race test, and the trace lifecycle
-# must hold under the race detector with more aggressive interleaving.
+# property test, the SetParallelism race test, the event-trace lifecycle,
+# and the query-tracing suite — sampling cadence, slow-ring bounds, the
+# fan-out span merge, and the writers-vs-traced-readers heat-equals-spans
+# property on Table and Sharded — must hold under the race detector with
+# more aggressive interleaving.
 echo "== go test -race -count=2 telemetry suite"
 go test -race -count=2 -run 'TestStreamingEfficiency|TestSetParallelismRace|TestTrace' \
-	./internal/table ./internal/obs
+	./internal/table ./internal/obs ./internal/shard
+
+# Trace overhead gate: 1-in-64 span sampling with the always-on heat map
+# must stay within the <= 5% query-path budget (BENCH_trace.json tracks
+# the full-scale run; this re-measures at smoke scale).
+echo "== trace overhead gate"
+TRACE_JSON=$(mktemp)
+go run ./cmd/cinderella-bench -exp trace -entities 20000 -json "$TRACE_JSON"
+grep -q '"within_budget": true' "$TRACE_JSON" \
+	|| { echo "verify: trace overhead exceeds budget"; cat "$TRACE_JSON"; exit 1; }
+rm -f "$TRACE_JSON"
 
 # Service-layer pass: the drain-loses-nothing and crash-recovery tests
 # are the durability contract of cinderellad; they and the committer
@@ -61,6 +74,7 @@ trap 'rm -rf "$SMOKE"' EXIT
 go build -race -o "$SMOKE/cinderellad" ./cmd/cinderellad
 go build -o "$SMOKE/cinderella-load" ./cmd/cinderella-load
 "$SMOKE/cinderellad" -addr 127.0.0.1:0 -wal "$SMOKE/smoke.wal" \
+	-slow-query 1us -trace-sample 8 \
 	-addr-file "$SMOKE/addr" >"$SMOKE/daemon.log" 2>&1 &
 DPID=$!
 for i in $(seq 1 50); do
@@ -71,6 +85,19 @@ done
 ADDR=$(cat "$SMOKE/addr")
 "$SMOKE/cinderella-load" -target "http://$ADDR" -entities 500 -clients 8 -readers 4 \
 	|| { echo "verify: load against daemon failed"; cat "$SMOKE/daemon.log"; exit 1; }
+# The observability surface must be live after the load: the heat map
+# has rows, the slow log (armed at 1µs, so every query qualifies)
+# retained spans, and ?trace=1 returns an inline span tree.
+curl -sf "http://$ADDR/debug/heat" | grep -q '"enabled": true' \
+	|| { echo "verify: /debug/heat not enabled"; exit 1; }
+curl -sf "http://$ADDR/debug/heat" | grep -q '"records_read"' \
+	|| { echo "verify: /debug/heat has no rows after reads"; exit 1; }
+curl -sf "http://$ADDR/debug/slow" | grep -q '"trace_id"' \
+	|| { echo "verify: /debug/slow retained no spans at a 1us threshold"; exit 1; }
+curl -sf "http://$ADDR/v1/query-report?attrs=universal_00&trace=1" | grep -q '"trace"' \
+	|| { echo "verify: ?trace=1 returned no inline span"; exit 1; }
+curl -sf "http://$ADDR/metrics" | grep -q '^cinderella_slow_queries_total [1-9]' \
+	|| { echo "verify: slow-query counter never moved"; exit 1; }
 # Mid-drain read smoke: a background query loop runs across the SIGTERM
 # drain. Reads must stay served until the listener closes — the loop
 # exits on connection failure (curl code 000); any 503 on a read route
