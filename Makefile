@@ -5,7 +5,7 @@ OBS_PORT ?= 8080
 ADDR ?= 127.0.0.1:8263
 WAL ?= /tmp/cinderella.wal
 
-.PHONY: verify build vet test race bench-hotpath bench-obs bench-server bench-shard bench-read bench-wire bench-trace run-server obs-demo
+.PHONY: verify build vet test race bench-hotpath bench-obs bench-server bench-shard bench-read bench-wire bench-trace bench-recluster run-server obs-demo
 
 # verify is the tier-1 gate: build everything, vet, full test suite under
 # the race detector.
@@ -76,6 +76,16 @@ bench-wire:
 # absolute headroom against timer noise).
 bench-trace:
 	$(GO) run ./cmd/cinderella-bench -exp trace -entities 50000 -json BENCH_trace.json
+
+# bench-recluster measures the background reclusterer: EFFICIENCY
+# recovery after an adversarial workload shift (adapted → frozen →
+# reclustered), writer p99 with the governed reclusterer running vs.
+# idle, and the reopen integrity recount — and regenerates
+# BENCH_recluster.json (see cmd/cinderella-bench -exp recluster). The
+# tracked result must show recovered_ok=true (>= 50% of the lost
+# EFFICIENCY recovered) with writer_p99_within_budget=true.
+bench-recluster:
+	$(GO) run ./cmd/cinderella-bench -exp recluster -entities 20000 -json BENCH_recluster.json
 
 # run-server starts cinderellad in the foreground on $(ADDR) with the
 # WAL at $(WAL). Drive it with `cinderella-load -target http://$(ADDR)`

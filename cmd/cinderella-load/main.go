@@ -10,7 +10,7 @@
 //	                [-strategy cinderella|universal|hash|roundrobin|schemaexact]
 //	                [-obs :PORT] [-hold] [-slow-query D]
 //	cinderella-load -target http://HOST:PORT [-entities N] [-clients N]
-//	                [-readers N] [-json FILE] [-trace]
+//	                [-readers N] [-shift-at N] [-json FILE] [-trace]
 //
 // With -target the data set is driven through a running cinderellad
 // instead of an embedded table: -clients concurrent workers insert over
@@ -20,7 +20,11 @@
 // workers that hammer GET /v1/query for the whole duration of the
 // insert phase — the mixed read/write workload the lock-free snapshot
 // path is built for — and reports read throughput next to the insert
-// numbers. Local-only flags (-w, -b, -strategy,
+// numbers. -shift-at N flips the readers' attribute mix (first half of
+// the attribute list → second half) once N inserts have been acked: an
+// adversarial workload shift for driving the server's background
+// reclusterer (cinderellad -recluster) and the recluster e2e smoke.
+// Local-only flags (-w, -b, -strategy,
 // -obs, -hold) are rejected in this mode: the server owns partitioning.
 //
 // With -obs the process serves the live ops endpoint (Prometheus
@@ -143,6 +147,7 @@ func main() {
 	target := flag.String("target", "", "drive a running cinderellad at this base URL instead of an embedded table (with -proto binary: a host:port)")
 	clients := flag.Int("clients", 16, "with -target: concurrent insert workers")
 	readers := flag.Int("readers", 0, "with -target: concurrent query workers running alongside the inserts")
+	shiftAt := flag.Int("shift-at", 0, "with -target and -readers: flip the readers' query attribute mix after N acked inserts (adversarial workload shift)")
 	proto := flag.String("proto", "http", "with -target: protocol to drive, http or binary")
 	batch := flag.Int("batch", 1, "with -target: ops per client-side batch (http >1 uses /v1/bulk)")
 	payload := flag.Int("payload", 0, "with -target: extra pad bytes added to every document")
@@ -178,6 +183,12 @@ func main() {
 	}
 	if *readers > 0 && *target == "" {
 		errs = append(errs, "-readers requires -target (it drives reads against a live daemon)")
+	}
+	if *shiftAt < 0 {
+		errs = append(errs, fmt.Sprintf("-shift-at must be non-negative, got %d", *shiftAt))
+	}
+	if *shiftAt > 0 && *readers == 0 {
+		errs = append(errs, "-shift-at requires -readers (it flips the readers' query mix)")
 	}
 	if *hold && *obsAddr == "" {
 		errs = append(errs, "-hold requires -obs")
@@ -260,7 +271,7 @@ func main() {
 			}
 			return
 		}
-		if err := runTarget(*target, ds, *clients, *readers, *trace); err != nil {
+		if err := runTarget(*target, ds, *clients, *readers, *shiftAt, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "cinderella-load: "+err.Error())
 			os.Exit(1)
 		}
@@ -365,8 +376,12 @@ func main() {
 // runTarget drives the data set through a running cinderellad: concurrent
 // durable inserts (with optional concurrent query readers for a mixed
 // read/write workload), then the probe queries server-side (traced
-// inline when trace is set).
-func runTarget(base string, ds *datagen.Dataset, workers, readers int, trace bool) error {
+// inline when trace is set). With shiftAt > 0 the readers start on the
+// first half of the attribute list and flip to the second half once
+// shiftAt inserts have been acked — an adversarial workload shift that
+// invalidates whatever layout the partitioner adapted to, which is the
+// scenario the background reclusterer exists to recover from.
+func runTarget(base string, ds *datagen.Dataset, workers, readers, shiftAt int, trace bool) error {
 	ctx := context.Background()
 	c, err := client.New(base)
 	if err != nil {
@@ -399,8 +414,19 @@ func runTarget(base string, ds *datagen.Dataset, workers, readers int, trace boo
 		}
 	}
 
+	// The pre- and post-shift query mixes: without -shift-at both halves
+	// are the whole list and the readers behave as before; with it, the
+	// readers hammer the first half until shiftAt inserts are acked,
+	// then abruptly switch to attributes they have never queried.
+	preMix, postMix := attrNames, attrNames
+	if shiftAt > 0 && len(attrNames) >= 2 {
+		preMix = attrNames[:len(attrNames)/2]
+		postMix = attrNames[len(attrNames)/2:]
+	}
+
 	var next, acked, failed atomic.Int64
-	var reads, readFails atomic.Int64
+	var reads, readFails, preReads, postReads atomic.Int64
+	var shifted atomic.Bool
 	var firstErr, firstReadErr atomic.Value
 	stopReads := make(chan struct{})
 	start := time.Now()
@@ -433,11 +459,20 @@ func runTarget(base string, ds *datagen.Dataset, workers, readers int, trace boo
 					return
 				default:
 				}
-				if _, err := c.Query(ctx, attrNames[k%len(attrNames)]); err != nil {
+				mix, phase := preMix, &preReads
+				if shiftAt > 0 && acked.Load() >= int64(shiftAt) {
+					mix, phase = postMix, &postReads
+					if shifted.CompareAndSwap(false, true) {
+						fmt.Printf("workload shift at %d acked inserts: readers now query the second attribute half (%d attrs)\n",
+							acked.Load(), len(postMix))
+					}
+				}
+				if _, err := c.Query(ctx, mix[k%len(mix)]); err != nil {
 					readFails.Add(1)
 					firstReadErr.CompareAndSwap(nil, err)
 				} else {
 					reads.Add(1)
+					phase.Add(1)
 				}
 				k++
 			}
@@ -458,6 +493,10 @@ func runTarget(base string, ds *datagen.Dataset, workers, readers int, trace boo
 		fmt.Printf("concurrent reads: %d queries in %v (%.0f reads/s, %d readers)\n",
 			reads.Load(), elapsed.Round(time.Millisecond),
 			float64(reads.Load())/elapsed.Seconds(), readers)
+		if shiftAt > 0 {
+			fmt.Printf("  workload shift at %d acked: %d pre-shift reads, %d post-shift reads\n",
+				shiftAt, preReads.Load(), postReads.Load())
+		}
 		if n := readFails.Load(); n > 0 {
 			fmt.Printf("  %d reads failed (first: %v)\n", n, firstReadErr.Load())
 		}

@@ -13,6 +13,18 @@
 //	            [-commit-delay D] [-commit-max N]
 //	            [-per-op-sync] [-addr-file PATH] [-checkpoint-on-exit=false]
 //	            [-slow-query D] [-trace-sample N]
+//	            [-recluster] [-recluster-interval D] [-recluster-batch N]
+//	            [-recluster-rate R] [-recluster-alpha A] [-recluster-halflife D]
+//
+// -recluster starts the background workload-aware reclusterer
+// (internal/recluster): every -recluster-interval it snapshots the
+// partition heat map, picks the partitions wasting the most read
+// volume, and re-rates their entities against a rating blended with
+// the recent query mix (-recluster-alpha), migrating at most
+// -recluster-rate entities per second. -recluster-halflife ages the
+// heat map so old workloads fade. Live status, per-victim outcomes,
+// and counters are served at /debug/recluster; the reclusterer pauses
+// when a drain begins.
 //
 // -bin-addr additionally serves the length-prefixed binary protocol
 // (package internal/wire) on its own port. Both protocols share one
@@ -49,6 +61,7 @@ import (
 
 	"cinderella"
 	"cinderella/internal/obs"
+	"cinderella/internal/recluster"
 	"cinderella/internal/server"
 	"cinderella/internal/shard"
 	"cinderella/internal/wire"
@@ -83,6 +96,12 @@ func main() {
 	traceSample := flag.Int("trace-sample", 0, "trace every Nth query (0 = default 64, <0 disables tracing)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 	checkpointOnExit := flag.Bool("checkpoint-on-exit", true, "compact the WAL to a checkpoint during graceful shutdown")
+	reclusterOn := flag.Bool("recluster", false, "run the background workload-aware reclusterer (see /debug/recluster)")
+	reclusterInterval := flag.Duration("recluster-interval", 0, "reclusterer tick interval (0 = default 5s; requires -recluster)")
+	reclusterBatch := flag.Int("recluster-batch", 0, "entities re-rated per victim partition per tick (0 = default; requires -recluster)")
+	reclusterRate := flag.Float64("recluster-rate", 0, "max migrations per second, 0 = unlimited (requires -recluster)")
+	reclusterAlpha := flag.Float64("recluster-alpha", 0, "workload-blend weight α ∈ [0,1] (0 = default 0.5; requires -recluster)")
+	reclusterHalfLife := flag.Duration("recluster-halflife", 0, "partition heat exponential-decay half-life (0 = no decay; requires -recluster)")
 	flag.Parse()
 
 	st, ok := strategies[*strategy]
@@ -107,6 +126,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cinderellad: -shards must be >= 1, got %d\n", *shards)
 		os.Exit(2)
 	}
+	if !*reclusterOn && (*reclusterInterval != 0 || *reclusterBatch != 0 ||
+		*reclusterRate != 0 || *reclusterAlpha != 0 || *reclusterHalfLife != 0) {
+		fmt.Fprintln(os.Stderr, "cinderellad: -recluster-* tuning flags require -recluster")
+		os.Exit(2)
+	}
+	if *reclusterInterval < 0 || *reclusterBatch < 0 || *reclusterRate < 0 || *reclusterHalfLife < 0 {
+		fmt.Fprintln(os.Stderr, "cinderellad: -recluster-interval, -recluster-batch, -recluster-rate, and -recluster-halflife must be non-negative")
+		os.Exit(2)
+	}
+	if *reclusterAlpha < 0 || *reclusterAlpha > 1 {
+		fmt.Fprintf(os.Stderr, "cinderellad: -recluster-alpha must be in [0,1], got %v\n", *reclusterAlpha)
+		os.Exit(2)
+	}
 
 	reg := obs.New(obs.Options{TraceSampleEvery: *traceSample})
 	if *slowQuery > 0 {
@@ -119,14 +151,15 @@ func main() {
 		Obs:                reg,
 	}
 	var d server.Store
-	var ws wire.Store // entity-level view of the same store, for -bin-addr
+	var ws wire.Store      // entity-level view of the same store, for -bin-addr
+	var rs recluster.Store // migration view of the same store, for -recluster
 	var err error
 	if *shards > 1 {
 		sh, serr := shard.Open(*walPath, shard.Options{Shards: *shards, Config: cfg})
-		d, ws, err = sh, sh, serr
+		d, ws, rs, err = sh, sh, sh, serr
 	} else {
 		dt, derr := cinderella.OpenFile(*walPath, cfg)
-		d, ws, err = dt, dt, derr
+		d, ws, rs, err = dt, dt, dt, derr
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cinderellad: opening %s: %v\n", *walPath, err)
@@ -134,6 +167,25 @@ func main() {
 	}
 	fmt.Printf("cinderellad: wal %s replayed (%d shards), %d docs, %d partitions\n",
 		*walPath, *shards, d.Len(), len(d.Partitions()))
+
+	// Background reclusterer: observes the partition heat map, migrates
+	// the worst read-efficiency offenders toward the live query mix.
+	// Status and outcomes are served at /debug/recluster.
+	var mgr *recluster.Manager
+	var mgrCancel context.CancelFunc
+	if *reclusterOn {
+		mgr = recluster.New(rs, reg, recluster.Config{
+			Interval:       *reclusterInterval,
+			BatchSize:      *reclusterBatch,
+			MaxMovesPerSec: *reclusterRate,
+			Alpha:          *reclusterAlpha,
+			HeatHalfLife:   *reclusterHalfLife,
+		})
+		var rctx context.Context
+		rctx, mgrCancel = context.WithCancel(context.Background())
+		go mgr.Run(rctx)
+		fmt.Printf("cinderellad: reclusterer on (interval %v)\n", mgr.Status().Interval)
+	}
 
 	srv := server.New(d, server.Config{
 		MaxInflight:     *inflight,
@@ -205,7 +257,14 @@ func main() {
 	}
 
 	// Drain: reject new work first so Shutdown only waits on requests
-	// already admitted. A second signal cuts the wait short.
+	// already admitted. A second signal cuts the wait short. The
+	// reclusterer pauses before the store winds down — a migration
+	// started after the final checkpoint would be lost work.
+	if mgr != nil {
+		mgr.Pause()
+		mgrCancel()
+		mgr.Close()
+	}
 	srv.BeginDrain()
 	if wsrv != nil {
 		wsrv.BeginDrain() // binary writes now get StatusRetry; reads keep working

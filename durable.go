@@ -11,6 +11,7 @@ import (
 	"cinderella/internal/core"
 	"cinderella/internal/entity"
 	"cinderella/internal/obs"
+	"cinderella/internal/table"
 	"cinderella/internal/wal"
 )
 
@@ -334,6 +335,46 @@ func (d *DurableTable) Compact(threshold float64) (int, error) {
 		d.noteAppend()
 	}
 	return n, err
+}
+
+// ReclusterPartition re-rates up to max members of one victim
+// partition against the workload-blended objective, logging every
+// entity that moved as a WAL update op so recovery replays it (replay
+// re-places the entity with the plain attribute rating — a valid,
+// possibly different partition; contents and liveness are exact).
+// Locking and logging are per entity: concurrent writers interleave
+// between moves instead of stalling for the whole batch. The shard
+// parameter satisfies the reclusterer's store interface; an unsharded
+// table ignores it (heat rows report shard -1).
+func (d *DurableTable) ReclusterPartition(shard int, pid uint64, max int, blender core.RatingBlender) (table.ReclusterResult, error) {
+	_ = shard
+	members := d.inner.PartitionMembers(core.PartitionID(pid))
+	if max > 0 && len(members) > max {
+		members = members[:max]
+	}
+	var res table.ReclusterResult
+	for _, id := range members {
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			return res, ErrClosed
+		}
+		mv, examined, moved := d.inner.ReclusterEntity(id, core.PartitionID(pid), blender)
+		if examined {
+			res.Examined++
+		}
+		if moved {
+			if err := d.w.Append(wal.Op{Kind: wal.KindUpdate, ID: uint64(mv.ID), Data: mv.Data}); err != nil {
+				d.mu.Unlock()
+				return res, err
+			}
+			d.noteAppend()
+			res.Moved++
+			res.Moves = append(res.Moves, mv)
+		}
+		d.mu.Unlock()
+	}
+	return res, nil
 }
 
 // Sync makes all appended operations durable.

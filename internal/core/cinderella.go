@@ -50,6 +50,44 @@ type Cinderella struct {
 	// nil checks and findBest stays allocation-free either way.
 	obs     *obs.Registry
 	lastPub OpStats
+
+	// blender, when set, post-processes every findBest rating — the
+	// reclusterer's workload-blended objective. Nil (the default, and
+	// outside recluster batches) leaves Algorithm 1's attribute rating
+	// untouched.
+	blender RatingBlender
+}
+
+// RatingBlender adjusts the attribute-synopsis rating of one
+// entity/partition pair. The reclusterer installs one for the duration
+// of a re-rate batch, blending in a workload-relevance term derived
+// from the recent query mix; the returned score replaces attrScore in
+// findBest's comparison (negative best still opens a new partition,
+// which is how workload-pure partitions get seeded).
+type RatingBlender interface {
+	Blend(e *Entity, pid PartitionID, pSyn *synopsis.Set, attrScore float64) float64
+}
+
+// SetRatingBlender installs (or, with nil, removes) the rating
+// post-processor. Callers serialize with all other operations, same as
+// every Cinderella method.
+func (c *Cinderella) SetRatingBlender(b RatingBlender) { c.blender = b }
+
+// Members returns the ids of pid's current members in insertion order
+// (skipping ids whose slots were deleted). The reclusterer snapshots a
+// victim's membership through this before re-rating each entity.
+func (c *Cinderella) Members(pid PartitionID) []EntityID {
+	p := c.parts[pid]
+	if p == nil {
+		return nil
+	}
+	out := make([]EntityID, 0, len(p.members))
+	for _, id := range p.order {
+		if _, ok := p.members[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // OpStats counts partitioner events for the experiments (Figure 8 reports
@@ -227,6 +265,9 @@ func (c *Cinderella) findBest(ent *Entity, restrict []*partition) (*partition, f
 		score := r.Global
 		if c.cfg.DisableNormalization {
 			score = r.Local
+		}
+		if c.blender != nil {
+			score = c.blender.Blend(ent, p.id, p.syn, score)
 		}
 		if score > bestRating || (score == bestRating && (best == nil || p.id < best.id)) {
 			bestRating = score

@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The partition heat map: always-on per-partition access accounting.
@@ -44,10 +46,69 @@ type heatEntry struct {
 type heatMap struct {
 	mu sync.RWMutex
 	m  map[heatKey]*heatEntry
+
+	// Exponential decay state. halfLifeNs == 0 leaves counters
+	// cumulative (the pre-decay behavior); when armed, every read-side
+	// snapshot first folds in 0.5^(elapsed/halfLife) so the map ranks
+	// partitions by the *recent* workload — the reclusterer must not
+	// chase a partition that was only cold last week. nowNs is swapped
+	// out by tests to drive virtual time.
+	halfLifeNs atomic.Int64
+	lastDecay  atomic.Int64 // nowNs() at the last applied decay
+	nowNs      func() int64
 }
 
 func newHeatMap() *heatMap {
-	return &heatMap{m: make(map[heatKey]*heatEntry)}
+	h := &heatMap{
+		m:     make(map[heatKey]*heatEntry),
+		nowNs: func() int64 { return time.Now().UnixNano() },
+	}
+	return h
+}
+
+// scale multiplies every cumulative counter by factor (the last-touch
+// markers are timestamps, not volumes, and keep their values). Counts
+// round down, so idle partitions decay all the way to zero and fall
+// below ColdestPartitions' min-queries floor.
+func (e *heatEntry) scale(factor float64) {
+	for _, c := range []*atomic.Int64{
+		&e.queries, &e.read, &e.relevant, &e.decoded, &e.skipped,
+		&e.bytesRead, &e.bytesRelevant, &e.bytesSkipped,
+	} {
+		c.Store(int64(float64(c.Load()) * factor))
+	}
+}
+
+func (h *heatMap) decay(factor float64) {
+	if !(factor >= 0) || factor >= 1 {
+		return
+	}
+	h.mu.Lock()
+	for _, e := range h.m {
+		e.scale(factor)
+	}
+	h.mu.Unlock()
+}
+
+// maybeDecay applies any half-life decay owed since the last
+// application. It runs on the snapshot path (not the per-query hot
+// path) and batches elapsed time into quarter-half-life steps so the
+// factor stays meaningfully below 1.
+func (h *heatMap) maybeDecay() {
+	hl := h.halfLifeNs.Load()
+	if hl <= 0 {
+		return
+	}
+	now := h.nowNs()
+	last := h.lastDecay.Load()
+	elapsed := now - last
+	if elapsed < hl/4 {
+		return
+	}
+	if !h.lastDecay.CompareAndSwap(last, now) {
+		return // another snapshot is decaying
+	}
+	h.decay(math.Exp2(-float64(elapsed) / float64(hl)))
 }
 
 func (h *heatMap) entry(k heatKey) *heatEntry {
@@ -88,17 +149,17 @@ func (h *heatMap) note(parts []PartSpan, epoch, querySeq int64) {
 // PartitionHeat is one partition's row in the heat snapshot — the
 // /debug/heat wire format and the reclusterer's input.
 type PartitionHeat struct {
-	Shard           int32   `json:"shard"`
-	Partition       uint64  `json:"partition"`
-	Queries         int64   `json:"queries"`
-	RecordsRead     int64   `json:"records_read"`
-	RecordsRelevant int64   `json:"records_relevant"`
-	RecordsDecoded  int64   `json:"records_decoded"`
-	RecordsSkipped  int64   `json:"records_skipped"`
-	BytesRead       int64   `json:"bytes_read"`
-	BytesRelevant   int64   `json:"bytes_relevant"`
-	BytesDecoded    int64   `json:"bytes_decoded"`
-	BytesSkipped    int64   `json:"bytes_skipped"`
+	Shard           int32  `json:"shard"`
+	Partition       uint64 `json:"partition"`
+	Queries         int64  `json:"queries"`
+	RecordsRead     int64  `json:"records_read"`
+	RecordsRelevant int64  `json:"records_relevant"`
+	RecordsDecoded  int64  `json:"records_decoded"`
+	RecordsSkipped  int64  `json:"records_skipped"`
+	BytesRead       int64  `json:"bytes_read"`
+	BytesRelevant   int64  `json:"bytes_relevant"`
+	BytesDecoded    int64  `json:"bytes_decoded"`
+	BytesSkipped    int64  `json:"bytes_skipped"`
 	// ReadRatio is Definition 1 restricted to this partition:
 	// records relevant / records read. 1 when never read.
 	ReadRatio        float64 `json:"read_ratio"`
@@ -113,6 +174,74 @@ func (r *Registry) HeatEnabled() bool {
 	return r != nil && r.heat != nil
 }
 
+// SetHeatHalfLife arms exponential heat decay: counters lose half
+// their weight every d of wall time, so heat rankings follow the
+// recent workload. d <= 0 disarms decay (counters stay cumulative,
+// the historical behavior). Nil-safe.
+func (r *Registry) SetHeatHalfLife(d time.Duration) {
+	if r == nil || r.heat == nil {
+		return
+	}
+	r.heat.lastDecay.Store(r.heat.nowNs())
+	r.heat.halfLifeNs.Store(int64(d))
+}
+
+// HeatHalfLife reports the armed decay half-life (0 = disarmed).
+func (r *Registry) HeatHalfLife() time.Duration {
+	if r == nil || r.heat == nil {
+		return 0
+	}
+	return time.Duration(r.heat.halfLifeNs.Load())
+}
+
+// DecayHeat immediately multiplies every heat counter by factor in
+// [0, 1) — an explicit decay step for callers that pace decay
+// themselves (benches, tests) rather than by wall clock. Nil-safe.
+func (r *Registry) DecayHeat(factor float64) {
+	if r == nil || r.heat == nil {
+		return
+	}
+	r.heat.decay(factor)
+}
+
+// ResetHeat zeroes one partition's heat counters. The reclusterer
+// calls it after migrating a victim: the old counters described a
+// membership that no longer exists, and fresh queries should measure
+// the partition from scratch. Nil-safe; unknown keys are a no-op.
+func (r *Registry) ResetHeat(shard int32, pid uint64) {
+	if r == nil || r.heat == nil {
+		return
+	}
+	h := r.heat
+	h.mu.RLock()
+	e := h.m[heatKey{shard: shard, pid: pid}]
+	h.mu.RUnlock()
+	if e != nil {
+		e.scale(0)
+	}
+}
+
+// HeatRatio returns the current relevant/read ratio for one partition
+// and whether the partition has been read at all since its counters
+// were last reset. Nil-safe.
+func (r *Registry) HeatRatio(shard int32, pid uint64) (float64, bool) {
+	if r == nil || r.heat == nil {
+		return 0, false
+	}
+	h := r.heat
+	h.mu.RLock()
+	e := h.m[heatKey{shard: shard, pid: pid}]
+	h.mu.RUnlock()
+	if e == nil {
+		return 0, false
+	}
+	read := e.read.Load()
+	if read == 0 {
+		return 0, false
+	}
+	return effRatio(e.relevant.Load(), read), true
+}
+
 // HeatSnapshot returns one row per (shard, partition) ever touched by a
 // query, ordered by shard then partition id. Nil-safe.
 func (r *Registry) HeatSnapshot() []PartitionHeat {
@@ -120,6 +249,7 @@ func (r *Registry) HeatSnapshot() []PartitionHeat {
 		return nil
 	}
 	h := r.heat
+	h.maybeDecay()
 	h.mu.RLock()
 	out := make([]PartitionHeat, 0, len(h.m))
 	for k, e := range h.m {

@@ -49,6 +49,7 @@ func (r *Registry) Mux() *http.ServeMux {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/heat", r.handleHeat)
 	mux.HandleFunc("/debug/slow", r.handleSlow)
+	mux.HandleFunc("/debug/recluster", r.handleRecluster)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -59,7 +60,7 @@ func (r *Registry) Mux() *http.ServeMux {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "cinderella ops endpoint\n\n/metrics\n/debug/vars\n/debug/heat\n/debug/slow\n/debug/pprof/\n")
+		fmt.Fprint(w, "cinderella ops endpoint\n\n/metrics\n/debug/vars\n/debug/heat\n/debug/slow\n/debug/recluster\n/debug/pprof/\n")
 	})
 	return mux
 }
@@ -115,6 +116,25 @@ func (r *Registry) handleSlow(w http.ResponseWriter, _ *http.Request) {
 		"slow":         slow,
 		"sample_every": r.TraceSampleEvery(),
 		"sampled":      r.RecentTraces(),
+	})
+}
+
+// handleRecluster serves the reclusterer's live status: whether a
+// manager is attached (enabled), its Status snapshot, the victim
+// outcome ring, and the recluster counters. With no manager installed
+// it still answers — enabled:false — so probes need no special case.
+func (r *Registry) handleRecluster(w http.ResponseWriter, _ *http.Request) {
+	status, enabled := r.reclusterStatusValue()
+	writeDebugJSON(w, map[string]any{
+		"enabled":  enabled,
+		"status":   status,
+		"outcomes": r.ReclusterOutcomes(),
+		"counters": map[string]int64{
+			"rounds":   r.Counter(CReclusterRounds),
+			"batches":  r.Counter(CReclusterBatches),
+			"moves":    r.Counter(CReclusterMoves),
+			"examined": r.Counter(CReclusterExamined),
+		},
 	})
 }
 
@@ -228,6 +248,43 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 				"Records read from the partition by queries, for the coldest partitions.", "counter",
 				func(p PartitionHeat) string { return strconv.FormatInt(p.RecordsRead, 10) })
 		}
+	}
+
+	// Recluster victim outcomes: efficiency at selection vs. measured
+	// after migration, one labeled sample per victim partition (the
+	// ring keeps the latest outcome per partition; cardinality is
+	// bounded by the ring itself).
+	if outcomes := r.ReclusterOutcomes(); len(outcomes) > 0 {
+		type vkey struct {
+			shard int32
+			pid   uint64
+		}
+		latest := make(map[vkey]ReclusterOutcome, len(outcomes))
+		var order []vkey
+		for _, o := range outcomes { // oldest first: later wins
+			k := vkey{o.Shard, o.Partition}
+			if _, seen := latest[k]; !seen {
+				order = append(order, k)
+			}
+			latest[k] = o
+		}
+		victimFamily := func(name, help string, value func(ReclusterOutcome) (string, bool)) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, k := range order {
+				if v, ok := value(latest[k]); ok {
+					fmt.Fprintf(w, "%s{shard=\"%d\",partition=\"%d\"} %s\n", name, k.shard, k.pid, v)
+				}
+			}
+		}
+		victimFamily("cinderella_recluster_victim_ratio_before",
+			"Per-partition EFFICIENCY a recluster victim was selected at.",
+			func(o ReclusterOutcome) (string, bool) { return formatFloat(o.RatioBefore), true })
+		victimFamily("cinderella_recluster_victim_ratio_after",
+			"Per-partition EFFICIENCY measured from fresh queries after the victim was migrated.",
+			func(o ReclusterOutcome) (string, bool) { return formatFloat(o.RatioAfter), o.AfterKnown })
+		victimFamily("cinderella_recluster_victim_moved",
+			"Entities the reclusterer relocated out of the victim partition.",
+			func(o ReclusterOutcome) (string, bool) { return strconv.FormatInt(o.Moved, 10), true })
 	}
 
 	for _, nh := range r.histograms() {

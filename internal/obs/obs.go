@@ -82,6 +82,13 @@ const (
 	CTraceSampled
 	CSlowQueries
 
+	// Reclustering counters, published by internal/recluster
+	// (recluster.go).
+	CReclusterRounds
+	CReclusterBatches
+	CReclusterMoves
+	CReclusterExamined
+
 	numCounters
 )
 
@@ -128,6 +135,11 @@ var counterNames = [numCounters]string{
 	CWireRejected: "cinderella_wire_rejected_total",
 	CTraceSampled: "cinderella_trace_sampled_total",
 	CSlowQueries:  "cinderella_slow_queries_total",
+
+	CReclusterRounds:   "cinderella_recluster_rounds_total",
+	CReclusterBatches:  "cinderella_recluster_batches_total",
+	CReclusterMoves:    "cinderella_recluster_moves_total",
+	CReclusterExamined: "cinderella_recluster_examined_total",
 }
 
 // counterHelp documents each counter for the /metrics HELP lines.
@@ -170,6 +182,10 @@ var counterHelp = [numCounters]string{
 	CWireRejected:      "Binary wire write frames rejected with a retryable status (draining).",
 	CTraceSampled:      "Root query spans captured by the 1-in-N span tracer.",
 	CSlowQueries:       "Queries at or over the slow-query threshold, retained in the slow log.",
+	CReclusterRounds:   "Reclusterer rounds completed (one heat-map victim scan each).",
+	CReclusterBatches:  "Victim-partition migration batches executed by the reclusterer.",
+	CReclusterMoves:    "Entities relocated to another partition by reclustering.",
+	CReclusterExamined: "Entities re-rated by the reclusterer (moved or kept in place).",
 }
 
 // effSample is one query's contribution to the windowed estimator.
@@ -268,6 +284,18 @@ type state struct {
 	slow       *spanRing
 	recent     *spanRing
 	heat       *heatMap // nil when Options.DisableHeat
+
+	// Reclustering support (recluster.go): the recent query-shape mix
+	// the workload-blended rating is derived from, the victim-outcome
+	// ring rendered on /metrics and /debug/recluster, and the live
+	// status provider installed by the recluster manager. qmix is nil
+	// when the heat map is disabled — both exist for the reclusterer.
+	qmix            *qmixRing
+	reclMu          sync.Mutex
+	reclOutcomes    []ReclusterOutcome
+	reclNext        int
+	reclLen         int
+	reclusterStatus atomic.Pointer[func() any]
 }
 
 // shardSlot attributes a core counter subset to one shard. The aggregate
@@ -319,6 +347,7 @@ func New(opts Options) *Registry {
 	}
 	if !opts.DisableHeat {
 		st.heat = newHeatMap()
+		st.qmix = newQmixRing(qmixCap)
 	}
 	if opts.TraceCap > 0 {
 		st.trace = newTrace(opts.TraceCap)

@@ -1,0 +1,219 @@
+package recluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cinderella/internal/core"
+	"cinderella/internal/obs"
+	"cinderella/internal/synopsis"
+	"cinderella/internal/table"
+)
+
+// fakeStore records ReclusterPartition calls and reports every allowed
+// entity as examined and moved.
+type fakeStore struct {
+	mu    sync.Mutex
+	calls []fakeCall
+}
+
+type fakeCall struct {
+	shard int
+	pid   uint64
+	max   int
+}
+
+func (f *fakeStore) ReclusterPartition(shard int, pid uint64, max int, _ core.RatingBlender) (table.ReclusterResult, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls = append(f.calls, fakeCall{shard, pid, max})
+	return table.ReclusterResult{Examined: max, Moved: max}, nil
+}
+
+// heatQuery feeds one fake query for partition pid into the registry:
+// scanned records at the given relevant ratio, bytesPerRecord bytes each.
+func heatQuery(r *obs.Registry, pid uint64, scanned, returned, bytesPerRecord int64) {
+	sp := r.StartQuery(obs.KindSelect)
+	r.FinishQuery(sp, 1000, obs.QueryAgg{
+		PartitionsTotal: 1, PartitionsTouched: 1,
+		EntitiesScanned: scanned, EntitiesReturned: returned,
+		BytesRead: scanned * bytesPerRecord, BytesRelevant: returned * bytesPerRecord,
+	}, []obs.PartSpan{{
+		Partition: pid, Scanned: scanned, Returned: returned, Decoded: returned,
+		Skipped: scanned - returned, BytesRead: scanned * bytesPerRecord,
+		BytesRelevant: returned * bytesPerRecord, BytesSkipped: (scanned - returned) * bytesPerRecord,
+	}})
+}
+
+// TestVictimSelection pins the decide step: victims are the coldest
+// partitions re-ranked by wasted read volume (1-ratio)·bytes, with
+// efficient partitions excluded by the threshold.
+func TestVictimSelection(t *testing.T) {
+	reg := obs.New(obs.Options{})
+	st := &fakeStore{}
+	m := New(st, reg, Config{BatchSize: 10, MaxVictims: 4, MinQueries: 1, VictimThreshold: 0.75})
+	defer m.Close()
+
+	for i := 0; i < 4; i++ {
+		heatQuery(reg, 1, 100, 5, 10)     // cold, tiny volume
+		heatQuery(reg, 2, 100, 10, 10000) // cold-ish, huge wasted volume
+		heatQuery(reg, 3, 100, 90, 10000) // efficient: never a victim
+	}
+	round := m.Tick()
+	if round.Throttled {
+		t.Fatalf("round throttled with no governor: %+v", round)
+	}
+	if len(st.calls) != 2 {
+		t.Fatalf("store calls = %+v, want victims 2 then 1", st.calls)
+	}
+	if st.calls[0].pid != 2 || st.calls[1].pid != 1 {
+		t.Fatalf("victim order = %+v, want wasted-volume ranking [2 1]", st.calls)
+	}
+	for _, c := range st.calls {
+		if c.max != 10 {
+			t.Fatalf("batch allowance = %d, want BatchSize 10", c.max)
+		}
+	}
+	if round.Moved != 20 || round.Examined != 20 {
+		t.Fatalf("round = %+v, want 20 moved/examined", round)
+	}
+	st2 := m.Status()
+	if st2.Rounds != 1 || st2.Moved != 20 || st2.Batches != 2 {
+		t.Fatalf("status = %+v", st2)
+	}
+	if len(st2.PerShard) != 1 || st2.PerShard[0].Shard != -1 || st2.PerShard[0].Moved != 20 {
+		t.Fatalf("per-shard progress = %+v, want shard -1 with 20 moves", st2.PerShard)
+	}
+	if got := reg.Counter(obs.CReclusterMoves); got != 20 {
+		t.Fatalf("CReclusterMoves = %d, want 20", got)
+	}
+}
+
+// TestGovernorThrottles pins the write-rate governor: a round stops
+// handing out batches when the token bucket runs dry and resumes after
+// wall time refills it.
+func TestGovernorThrottles(t *testing.T) {
+	reg := obs.New(obs.Options{})
+	st := &fakeStore{}
+	m := New(st, reg, Config{BatchSize: 10, MaxVictims: 4, MinQueries: 1, MaxMovesPerSec: 10})
+	defer m.Close()
+	now := time.Unix(0, 0)
+	m.now = func() time.Time { return now }
+	m.lastRefill = now
+
+	mkCold := func() {
+		for i := 0; i < 4; i++ {
+			heatQuery(reg, 1, 100, 5, 100)
+			heatQuery(reg, 2, 100, 5, 200)
+		}
+	}
+	mkCold()
+	round := m.Tick()
+	if !round.Throttled {
+		t.Fatalf("round not throttled with a 10-token bucket and two 10-entity victims: %+v", round)
+	}
+	if len(st.calls) != 1 || st.calls[0].max != 10 {
+		t.Fatalf("calls = %+v, want one full batch then dry bucket", st.calls)
+	}
+
+	// No wall time passed: the bucket is still dry.
+	mkCold() // the migrated victim's heat was reset; re-warm both
+	if m.Tick(); len(st.calls) != 1 {
+		t.Fatalf("calls after dry tick = %+v, want still 1", st.calls)
+	}
+
+	// One second refills 10 tokens: the next victim batch proceeds.
+	now = now.Add(time.Second)
+	mkCold()
+	m.Tick()
+	if len(st.calls) != 2 {
+		t.Fatalf("calls after refill = %+v, want 2", st.calls)
+	}
+}
+
+// TestPauseResume pins the drain interaction: a paused manager's ticks
+// are no-ops, and Resume restores normal rounds.
+func TestPauseResume(t *testing.T) {
+	reg := obs.New(obs.Options{})
+	st := &fakeStore{}
+	m := New(st, reg, Config{BatchSize: 10, MaxVictims: 2, MinQueries: 1})
+	defer m.Close()
+	for i := 0; i < 4; i++ {
+		heatQuery(reg, 1, 100, 5, 100)
+	}
+	m.Pause()
+	if round := m.Tick(); !round.Paused {
+		t.Fatalf("tick while paused = %+v, want Paused", round)
+	}
+	if len(st.calls) != 0 {
+		t.Fatalf("paused tick reached the store: %+v", st.calls)
+	}
+	if !m.Status().Paused {
+		t.Fatal("status does not report paused")
+	}
+	m.Resume()
+	if round := m.Tick(); round.Paused || round.Moved == 0 {
+		t.Fatalf("tick after resume = %+v, want a real round", round)
+	}
+}
+
+// TestOutcomeSettlement pins the before/after accounting: a migrated
+// victim's heat is reset at migration, and the next round records an
+// outcome whose after-ratio reflects only post-migration queries.
+func TestOutcomeSettlement(t *testing.T) {
+	reg := obs.New(obs.Options{})
+	st := &fakeStore{}
+	m := New(st, reg, Config{BatchSize: 10, MaxVictims: 1, MinQueries: 1})
+	defer m.Close()
+	for i := 0; i < 4; i++ {
+		heatQuery(reg, 5, 100, 5, 100)
+	}
+	m.Tick() // migrates partition 5, resets its heat
+	if _, known := reg.HeatRatio(-1, 5); known {
+		t.Fatal("victim heat not reset after migration")
+	}
+	// Fresh post-migration reads at a much better ratio.
+	for i := 0; i < 4; i++ {
+		heatQuery(reg, 5, 100, 90, 100)
+	}
+	m.Tick() // settles the outcome for partition 5
+	outs := reg.ReclusterOutcomes()
+	if len(outs) != 1 {
+		t.Fatalf("outcomes = %+v, want exactly one", outs)
+	}
+	o := outs[0]
+	if o.Partition != 5 || !o.AfterKnown {
+		t.Fatalf("outcome = %+v, want settled partition 5", o)
+	}
+	if o.RatioBefore != 0.05 || o.RatioAfter != 0.9 {
+		t.Fatalf("outcome ratios = %v -> %v, want 0.05 -> 0.9", o.RatioBefore, o.RatioAfter)
+	}
+}
+
+// TestWorkloadBlender pins the blend math: queries that scan the
+// candidate partition vote ±their weight on the entity, queries that
+// never scan it are silent, and alpha interpolates with the attribute
+// score.
+func TestWorkloadBlender(t *testing.T) {
+	b := &workloadBlender{
+		alpha:   0.5,
+		queries: []*synopsis.Set{synopsis.Of(1), synopsis.Of(2), synopsis.Of(9)},
+		weights: []float64{3, 1, 100},
+	}
+	pSyn := synopsis.Of(1, 2, 7) // partition scanned by queries 1 and 2, never by 9
+	e := &core.Entity{ID: 1, Syn: synopsis.Of(1, 7)}
+
+	// Entity matches query 1 (+3), is dead weight for query 2 (-1);
+	// query 9's weight 100 is silent. wscore = (3-1)/4 = 0.5.
+	got := b.Blend(e, 1, pSyn, 0.2)
+	want := 0.5*0.2 + 0.5*0.5
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("Blend = %v, want %v", got, want)
+	}
+
+	// No recent query scans the partition: pure attribute score.
+	if got := b.Blend(e, 1, synopsis.Of(7), 0.3); got != 0.3 {
+		t.Fatalf("Blend with silent mix = %v, want attrScore 0.3", got)
+	}
+}

@@ -33,8 +33,10 @@ import (
 	"time"
 
 	"cinderella"
+	"cinderella/internal/core"
 	"cinderella/internal/entity"
 	"cinderella/internal/obs"
+	"cinderella/internal/table"
 )
 
 // manifestVersion guards the on-disk layout.
@@ -343,6 +345,23 @@ func (s *Sharded) Delete(id cinderella.ID) (bool, error) {
 // InsertEntity/UpdateEntity use its id space; entities returned by
 // GetEntity/QueryEntities are translated back into it.
 func (s *Sharded) Dict() *entity.Dictionary { return s.wireDict }
+
+// ReclusterPartition delegates one victim-partition batch to the
+// owning shard's durable table (heat rows carry the shard id, so the
+// reclusterer addresses victims as (shard, partition) pairs). The
+// blender must be built from this shard's query mix: attribute ids are
+// shard-local. Each logged move advances the global LSN clock so the
+// group committer covers recluster writes like any other mutation.
+func (s *Sharded) ReclusterPartition(shard int, pid uint64, max int, blender core.RatingBlender) (table.ReclusterResult, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return table.ReclusterResult{}, fmt.Errorf("shard: recluster on unknown shard %d of %d", shard, len(s.shards))
+	}
+	res, err := s.shards[shard].ReclusterPartition(shard, pid, max, blender)
+	if res.Moved > 0 {
+		s.gAppend.Add(uint64(res.Moved))
+	}
+	return res, err
+}
 
 // shardID translates a wire attribute id to shard si's local id. Unknown
 // wire ids (never registered in the wire dictionary) report false — the

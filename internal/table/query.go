@@ -70,6 +70,9 @@ func (t *Table) SelectSpanned(q *synopsis.Set, sp *obs.QuerySpan) ([]Result, Que
 	if sp.WantDetail() {
 		sp.SetQuery(t.describeSelect(q))
 	}
+	// Record the query's attribute shape into the recent-mix ring; the
+	// reclusterer derives its workload-relevance term from it.
+	t.observer().NoteQueryShape(q)
 	if t.lockedReads.Load() {
 		return t.selectLocked(q, sp)
 	}

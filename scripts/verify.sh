@@ -65,6 +65,30 @@ go test -race \
 	-run 'TestSnapshot|TestView|TestSidecar|TestShardedConcurrentWritersScanAll|TestServerReadsServedDuringDrain' \
 	./internal/table ./internal/storage ./internal/shard ./internal/server
 
+# Recluster pass: the background reclusterer's integrity contract — no
+# entity lost or duplicated under concurrent writers/readers (including
+# a full reopen recount), locked-vs-snapshot equivalence mid-migration,
+# shard-stamped progress, heat decay, and the manager unit suite — must
+# hold under the race detector.
+echo "== go test -race recluster suite"
+go test -race -run 'TestRecluster|TestHeat|TestVictimSelection|TestGovernorThrottles|TestPauseResume|TestOutcomeSettlement|TestWorkloadBlender|TestDebugReclusterEndpoint' \
+	./internal/recluster ./internal/obs ./internal/shard .
+
+# Recluster bench gate: after an adversarial workload shift the
+# reclusterer must recover at least half of the lost EFFICIENCY while
+# keeping writer p99 within budget (BENCH_recluster.json tracks the
+# full-scale run; this re-measures at smoke scale).
+echo "== recluster recovery gate"
+RECL_JSON=$(mktemp)
+go run ./cmd/cinderella-bench -exp recluster -entities 2000 -json "$RECL_JSON"
+grep -q '"recovered_ok": true' "$RECL_JSON" \
+	|| { echo "verify: recluster recovered < 50% of lost efficiency"; cat "$RECL_JSON"; exit 1; }
+grep -q '"reopen_count_ok": true' "$RECL_JSON" \
+	|| { echo "verify: recluster bench lost entities on reopen"; cat "$RECL_JSON"; exit 1; }
+grep -q '"reopen_no_dups_ok": true' "$RECL_JSON" \
+	|| { echo "verify: recluster bench duplicated entities on reopen"; cat "$RECL_JSON"; exit 1; }
+rm -f "$RECL_JSON"
+
 # End-to-end daemon smoke: build cinderellad, start it on an ephemeral
 # port, drive inserts and a query through the HTTP client, SIGTERM it,
 # and require a clean drained exit plus an intact WAL on reopen.
@@ -199,5 +223,46 @@ kill -TERM "$DPID"
 wait "$DPID" || true
 [ "$DOCS" = "500" ] || { echo "verify: reopened wire daemon has $DOCS docs, want 500"; exit 1; }
 echo "binary wire smoke: 500 docs acked over the wire, drained, and recounted"
+
+# Recluster daemon smoke: start cinderellad with the background
+# reclusterer ticking fast, drive a load whose reader mix flips halfway
+# through (-shift-at), and require the /debug/recluster surface and the
+# recluster metric families to be live before a clean drained exit with
+# a full recount.
+echo "== cinderellad -recluster e2e smoke"
+"$SMOKE/cinderellad" -addr 127.0.0.1:0 -wal "$SMOKE/recl.wal" \
+	-recluster -recluster-interval 100ms -recluster-batch 64 \
+	-addr-file "$SMOKE/addr7" >"$SMOKE/daemon7.log" 2>&1 &
+DPID=$!
+for i in $(seq 1 50); do
+	[ -s "$SMOKE/addr7" ] && break
+	sleep 0.1
+done
+[ -s "$SMOKE/addr7" ] || { echo "verify: recluster daemon never bound"; cat "$SMOKE/daemon7.log"; exit 1; }
+ADDR=$(cat "$SMOKE/addr7")
+"$SMOKE/cinderella-load" -target "http://$ADDR" -entities 500 -clients 8 \
+	-readers 4 -shift-at 250 \
+	|| { echo "verify: shifted load against recluster daemon failed"; cat "$SMOKE/daemon7.log"; exit 1; }
+sleep 0.3
+curl -sf "http://$ADDR/debug/recluster" | grep -q '"enabled": true' \
+	|| { echo "verify: /debug/recluster not enabled"; exit 1; }
+curl -sf "http://$ADDR/debug/recluster" | grep -q '"rounds": [1-9]' \
+	|| { echo "verify: reclusterer never completed a round"; curl -s "http://$ADDR/debug/recluster"; exit 1; }
+curl -sf "http://$ADDR/metrics" | grep -q '^cinderella_recluster_rounds_total [1-9]' \
+	|| { echo "verify: recluster round counter never moved"; exit 1; }
+kill -TERM "$DPID"
+wait "$DPID" || { echo "verify: recluster daemon exited non-zero"; cat "$SMOKE/daemon7.log"; exit 1; }
+"$SMOKE/cinderellad" -addr 127.0.0.1:0 -wal "$SMOKE/recl.wal" \
+	-addr-file "$SMOKE/addr8" >"$SMOKE/daemon8.log" 2>&1 &
+DPID=$!
+for i in $(seq 1 50); do
+	[ -s "$SMOKE/addr8" ] && break
+	sleep 0.1
+done
+DOCS=$(curl -sf "http://$(cat "$SMOKE/addr8")/v1/health" | sed 's/.*"docs":\([0-9]*\).*/\1/')
+kill -TERM "$DPID"
+wait "$DPID" || true
+[ "$DOCS" = "500" ] || { echo "verify: reopened recluster daemon has $DOCS docs, want 500"; exit 1; }
+echo "recluster smoke: shifted load reclustered, drained, and recounted"
 
 echo "verify: OK"
