@@ -5,7 +5,7 @@ OBS_PORT ?= 8080
 ADDR ?= 127.0.0.1:8263
 WAL ?= /tmp/cinderella.wal
 
-.PHONY: verify build vet test race bench-hotpath bench-obs bench-server bench-shard bench-read bench-wire bench-trace bench-recluster run-server obs-demo
+.PHONY: verify build vet test race bench-hotpath bench-obs bench-server bench-shard bench-read bench-wire bench-trace bench-recluster bench-tier run-server obs-demo
 
 # verify is the tier-1 gate: build everything, vet, full test suite under
 # the race detector.
@@ -86,6 +86,16 @@ bench-trace:
 # EFFICIENCY recovered) with writer_p99_within_budget=true.
 bench-recluster:
 	$(GO) run ./cmd/cinderella-bench -exp recluster -entities 20000 -json BENCH_recluster.json
+
+# bench-tier measures heat-driven tiered storage under a Zipf-skewed
+# read mix: the tiering manager must get the resident footprint under
+# half the working set, the frozen partitions must compress below 0.6,
+# hot-set p99 must stay within 10% of the untiered baseline, queries
+# pruning the cold tier must charge zero cold bytes, and a reopen must
+# recount exactly with the frozen set restored — and regenerates
+# BENCH_tier.json (see cmd/cinderella-bench -exp tier).
+bench-tier:
+	$(GO) run ./cmd/cinderella-bench -exp tier -entities 20000 -json BENCH_tier.json
 
 # run-server starts cinderellad in the foreground on $(ADDR) with the
 # WAL at $(WAL). Drive it with `cinderella-load -target http://$(ADDR)`

@@ -506,3 +506,11 @@ func (t *Table) IOStats() (pagesRead, pagesWritten, bytesRead, bytesWritten int6
 
 // ResetIOStats zeroes the I/O counters.
 func (t *Table) ResetIOStats() { t.inner.Stats().Reset() }
+
+// ColdIOStats returns the cumulative cold-tier read charge: pages
+// inflated and raw bytes decompressed from frozen partitions. Queries
+// that prune every frozen partition charge nothing here — that is the
+// tiering design's central claim, gated by the tier benchmark.
+func (t *Table) ColdIOStats() (pagesRead, bytesRead int64) {
+	return t.inner.Stats().ColdSnapshot()
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cinderella-bench [-exp all|fig4|fig5|fig6|fig7|fig8|tab1|efficiency|hotpath|obs|server|shard|read|trace|recluster]
+//	cinderella-bench [-exp all|fig4|fig5|fig6|fig7|fig8|tab1|efficiency|hotpath|obs|server|shard|read|trace|recluster|tier]
 //	                 [-entities N] [-sf F] [-seed S] [-json FILE] [-obs :PORT]
 //	                 [-allow-serial]
 //
@@ -45,11 +45,11 @@ import (
 var knownExps = []string{
 	"all", "fig4", "fig5", "fig6", "fig7", "fig8", "tab1",
 	"efficiency", "cache", "churn", "hotpath", "obs", "server", "shard",
-	"read", "trace", "recluster",
+	"read", "trace", "recluster", "tier",
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath, obs, server, shard, read, trace, recluster")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath, obs, server, shard, read, trace, recluster, tier")
 	entities := flag.Int("entities", 100000, "DBpedia-like entity count")
 	sf := flag.Float64("sf", 0.02, "TPC-H-style scale factor for tab1")
 	seed := flag.Int64("seed", 1, "PRNG seed")
@@ -201,6 +201,17 @@ func main() {
 			r, err := experiments.ReclusterBench(o)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "recluster: %v\n", err)
+				os.Exit(1)
+			}
+			r.Print(os.Stdout)
+			writeJSON(r)
+		})
+	}
+	if want("tier") {
+		run("tier", func() {
+			r, err := experiments.TierBench(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tier: %v\n", err)
 				os.Exit(1)
 			}
 			r.Print(os.Stdout)

@@ -10,7 +10,7 @@
 //	                [-strategy cinderella|universal|hash|roundrobin|schemaexact]
 //	                [-obs :PORT] [-hold] [-slow-query D]
 //	cinderella-load -target http://HOST:PORT [-entities N] [-clients N]
-//	                [-readers N] [-shift-at N] [-json FILE] [-trace]
+//	                [-readers N] [-shift-at N] [-zipf S] [-json FILE] [-trace]
 //
 // With -target the data set is driven through a running cinderellad
 // instead of an embedded table: -clients concurrent workers insert over
@@ -24,6 +24,10 @@
 // the attribute list → second half) once N inserts have been acked: an
 // adversarial workload shift for driving the server's background
 // reclusterer (cinderellad -recluster) and the recluster e2e smoke.
+// -zipf S (S > 1) skews the readers' attribute choice with a Zipf
+// distribution so a few attributes absorb most of the heat — the
+// workload shape that lets the server's tiering manager
+// (cinderellad -tier) freeze the partitions the readers never touch.
 // Local-only flags (-w, -b, -strategy,
 // -obs, -hold) are rejected in this mode: the server owns partitioning.
 //
@@ -41,6 +45,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/url"
 	"os"
@@ -147,6 +152,7 @@ func main() {
 	target := flag.String("target", "", "drive a running cinderellad at this base URL instead of an embedded table (with -proto binary: a host:port)")
 	clients := flag.Int("clients", 16, "with -target: concurrent insert workers")
 	readers := flag.Int("readers", 0, "with -target: concurrent query workers running alongside the inserts")
+	zipf := flag.Float64("zipf", 0, "with -target and -readers: Zipf skew exponent for the readers' attribute choice (0 = uniform round-robin; must be > 1, e.g. 1.2)")
 	shiftAt := flag.Int("shift-at", 0, "with -target and -readers: flip the readers' query attribute mix after N acked inserts (adversarial workload shift)")
 	proto := flag.String("proto", "http", "with -target: protocol to drive, http or binary")
 	batch := flag.Int("batch", 1, "with -target: ops per client-side batch (http >1 uses /v1/bulk)")
@@ -189,6 +195,12 @@ func main() {
 	}
 	if *shiftAt > 0 && *readers == 0 {
 		errs = append(errs, "-shift-at requires -readers (it flips the readers' query mix)")
+	}
+	if *zipf != 0 && *zipf <= 1 {
+		errs = append(errs, fmt.Sprintf("-zipf must be > 1 (Zipf exponent; 0 disables skew), got %v", *zipf))
+	}
+	if *zipf != 0 && *readers == 0 {
+		errs = append(errs, "-zipf requires -readers (it skews the readers' attribute choice)")
 	}
 	if *hold && *obsAddr == "" {
 		errs = append(errs, "-hold requires -obs")
@@ -271,7 +283,7 @@ func main() {
 			}
 			return
 		}
-		if err := runTarget(*target, ds, *clients, *readers, *shiftAt, *trace); err != nil {
+		if err := runTarget(*target, ds, *clients, *readers, *shiftAt, *zipf, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "cinderella-load: "+err.Error())
 			os.Exit(1)
 		}
@@ -380,8 +392,13 @@ func main() {
 // first half of the attribute list and flip to the second half once
 // shiftAt inserts have been acked — an adversarial workload shift that
 // invalidates whatever layout the partitioner adapted to, which is the
-// scenario the background reclusterer exists to recover from.
-func runTarget(base string, ds *datagen.Dataset, workers, readers, shiftAt int, trace bool) error {
+// scenario the background reclusterer exists to recover from. With
+// zipf > 1 the readers draw attribute indices from a Zipf distribution
+// with that exponent instead of cycling uniformly, concentrating heat
+// on a few attributes — the skewed read mix that leaves the rest of the
+// partitions cold enough for the server's tiering manager
+// (cinderellad -tier) to freeze.
+func runTarget(base string, ds *datagen.Dataset, workers, readers, shiftAt int, zipf float64, trace bool) error {
 	ctx := context.Background()
 	c, err := client.New(base)
 	if err != nil {
@@ -453,6 +470,14 @@ func runTarget(base string, ds *datagen.Dataset, workers, readers, shiftAt int, 
 		rwg.Add(1)
 		go func(k int) {
 			defer rwg.Done()
+			// rand.Zipf is not safe for concurrent use, so each reader
+			// owns one. Ranking the full attribute list and folding into
+			// the current mix keeps the skew shape across a -shift-at
+			// flip even though the halves differ in length.
+			var zr *rand.Zipf
+			if zipf > 1 {
+				zr = rand.NewZipf(rand.New(rand.NewSource(int64(k)+1)), zipf, 1, uint64(len(attrNames)-1))
+			}
 			for {
 				select {
 				case <-stopReads:
@@ -467,7 +492,11 @@ func runTarget(base string, ds *datagen.Dataset, workers, readers, shiftAt int, 
 							acked.Load(), len(postMix))
 					}
 				}
-				if _, err := c.Query(ctx, mix[k%len(mix)]); err != nil {
+				idx := k % len(mix)
+				if zr != nil {
+					idx = int(zr.Uint64()) % len(mix)
+				}
+				if _, err := c.Query(ctx, mix[idx]); err != nil {
 					readFails.Add(1)
 					firstReadErr.CompareAndSwap(nil, err)
 				} else {
@@ -490,9 +519,13 @@ func runTarget(base string, ds *datagen.Dataset, workers, readers, shiftAt int, 
 		fmt.Printf("  %d inserts failed (first: %v)\n", n, firstErr.Load())
 	}
 	if readers > 0 {
-		fmt.Printf("concurrent reads: %d queries in %v (%.0f reads/s, %d readers)\n",
+		skew := "uniform"
+		if zipf > 1 {
+			skew = fmt.Sprintf("zipf s=%g", zipf)
+		}
+		fmt.Printf("concurrent reads: %d queries in %v (%.0f reads/s, %d readers, %s)\n",
 			reads.Load(), elapsed.Round(time.Millisecond),
-			float64(reads.Load())/elapsed.Seconds(), readers)
+			float64(reads.Load())/elapsed.Seconds(), readers, skew)
 		if shiftAt > 0 {
 			fmt.Printf("  workload shift at %d acked: %d pre-shift reads, %d post-shift reads\n",
 				shiftAt, preReads.Load(), postReads.Load())

@@ -15,6 +15,8 @@
 //	            [-slow-query D] [-trace-sample N]
 //	            [-recluster] [-recluster-interval D] [-recluster-batch N]
 //	            [-recluster-rate R] [-recluster-alpha A] [-recluster-halflife D]
+//	            [-tier] [-tier-interval D] [-tier-target-bytes N]
+//	            [-tier-max-freezes N] [-tier-idle-ticks N] [-tier-reheat N]
 //
 // -recluster starts the background workload-aware reclusterer
 // (internal/recluster): every -recluster-interval it snapshots the
@@ -25,6 +27,18 @@
 // heat map so old workloads fade. Live status, per-victim outcomes,
 // and counters are served at /debug/recluster; the reclusterer pauses
 // when a drain begins.
+//
+// -tier starts the background tiering manager (internal/tier): every
+// -tier-interval it compares the partition heat map against the tier
+// states and freezes partitions that have gone query-idle for
+// -tier-idle-ticks ticks into compressed, read-only cold segments —
+// until the hot tier fits -tier-target-bytes (0 = freeze all idle),
+// at most -tier-max-freezes per tick. Frozen partitions that absorb
+// -tier-reheat cold block reads within a tick are thawed back; any
+// write reaching a frozen partition thaws it immediately. Live status
+// is served at /debug/tier; with -recluster the reclusterer skips
+// frozen partitions. Freeze/thaw transitions are durable (a manifest
+// and the compressed images live next to the WAL) and survive restart.
 //
 // -bin-addr additionally serves the length-prefixed binary protocol
 // (package internal/wire) on its own port. Both protocols share one
@@ -64,6 +78,7 @@ import (
 	"cinderella/internal/recluster"
 	"cinderella/internal/server"
 	"cinderella/internal/shard"
+	"cinderella/internal/tier"
 	"cinderella/internal/wire"
 )
 
@@ -102,6 +117,12 @@ func main() {
 	reclusterRate := flag.Float64("recluster-rate", 0, "max migrations per second, 0 = unlimited (requires -recluster)")
 	reclusterAlpha := flag.Float64("recluster-alpha", 0, "workload-blend weight α ∈ [0,1] (0 = default 0.5; requires -recluster)")
 	reclusterHalfLife := flag.Duration("recluster-halflife", 0, "partition heat exponential-decay half-life (0 = no decay; requires -recluster)")
+	tierOn := flag.Bool("tier", false, "run the background tiering manager: freeze idle partitions into the compressed cold tier (see /debug/tier)")
+	tierInterval := flag.Duration("tier-interval", 0, "tiering tick interval (0 = default 10s; requires -tier)")
+	tierTargetBytes := flag.Int64("tier-target-bytes", 0, "hot-tier resident byte budget; 0 = freeze by idleness alone (requires -tier)")
+	tierMaxFreezes := flag.Int("tier-max-freezes", 0, "max partitions frozen per tick (0 = default 4; requires -tier)")
+	tierIdleTicks := flag.Int("tier-idle-ticks", 0, "consecutive query-idle ticks before a partition freezes (0 = default 2; requires -tier)")
+	tierReheat := flag.Int64("tier-reheat", 0, "cold block reads per tick that reheat a frozen partition (0 = default 4; requires -tier)")
 	flag.Parse()
 
 	st, ok := strategies[*strategy]
@@ -139,6 +160,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cinderellad: -recluster-alpha must be in [0,1], got %v\n", *reclusterAlpha)
 		os.Exit(2)
 	}
+	if !*tierOn && (*tierInterval != 0 || *tierTargetBytes != 0 || *tierMaxFreezes != 0 ||
+		*tierIdleTicks != 0 || *tierReheat != 0) {
+		fmt.Fprintln(os.Stderr, "cinderellad: -tier-* tuning flags require -tier")
+		os.Exit(2)
+	}
+	if *tierInterval < 0 || *tierTargetBytes < 0 || *tierMaxFreezes < 0 || *tierIdleTicks < 0 || *tierReheat < 0 {
+		fmt.Fprintln(os.Stderr, "cinderellad: -tier-* values must be non-negative")
+		os.Exit(2)
+	}
 
 	reg := obs.New(obs.Options{TraceSampleEvery: *traceSample})
 	if *slowQuery > 0 {
@@ -153,13 +183,17 @@ func main() {
 	var d server.Store
 	var ws wire.Store      // entity-level view of the same store, for -bin-addr
 	var rs recluster.Store // migration view of the same store, for -recluster
+	var ts tier.Store      // tiering view of the same store, for -tier
 	var err error
 	if *shards > 1 {
 		sh, serr := shard.Open(*walPath, shard.Options{Shards: *shards, Config: cfg})
-		d, ws, rs, err = sh, sh, sh, serr
+		d, ws, rs, ts, err = sh, sh, sh, sh, serr
 	} else {
 		dt, derr := cinderella.OpenFile(*walPath, cfg)
 		d, ws, rs, err = dt, dt, dt, derr
+		if derr == nil {
+			ts = tier.Single(dt)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cinderellad: opening %s: %v\n", *walPath, err)
@@ -168,19 +202,45 @@ func main() {
 	fmt.Printf("cinderellad: wal %s replayed (%d shards), %d docs, %d partitions\n",
 		*walPath, *shards, d.Len(), len(d.Partitions()))
 
+	// Background tiering manager: freezes partitions the workload has
+	// gone quiet on into the compressed cold tier, reheats frozen ones
+	// the workload comes back to. Status is served at /debug/tier.
+	var tmgr *tier.Manager
+	var tmgrCancel context.CancelFunc
+	if *tierOn {
+		tmgr = tier.New(ts, reg, tier.Config{
+			Interval:            *tierInterval,
+			TargetResidentBytes: *tierTargetBytes,
+			MaxFreezesPerTick:   *tierMaxFreezes,
+			MinIdleTicks:        *tierIdleTicks,
+			ReheatColdReads:     *tierReheat,
+		})
+		var tctx context.Context
+		tctx, tmgrCancel = context.WithCancel(context.Background())
+		go tmgr.Run(tctx)
+		fmt.Printf("cinderellad: tiering on (interval %v)\n", tmgr.Status().Interval)
+	}
+
 	// Background reclusterer: observes the partition heat map, migrates
 	// the worst read-efficiency offenders toward the live query mix.
-	// Status and outcomes are served at /debug/recluster.
+	// Status and outcomes are served at /debug/recluster. With -tier it
+	// skips frozen partitions — re-rating members would thaw them.
 	var mgr *recluster.Manager
 	var mgrCancel context.CancelFunc
 	if *reclusterOn {
-		mgr = recluster.New(rs, reg, recluster.Config{
+		rcfg := recluster.Config{
 			Interval:       *reclusterInterval,
 			BatchSize:      *reclusterBatch,
 			MaxMovesPerSec: *reclusterRate,
 			Alpha:          *reclusterAlpha,
 			HeatHalfLife:   *reclusterHalfLife,
-		})
+		}
+		if tmgr != nil {
+			rcfg.VictimFilter = func(shard int32, pid uint64) bool {
+				return !tmgr.IsFrozen(int(shard), pid)
+			}
+		}
+		mgr = recluster.New(rs, reg, rcfg)
 		var rctx context.Context
 		rctx, mgrCancel = context.WithCancel(context.Background())
 		go mgr.Run(rctx)
@@ -264,6 +324,11 @@ func main() {
 		mgr.Pause()
 		mgrCancel()
 		mgr.Close()
+	}
+	if tmgr != nil {
+		tmgr.Pause()
+		tmgrCancel()
+		tmgr.Close()
 	}
 	srv.BeginDrain()
 	if wsrv != nil {

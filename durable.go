@@ -81,6 +81,13 @@ func OpenFile(path string, cfg Config) (*DurableTable, error) {
 	}
 	d.logged = t.dict.Len()
 
+	// Restore the cold tier: verify every manifest-listed image and
+	// re-freeze the listed partitions from the replayed rows. A corrupt
+	// image refuses the open (see recoverTier).
+	if err := d.recoverTier(); err != nil {
+		return nil, err
+	}
+
 	w, err := wal.Create(path)
 	if err != nil {
 		return nil, err
@@ -484,7 +491,14 @@ func (d *DurableTable) Checkpoint() error {
 	// clock across the writer swap and mark all of it durable.
 	d.base = d.appendLSN.Load()
 	d.durableLSN.Store(d.base)
-	return nil
+	// Reconcile the tier manifest with the live frozen set (implicit
+	// thaws leave it over-reporting until now) and refresh the images.
+	frozen := d.inner.FrozenPartitions()
+	pids := make([]uint64, len(frozen))
+	for i, p := range frozen {
+		pids[i] = uint64(p)
+	}
+	return d.persistTier(pids...)
 }
 
 // Close syncs and closes the log. The table remains readable in memory.

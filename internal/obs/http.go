@@ -18,6 +18,7 @@ import (
 //	/debug/vars  expvar (the registry snapshot is published as "cinderella")
 //	/debug/heat  per-partition heat map, JSON (see heat.go)
 //	/debug/slow  slow-query log and recent sampled traces, JSON
+//	/debug/tier  tiering manager status and freeze/thaw counters, JSON
 //	/debug/pprof net/http/pprof profiles
 //
 // cmd/cinderella-load and cmd/cinderella-bench wire it behind -obs :PORT.
@@ -50,6 +51,7 @@ func (r *Registry) Mux() *http.ServeMux {
 	mux.HandleFunc("/debug/heat", r.handleHeat)
 	mux.HandleFunc("/debug/slow", r.handleSlow)
 	mux.HandleFunc("/debug/recluster", r.handleRecluster)
+	mux.HandleFunc("/debug/tier", r.handleTier)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -60,7 +62,7 @@ func (r *Registry) Mux() *http.ServeMux {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "cinderella ops endpoint\n\n/metrics\n/debug/vars\n/debug/heat\n/debug/slow\n/debug/recluster\n/debug/pprof/\n")
+		fmt.Fprint(w, "cinderella ops endpoint\n\n/metrics\n/debug/vars\n/debug/heat\n/debug/slow\n/debug/recluster\n/debug/tier\n/debug/pprof/\n")
 	})
 	return mux
 }
@@ -134,6 +136,23 @@ func (r *Registry) handleRecluster(w http.ResponseWriter, _ *http.Request) {
 			"batches":  r.Counter(CReclusterBatches),
 			"moves":    r.Counter(CReclusterMoves),
 			"examined": r.Counter(CReclusterExamined),
+		},
+	})
+}
+
+// handleTier serves the tiering manager's live status: whether a
+// manager is attached (enabled), its Status snapshot (per-partition
+// tier states, resident-byte budget, reheat activity), and the
+// freeze/thaw transition counters. With no manager installed it still
+// answers — enabled:false — so probes need no special case.
+func (r *Registry) handleTier(w http.ResponseWriter, _ *http.Request) {
+	status, enabled := r.tierStatusValue()
+	writeDebugJSON(w, map[string]any{
+		"enabled": enabled,
+		"status":  status,
+		"counters": map[string]int64{
+			"freezes": r.Counter(CTierFreezes),
+			"thaws":   r.Counter(CTierThaws),
 		},
 	})
 }

@@ -89,6 +89,11 @@ const (
 	CReclusterMoves
 	CReclusterExamined
 
+	// Tiered-storage counters, published by the table layer's freeze
+	// and thaw transitions (internal/table tier.go).
+	CTierFreezes
+	CTierThaws
+
 	numCounters
 )
 
@@ -140,6 +145,9 @@ var counterNames = [numCounters]string{
 	CReclusterBatches:  "cinderella_recluster_batches_total",
 	CReclusterMoves:    "cinderella_recluster_moves_total",
 	CReclusterExamined: "cinderella_recluster_examined_total",
+
+	CTierFreezes: "cinderella_tier_freezes_total",
+	CTierThaws:   "cinderella_tier_thaws_total",
 }
 
 // counterHelp documents each counter for the /metrics HELP lines.
@@ -186,6 +194,8 @@ var counterHelp = [numCounters]string{
 	CReclusterBatches:  "Victim-partition migration batches executed by the reclusterer.",
 	CReclusterMoves:    "Entities relocated to another partition by reclustering.",
 	CReclusterExamined: "Entities re-rated by the reclusterer (moved or kept in place).",
+	CTierFreezes:       "Partitions frozen into the compressed cold storage tier.",
+	CTierThaws:         "Partitions thawed back into the hot tier (mutation or reheat).",
 }
 
 // effSample is one query's contribution to the windowed estimator.
@@ -296,6 +306,10 @@ type state struct {
 	reclNext        int
 	reclLen         int
 	reclusterStatus atomic.Pointer[func() any]
+
+	// tierStatus is the live status provider behind /debug/tier,
+	// installed by the tiering manager (internal/tier).
+	tierStatus atomic.Pointer[func() any]
 }
 
 // shardSlot attributes a core counter subset to one shard. The aggregate

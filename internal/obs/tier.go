@@ -1,0 +1,33 @@
+package obs
+
+// Tiered-storage observability: the live status provider behind
+// /debug/tier. The tiering manager (internal/tier) installs a closure
+// over its Status method, mirroring the reclusterer's arrangement; the
+// freeze/thaw transition counters themselves are ordinary registry
+// counters (CTierFreezes, CTierThaws) published by the table layer.
+
+// SetTierStatus installs (or, with nil, removes) the live status
+// provider behind /debug/tier. Nil-safe.
+func (r *Registry) SetTierStatus(f func() any) {
+	if r == nil {
+		return
+	}
+	if f == nil {
+		r.tierStatus.Store(nil)
+		return
+	}
+	r.tierStatus.Store(&f)
+}
+
+// tierStatusValue resolves the installed provider, reporting whether a
+// tiering manager is attached at all.
+func (r *Registry) tierStatusValue() (any, bool) {
+	if r == nil {
+		return nil, false
+	}
+	f := r.tierStatus.Load()
+	if f == nil {
+		return nil, false
+	}
+	return (*f)(), true
+}

@@ -71,6 +71,13 @@ type Config struct {
 	// HeatHalfLife, when > 0, arms exponential heat decay on the
 	// registry so victims reflect the recent workload.
 	HeatHalfLife time.Duration
+	// VictimFilter, when set, vetoes candidates: a (shard, partition)
+	// for which it returns false is never selected. The daemon installs
+	// the tiering manager's not-frozen check here so the reclusterer
+	// does not re-rate a partition the tierer just compressed (every
+	// re-rated member would thaw it again, and the two background
+	// services would fight over the same partition).
+	VictimFilter func(shard int32, pid uint64) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -455,6 +462,9 @@ func (m *Manager) selectVictims() []Victim {
 	var out []Victim
 	for _, row := range rows {
 		if row.ReadRatio >= m.cfg.VictimThreshold {
+			continue
+		}
+		if m.cfg.VictimFilter != nil && !m.cfg.VictimFilter(row.Shard, row.Partition) {
 			continue
 		}
 		out = append(out, Victim{

@@ -6,21 +6,33 @@ import (
 	"sync/atomic"
 )
 
-// BufferCache simulates a bounded page cache shared by many segments,
-// with LRU replacement — the "caching" aspect of physical design named in
-// the paper's future work. Page accesses during scans and point reads are
-// routed through the cache; the hit/miss counters quantify how much a
-// partitioning's access locality is worth: a selective workload over a
-// Cinderella partitioning touches few partitions repeatedly and keeps
-// their pages resident, while the same workload over a universal table
-// floods the cache with full scans.
+// BufferCache simulates a bounded page cache shared by many segments —
+// the "caching" aspect of physical design named in the paper's future
+// work. Page accesses during scans and point reads are routed through
+// the cache; the hit/miss counters quantify how much a partitioning's
+// access locality is worth: a selective workload over a Cinderella
+// partitioning touches few partitions repeatedly and keeps their pages
+// resident, while the same workload over a universal table floods the
+// cache with full scans.
+//
+// Two properties matter at scale and shape the implementation:
+//
+//   - The cache is touched once per page by every parallel partition
+//     scan, so a single mutex serializes the whole read path. Large
+//     caches are split 16 ways by a hash of the page key; each shard
+//     has its own lock, lists, and counters. Tiny caches (below one
+//     page per shard region) stay single-sharded so unit-level
+//     eviction order remains exact.
+//
+//   - Replacement is segmented LRU, not plain LRU: a missed page
+//     enters a probationary list and is only promoted to the
+//     protected list on a re-reference. One sequential scan therefore
+//     churns probation and leaves the re-referenced hot set resident,
+//     where plain LRU would admit every scanned page straight to MRU
+//     and evict the hot set (scan flooding).
 type BufferCache struct {
-	mu       sync.Mutex
 	capacity int
-	lru      *list.List // front = most recent; values are pageKey
-	pages    map[pageKey]*list.Element
-	hits     int64
-	misses   int64
+	shards   []cacheShard
 }
 
 type pageKey struct {
@@ -28,66 +40,154 @@ type pageKey struct {
 	page int
 }
 
+// slruEntry is a resident page; prot tells which list it is on.
+type slruEntry struct {
+	key  pageKey
+	prot bool
+}
+
+// cacheShard is one independently locked slice of the cache.
+type cacheShard struct {
+	mu        sync.Mutex
+	capacity  int
+	protCap   int        // max protected-list length (~4/5 of capacity)
+	probation *list.List // front = most recent; values are *slruEntry
+	protected *list.List
+	pages     map[pageKey]*list.Element
+	hits      int64
+	misses    int64
+}
+
+// shardThreshold is the capacity below which the cache stays
+// single-sharded: splitting a tiny cache 16 ways would give shards of
+// zero or one page and make eviction order depend on key hashes.
+const shardThreshold = 64
+
 // NewBufferCache returns a cache holding up to capacity pages.
 func NewBufferCache(capacity int) *BufferCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferCache{
-		capacity: capacity,
-		lru:      list.New(),
-		pages:    make(map[pageKey]*list.Element),
+	n := 1
+	if capacity >= shardThreshold {
+		n = 16
 	}
+	c := &BufferCache{capacity: capacity, shards: make([]cacheShard, n)}
+	for i := range c.shards {
+		cap := capacity / n
+		if i < capacity%n {
+			cap++
+		}
+		s := &c.shards[i]
+		s.capacity = cap
+		if s.protCap = cap * 4 / 5; s.protCap < 1 {
+			s.protCap = 1
+		}
+		s.probation = list.New()
+		s.protected = list.New()
+		s.pages = make(map[pageKey]*list.Element)
+	}
+	return c
 }
 
-// touch records an access to (seg, page), returning whether it was a hit.
+// shard maps a page key onto its shard by a splitmix64-style finalizer,
+// so consecutive pages of one segment spread across all locks.
+func (c *BufferCache) shard(k pageKey) *cacheShard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	x := uint64(k.page)*0x9e3779b97f4a7c15 + k.seg
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return &c.shards[x&15]
+}
+
+// touch records an access to (seg, page), returning whether it was a
+// hit. Misses are admitted on probation; a hit on a probationary page
+// promotes it to the protected list (demoting the protected LRU page
+// back to probation when that list is full), so only re-referenced
+// pages can displace the hot set.
 func (c *BufferCache) touch(seg uint64, page int) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	k := pageKey{seg: seg, page: page}
-	if el, ok := c.pages[k]; ok {
-		c.lru.MoveToFront(el)
-		c.hits++
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.pages[k]; ok {
+		s.hits++
+		e := el.Value.(*slruEntry)
+		if e.prot {
+			s.protected.MoveToFront(el)
+			return true
+		}
+		// Second reference: promote out of probation.
+		s.probation.Remove(el)
+		e.prot = true
+		s.pages[k] = s.protected.PushFront(e)
+		if s.protected.Len() > s.protCap {
+			demoted := s.protected.Back()
+			s.protected.Remove(demoted)
+			d := demoted.Value.(*slruEntry)
+			d.prot = false
+			s.pages[d.key] = s.probation.PushFront(d)
+		}
 		return true
 	}
-	c.misses++
-	el := c.lru.PushFront(k)
-	c.pages[k] = el
-	if c.lru.Len() > c.capacity {
-		victim := c.lru.Back()
-		c.lru.Remove(victim)
-		delete(c.pages, victim.Value.(pageKey))
+	s.misses++
+	s.pages[k] = s.probation.PushFront(&slruEntry{key: k})
+	if s.probation.Len()+s.protected.Len() > s.capacity {
+		victims := s.probation
+		if victims.Len() == 0 {
+			victims = s.protected
+		}
+		victim := victims.Back()
+		victims.Remove(victim)
+		delete(s.pages, victim.Value.(*slruEntry).key)
 	}
 	return false
 }
 
-// evictSegment drops all cached pages of a segment (segment truncated or
-// partition dropped).
+// evictSegment drops all cached pages of a segment (segment truncated,
+// partition dropped, or partition frozen to the cold tier).
 func (c *BufferCache) evictSegment(seg uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for el := c.lru.Front(); el != nil; {
-		next := el.Next()
-		if el.Value.(pageKey).seg == seg {
-			c.lru.Remove(el)
-			delete(c.pages, el.Value.(pageKey))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, el := range s.pages {
+			if k.seg != seg {
+				continue
+			}
+			if el.Value.(*slruEntry).prot {
+				s.protected.Remove(el)
+			} else {
+				s.probation.Remove(el)
+			}
+			delete(s.pages, k)
 		}
-		el = next
+		s.mu.Unlock()
 	}
 }
 
-// Stats returns cumulative hit and miss counts.
+// Stats returns cumulative hit and miss counts summed over all shards.
 func (c *BufferCache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }
 
 // Reset zeroes the counters (the cached set is kept).
 func (c *BufferCache) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hits, c.misses = 0, 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.hits, s.misses = 0, 0
+		s.mu.Unlock()
+	}
 }
 
 // HitRatio returns hits/(hits+misses), or 0 before any access.
@@ -101,9 +201,14 @@ func (c *BufferCache) HitRatio() float64 {
 
 // Len returns the number of resident pages.
 func (c *BufferCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.probation.Len() + s.protected.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // segmentIDs issues unique segment identities for cache keys.

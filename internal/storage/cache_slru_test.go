@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheScanResistance interleaves a point-read working set with a
+// full sequential scan several times its size. Under plain LRU the scan
+// admits every page straight to MRU and evicts the hot set; under SLRU
+// the scanned pages churn probation only, so the hot set must still be
+// resident — and hit — after the scan.
+func TestCacheScanResistance(t *testing.T) {
+	const capacity = 256
+	c := NewBufferCache(capacity)
+
+	// Warm a small hot set with repeated point reads: the second touch
+	// of each page promotes it to the protected list.
+	const hotSet = 32
+	for pass := 0; pass < 2; pass++ {
+		for p := 0; p < hotSet; p++ {
+			c.touch(1, p)
+		}
+	}
+
+	// One full scan of a cold segment 4x the cache size, interleaved
+	// with occasional hot point reads (as parallel queries would).
+	for p := 0; p < 4*capacity; p++ {
+		c.touch(2, p)
+		if p%64 == 0 {
+			c.touch(1, p%hotSet)
+		}
+	}
+
+	// Every hot page must have survived the scan.
+	c.Reset()
+	for p := 0; p < hotSet; p++ {
+		if !c.touch(1, p) {
+			t.Fatalf("hot page %d evicted by a sequential scan", p)
+		}
+	}
+	if h, m := c.Stats(); h != hotSet || m != 0 {
+		t.Fatalf("post-scan hot set stats = %d/%d, want %d/0", h, m, hotSet)
+	}
+}
+
+// TestCacheScanThenRepointKeepsProbationBounded drives only misses and
+// checks the cache never exceeds its capacity, whichever list pages
+// land on.
+func TestCacheScanThenRepointKeepsProbationBounded(t *testing.T) {
+	c := NewBufferCache(128)
+	for p := 0; p < 10_000; p++ {
+		c.touch(3, p)
+	}
+	if c.Len() > 128 {
+		t.Fatalf("Len = %d exceeds capacity", c.Len())
+	}
+}
+
+// singleLockCache is the pre-sharding BufferCache: one mutex, one plain
+// LRU list. It exists only as the "before" half of
+// BenchmarkBufferCacheParallel.
+type singleLockCache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List
+	pages    map[pageKey]*list.Element
+	hits     int64
+	misses   int64
+}
+
+func newSingleLockCache(capacity int) *singleLockCache {
+	return &singleLockCache{
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[pageKey]*list.Element),
+	}
+}
+
+func (c *singleLockCache) touch(seg uint64, page int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := pageKey{seg: seg, page: page}
+	if el, ok := c.pages[k]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	c.pages[k] = c.lru.PushFront(k)
+	if c.lru.Len() > c.capacity {
+		victim := c.lru.Back()
+		c.lru.Remove(victim)
+		delete(c.pages, victim.Value.(pageKey))
+	}
+	return false
+}
+
+// BenchmarkBufferCacheParallel measures page-touch throughput with all
+// GOMAXPROCS goroutines hammering the cache, as parallel partition
+// scans do. The "single" case is the historical one-mutex LRU; the
+// "sharded" case is the live 16-way SLRU.
+func BenchmarkBufferCacheParallel(b *testing.B) {
+	const capacity = 4096
+	const span = 8192 // touched key space: half resident, steady churn
+	b.Run("single", func(b *testing.B) {
+		c := newSingleLockCache(capacity)
+		var seq atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			s := seq.Add(1)
+			p := 0
+			for pb.Next() {
+				c.touch(s%4, p%span)
+				p += 7
+			}
+		})
+	})
+	b.Run("sharded", func(b *testing.B) {
+		c := NewBufferCache(capacity)
+		var seq atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			s := seq.Add(1)
+			p := 0
+			for pb.Next() {
+				c.touch(s%4, p%span)
+				p += 7
+			}
+		})
+	})
+}

@@ -27,6 +27,13 @@ type Stats struct {
 	bytesRead   atomic.Int64
 	bytesWrit   atomic.Int64
 	recordsRead atomic.Int64
+
+	// Cold-tier reads: pages and raw bytes inflated from compressed
+	// cold blocks, charged on top of the ordinary read counters so the
+	// cost of touching the cold tier stays separately visible (and
+	// "pruning read zero cold bytes" is a checkable claim).
+	coldPagesRead atomic.Int64
+	coldBytesRead atomic.Int64
 }
 
 // Reset zeroes all counters.
@@ -36,6 +43,8 @@ func (s *Stats) Reset() {
 	s.bytesRead.Store(0)
 	s.bytesWrit.Store(0)
 	s.recordsRead.Store(0)
+	s.coldPagesRead.Store(0)
+	s.coldBytesRead.Store(0)
 }
 
 // Snapshot returns a copy of the counters.
@@ -44,10 +53,21 @@ func (s *Stats) Snapshot() (pagesRead, pagesWrit, bytesRead, bytesWrit, recordsR
 		s.bytesWrit.Load(), s.recordsRead.Load()
 }
 
+// ColdSnapshot returns the cold-tier read counters: pages and raw bytes
+// decompressed from frozen blocks since the last Reset.
+func (s *Stats) ColdSnapshot() (coldPagesRead, coldBytesRead int64) {
+	return s.coldPagesRead.Load(), s.coldBytesRead.Load()
+}
+
 func (s *Stats) addRead(pages, bytes, records int64) {
 	s.pagesRead.Add(pages)
 	s.bytesRead.Add(bytes)
 	s.recordsRead.Add(records)
+}
+
+func (s *Stats) addColdRead(pages, bytes int64) {
+	s.coldPagesRead.Add(pages)
+	s.coldBytesRead.Add(bytes)
 }
 
 func (s *Stats) addWrite(pages, bytes int64) {

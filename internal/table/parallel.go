@@ -91,8 +91,15 @@ type partScan struct {
 // (the union branch for this partition) and filtering by the query
 // synopsis. A nil q keeps every record (full scan).
 func (t *Table) scanPartition(pid core.PartitionID, q *synopsis.Set) partScan {
+	seg, hot := t.segs[pid]
+	if !hot {
+		// Frozen partition: locked mode scans the cold view in place (the
+		// segment is immutable under the read lock anyway). QueryReport
+		// counters are identical to the hot path.
+		return scanSnapPart(&partSnap{pid: pid, cold: t.cold[pid].View()}, q)
+	}
 	ps := partScan{pid: pid}
-	t.segs[pid].Scan(func(rid storage.RecordID, rec []byte) bool {
+	seg.Scan(func(rid storage.RecordID, rec []byte) bool {
 		ps.scanned++
 		ps.bytesRead += int64(len(rec))
 		id, e, err := decodeRecord(rec)
@@ -112,8 +119,12 @@ func (t *Table) scanPartition(pid core.PartitionID, q *synopsis.Set) partScan {
 // scanPartitionWhere scans one partition's segment filtering by value
 // predicates (conjunction).
 func (t *Table) scanPartitionWhere(pid core.PartitionID, preds []Pred) partScan {
+	seg, hot := t.segs[pid]
+	if !hot {
+		return scanSnapPartWhere(&partSnap{pid: pid, cold: t.cold[pid].View()}, preds, predNeed(preds))
+	}
 	ps := partScan{pid: pid}
-	t.segs[pid].Scan(func(_ storage.RecordID, rec []byte) bool {
+	seg.Scan(func(_ storage.RecordID, rec []byte) bool {
 		ps.scanned++
 		ps.bytesRead += int64(len(rec))
 		id, e, err := decodeRecord(rec)

@@ -99,7 +99,7 @@ func (t *Table) ReclusterEntity(id core.EntityID, expect core.PartitionID, blend
 		t.pendingDone = true
 	}
 	t.endOp(id)
-	t.observer().SetPartitions(int64(len(t.segs)))
+	t.observer().SetPartitions(t.numPartsLocked())
 	if pid == expect {
 		return ReclusterMove{}, true, false
 	}

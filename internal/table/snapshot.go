@@ -53,11 +53,29 @@ import (
 // falls back to the read lock.
 const captureRetries = 16
 
-// partSnap is one partition's published snapshot. Immutable.
+// partSnap is one partition's published snapshot. Immutable. Exactly
+// one of view and cold is populated: hot partitions publish a segment
+// view, frozen partitions a cold view over the compressed tier.
 type partSnap struct {
 	pid  core.PartitionID
 	syn  *synopsis.Set // attribute synopsis for pruning (copy-on-flip, frozen)
 	view storage.SegView
+	cold storage.ColdView
+}
+
+// recView is the scan surface shared by hot segment views and cold
+// partition views; the scan loops are tier-agnostic behind it.
+type recView interface {
+	Scan(fn func(id storage.RecordID, n int, syn *synopsis.Set) bool)
+	Record(id storage.RecordID) []byte
+}
+
+// reader returns the snapshot's tier-appropriate scan handle.
+func (ps *partSnap) reader() recView {
+	if ps.cold.Cold() {
+		return ps.cold
+	}
+	return &ps.view
 }
 
 // partHandle is the stable per-partition publication slot.
@@ -96,9 +114,15 @@ func (t *Table) markDirty(pid core.PartitionID) {
 func (t *Table) endMut() {
 	changed := len(t.dirty) > 0 || t.dirChanged
 	for pid := range t.dirty {
-		seg, ok := t.segs[pid]
 		h := t.handles[pid]
-		if !ok {
+		var ps *partSnap
+		if seg, ok := t.segs[pid]; ok {
+			ps = &partSnap{pid: pid, syn: t.attrSyn[pid], view: seg.View()}
+		} else if cs, ok := t.cold[pid]; ok {
+			// Frozen partition: publish the cold view (the segment is
+			// immutable, so the view is just a handle).
+			ps = &partSnap{pid: pid, syn: t.attrSyn[pid], cold: cs.View()}
+		} else {
 			// Partition dropped.
 			if h != nil {
 				delete(t.handles, pid)
@@ -106,7 +130,6 @@ func (t *Table) endMut() {
 			}
 			continue
 		}
-		ps := &partSnap{pid: pid, syn: t.attrSyn[pid], view: seg.View()}
 		if h == nil {
 			h = &partHandle{pid: pid}
 			t.handles[pid] = h
@@ -185,7 +208,7 @@ func (t *Table) SnapshotEpoch() uint64 { return t.epoch.Load() }
 // skip never changes the result set.
 func scanSnapPart(ps *partSnap, q *synopsis.Set) partScan {
 	sc := partScan{pid: ps.pid}
-	v := &ps.view
+	v := ps.reader()
 	v.Scan(func(id storage.RecordID, n int, syn *synopsis.Set) bool {
 		sc.scanned++
 		sc.bytesRead += int64(n)
@@ -214,7 +237,7 @@ func scanSnapPart(ps *partSnap, q *synopsis.Set) partScan {
 // synopsis does not cover need are skipped without decoding.
 func scanSnapPartWhere(ps *partSnap, preds []Pred, need *synopsis.Set) partScan {
 	sc := partScan{pid: ps.pid}
-	v := &ps.view
+	v := ps.reader()
 	v.Scan(func(id storage.RecordID, n int, syn *synopsis.Set) bool {
 		sc.scanned++
 		sc.bytesRead += int64(n)

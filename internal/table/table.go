@@ -118,6 +118,11 @@ type Table struct {
 	cache *storage.BufferCache
 
 	segs map[core.PartitionID]*storage.Segment
+	// cold holds the frozen partitions (see tier.go): a partition lives
+	// in exactly one of segs and cold. Frozen partitions keep their
+	// pruning synopsis, zone maps, and record sidecar hot; mutations
+	// transparently thaw through seg().
+	cold map[core.PartitionID]*storage.ColdSegment
 	rows map[core.EntityID]rowLoc
 	// attrRefs maintains the exact per-partition attribute synopsis for
 	// query pruning; it is independent of the partitioner's synopses,
@@ -165,6 +170,10 @@ type Table struct {
 	// readers, so they need their own mutex.
 	qmu     sync.Mutex
 	queries QueryStats
+
+	// Tier transition counters (see tier.go).
+	tierFreezes atomic.Int64
+	tierThaws   atomic.Int64
 }
 
 // QueryStats aggregates query-side counters.
@@ -204,6 +213,7 @@ func New(cfg Config) *Table {
 		stats:     cfg.Stats,
 		cache:     cfg.Cache,
 		segs:      make(map[core.PartitionID]*storage.Segment),
+		cold:      make(map[core.PartitionID]*storage.ColdSegment),
 		rows:      make(map[core.EntityID]rowLoc),
 		attrRefs:  make(map[core.PartitionID]map[int]int),
 		attrSyn:   make(map[core.PartitionID]*synopsis.Set),
@@ -243,8 +253,13 @@ func (t *Table) setObserverLocked(r *obs.Registry) {
 	if o, ok := t.assigner.(observable); ok {
 		o.SetObserver(r)
 	}
-	r.SetPartitions(int64(len(t.segs)))
+	r.SetPartitions(t.numPartsLocked())
 	r.SetSnapshotEpoch(int64(t.epoch.Load()))
+}
+
+// numPartsLocked counts partitions across both tiers. Callers hold mu.
+func (t *Table) numPartsLocked() int64 {
+	return int64(len(t.segs) + len(t.cold))
 }
 
 // Dict returns the table's attribute dictionary.
@@ -322,6 +337,16 @@ func (t *Table) onPlacement(pl core.Placement) {
 			}
 			seg.DropFromCache()
 		}
+		if cs := t.cold[pl.From]; cs != nil {
+			// Unreachable in practice: member removals thaw first, so a
+			// frozen partition is never empty, and the partitioner only
+			// drops empty partitions. Refuse data loss if it ever happens.
+			if cs.NumRecords() != 0 {
+				panic(fmt.Sprintf("table: partitioner dropped non-empty frozen partition %d", pl.From))
+			}
+			cs.DropFromCache()
+			delete(t.cold, pl.From)
+		}
 		delete(t.segs, pl.From)
 		delete(t.attrRefs, pl.From)
 		delete(t.attrSyn, pl.From)
@@ -381,9 +406,17 @@ func (t *Table) onPlacement(pl core.Placement) {
 	}
 }
 
+// seg returns pid's hot segment for a mutation, creating it when the
+// partition is new — and transparently thawing it first when the
+// partition is frozen: every write path (insert placement, delete,
+// update, recluster move) reaches the segment through here, so the cold
+// tier never sees a mutation. Callers hold the write lock.
 func (t *Table) seg(pid core.PartitionID) *storage.Segment {
 	s, ok := t.segs[pid]
 	if !ok {
+		if cs, frozen := t.cold[pid]; frozen {
+			return t.thawLocked(pid, cs)
+		}
 		s = storage.NewSegment(t.stats)
 		if t.cache != nil {
 			s.AttachCache(t.cache)
@@ -492,7 +525,7 @@ func (t *Table) insertLocked(id core.EntityID, e *entity.Entity) {
 	t.endOp(id)
 	if r := t.observer(); r != nil {
 		r.ObserveInsertNs(lapNs(start))
-		r.SetPartitions(int64(len(t.segs)))
+		r.SetPartitions(t.numPartsLocked())
 	}
 }
 
@@ -537,7 +570,17 @@ func (t *Table) Get(id core.EntityID) (*entity.Entity, bool) {
 	if !ok {
 		return nil, false
 	}
-	rec, err := t.segs[loc.pid].Read(loc.rid)
+	var rec []byte
+	var err error
+	if seg, hot := t.segs[loc.pid]; hot {
+		rec, err = seg.Read(loc.rid)
+	} else if cs, frozen := t.cold[loc.pid]; frozen {
+		// Point read from the cold tier: decompress the record's block,
+		// admit the page into the buffer cache, leave the tier frozen.
+		rec, err = cs.Read(loc.rid)
+	} else {
+		panic(fmt.Sprintf("table: entity %d points at missing partition %d", id, loc.pid))
+	}
 	if err != nil {
 		return nil, false
 	}
@@ -566,7 +609,7 @@ func (t *Table) Delete(id core.EntityID) bool {
 	delete(t.rows, id)
 	delete(t.entityAtt, id)
 	t.assigner.Delete(id)
-	t.observer().SetPartitions(int64(len(t.segs)))
+	t.observer().SetPartitions(t.numPartsLocked())
 	return true
 }
 
@@ -607,7 +650,7 @@ func (t *Table) Update(id core.EntityID, e *entity.Entity) bool {
 		t.pendingDone = true
 	}
 	t.endOp(id)
-	t.observer().SetPartitions(int64(len(t.segs)))
+	t.observer().SetPartitions(t.numPartsLocked())
 	return true
 }
 
@@ -625,7 +668,7 @@ func (t *Table) Compact(threshold float64) int {
 		return 0
 	}
 	n := c.Compact(threshold)
-	t.observer().SetPartitions(int64(len(t.segs)))
+	t.observer().SetPartitions(t.numPartsLocked())
 	return n
 }
 
@@ -664,11 +707,11 @@ func (t *Table) Len() int {
 	return len(t.rows)
 }
 
-// NumPartitions returns the partition count.
+// NumPartitions returns the partition count across both tiers.
 func (t *Table) NumPartitions() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.segs)
+	return len(t.segs) + len(t.cold)
 }
 
 // PartitionView describes one partition for metrics and reporting.
@@ -678,13 +721,18 @@ type PartitionView struct {
 	Entities int
 	Bytes    int64
 	Pages    int
+	// Cold marks a frozen partition; CompressedBytes is its resident
+	// cold-tier footprint (0 for hot partitions).
+	Cold            bool
+	CompressedBytes int64
 }
 
-// Partitions snapshots the physical partitions ordered by id.
+// Partitions snapshots the physical partitions of both tiers ordered by
+// id.
 func (t *Table) Partitions() []PartitionView {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make([]PartitionView, 0, len(t.segs))
+	out := make([]PartitionView, 0, len(t.segs)+len(t.cold))
 	for pid, seg := range t.segs {
 		// Clone the synopsis: callers read the views after the lock is
 		// released, while inserts keep mutating the live sets.
@@ -694,6 +742,17 @@ func (t *Table) Partitions() []PartitionView {
 			Entities: seg.NumRecords(),
 			Bytes:    seg.LiveBytes(),
 			Pages:    seg.NumPages(),
+		})
+	}
+	for pid, cs := range t.cold {
+		out = append(out, PartitionView{
+			ID:              pid,
+			Synopsis:        t.attrSyn[pid].Clone(),
+			Entities:        cs.NumRecords(),
+			Bytes:           cs.LiveBytes(),
+			Pages:           cs.NumPages(),
+			Cold:            true,
+			CompressedBytes: cs.CompressedBytes(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

@@ -242,6 +242,14 @@ func (t *Table) RebuildZoneMaps() {
 		fresh[pid] = zm
 	}
 	t.zmu.Lock()
+	// Frozen partitions carry their existing maps over untouched: they
+	// are immutable (no churn to tighten away), and rescanning them here
+	// would decompress the whole cold tier for nothing.
+	for pid := range t.cold {
+		if zm := t.zones[pid]; zm != nil {
+			fresh[pid] = zm
+		}
+	}
 	t.zones = fresh
 	t.zmu.Unlock()
 	t.zoneGen.Add(1)
@@ -404,8 +412,11 @@ func entityMatches(e *entity.Entity, preds []Pred) bool {
 }
 
 func (t *Table) sortedPIDs() []core.PartitionID {
-	pids := make([]core.PartitionID, 0, len(t.segs))
+	pids := make([]core.PartitionID, 0, len(t.segs)+len(t.cold))
 	for pid := range t.segs {
+		pids = append(pids, pid)
+	}
+	for pid := range t.cold {
 		pids = append(pids, pid)
 	}
 	sortPIDs(pids)

@@ -74,6 +74,40 @@ echo "== go test -race recluster suite"
 go test -race -run 'TestRecluster|TestHeat|TestVictimSelection|TestGovernorThrottles|TestPauseResume|TestOutcomeSettlement|TestWorkloadBlender|TestDebugReclusterEndpoint' \
 	./internal/recluster ./internal/obs ./internal/shard .
 
+# Tier pass: the tiered-storage integrity contract — freeze/thaw
+# round trips that preserve record ids, frozen partitions pruned with
+# zero cold bytes, mutations thawing transparently, tier transitions
+# under concurrent lock-free readers, cold-image corruption refusal,
+# and the durable freeze→kill→reopen recovery suite — must hold under
+# the race detector. The manager unit suite rides along.
+echo "== go test -race tier suite"
+go test -race -run 'TestCold|TestFreeze|TestFrozen|TestMutationsThaw|TestVacuumSkipsFrozen|TestTierTransitions|TestDurableTier|TestIdlePartitions|TestResidentBudget|TestMaxFreezes|TestStatusAggregates|TestSingleAdapter' \
+	./internal/tier ./internal/table ./internal/storage .
+
+# Tier bench gate: under a Zipf-skewed read mix the tiering manager
+# must get the resident footprint under half the working set, the
+# frozen partitions must compress below 0.6 raw, hot-set queries must
+# prune the cold tier without charging a single cold byte, and the
+# reopen must recount exactly with both tiers populated
+# (BENCH_tier.json tracks the full-scale run, including the hot-p99
+# budget; this re-measures the deterministic gates at smoke scale).
+echo "== tier budget gate"
+TIER_JSON=$(mktemp)
+go run ./cmd/cinderella-bench -exp tier -entities 8000 -json "$TIER_JSON"
+grep -q '"within_budget": true' "$TIER_JSON" \
+	|| { echo "verify: tiering missed the resident-byte budget"; cat "$TIER_JSON"; exit 1; }
+grep -q '"compress_ok": true' "$TIER_JSON" \
+	|| { echo "verify: cold tier compression ratio >= 0.6"; cat "$TIER_JSON"; exit 1; }
+grep -q '"prune_zero_cold_ok": true' "$TIER_JSON" \
+	|| { echo "verify: pruned query charged cold bytes"; cat "$TIER_JSON"; exit 1; }
+grep -q '"cold_probe_charged_ok": true' "$TIER_JSON" \
+	|| { echo "verify: cold scan charged no cold bytes"; cat "$TIER_JSON"; exit 1; }
+grep -q '"reopen_count_ok": true' "$TIER_JSON" \
+	|| { echo "verify: tier bench lost entities on reopen"; cat "$TIER_JSON"; exit 1; }
+grep -q '"reopen_both_tiers": true' "$TIER_JSON" \
+	|| { echo "verify: frozen set not restored on reopen"; cat "$TIER_JSON"; exit 1; }
+rm -f "$TIER_JSON"
+
 # Recluster bench gate: after an adversarial workload shift the
 # reclusterer must recover at least half of the lost EFFICIENCY while
 # keeping writer p99 within budget (BENCH_recluster.json tracks the
@@ -264,5 +298,47 @@ kill -TERM "$DPID"
 wait "$DPID" || true
 [ "$DOCS" = "500" ] || { echo "verify: reopened recluster daemon has $DOCS docs, want 500"; exit 1; }
 echo "recluster smoke: shifted load reclustered, drained, and recounted"
+
+# Tier daemon smoke: start cinderellad with the tiering manager ticking
+# fast and no resident budget (every idle partition freezes), load data,
+# let the heat go quiet, and require /debug/tier to show frozen
+# partitions and the freeze metric to move before a clean drained exit
+# with a full recount — frozen partitions must survive the restart.
+echo "== cinderellad -tier e2e smoke"
+"$SMOKE/cinderellad" -addr 127.0.0.1:0 -wal "$SMOKE/tier.wal" \
+	-tier -tier-interval 100ms -tier-idle-ticks 1 -tier-max-freezes 64 \
+	-addr-file "$SMOKE/addr9" >"$SMOKE/daemon9.log" 2>&1 &
+DPID=$!
+for i in $(seq 1 50); do
+	[ -s "$SMOKE/addr9" ] && break
+	sleep 0.1
+done
+[ -s "$SMOKE/addr9" ] || { echo "verify: tier daemon never bound"; cat "$SMOKE/daemon9.log"; exit 1; }
+ADDR=$(cat "$SMOKE/addr9")
+"$SMOKE/cinderella-load" -target "http://$ADDR" -entities 500 -clients 8 \
+	|| { echo "verify: load against tier daemon failed"; cat "$SMOKE/daemon9.log"; exit 1; }
+# Several idle intervals pass; the manager must have frozen the
+# now-quiet partitions.
+sleep 1
+curl -sf "http://$ADDR/debug/tier" | grep -q '"enabled": true' \
+	|| { echo "verify: /debug/tier not enabled"; exit 1; }
+curl -sf "http://$ADDR/debug/tier" | grep -q '"frozen_partitions": [1-9]' \
+	|| { echo "verify: tiering froze nothing"; curl -s "http://$ADDR/debug/tier"; exit 1; }
+curl -sf "http://$ADDR/metrics" | grep -q '^cinderella_tier_freezes_total [1-9]' \
+	|| { echo "verify: tier freeze counter never moved"; exit 1; }
+kill -TERM "$DPID"
+wait "$DPID" || { echo "verify: tier daemon exited non-zero"; cat "$SMOKE/daemon9.log"; exit 1; }
+"$SMOKE/cinderellad" -addr 127.0.0.1:0 -wal "$SMOKE/tier.wal" \
+	-addr-file "$SMOKE/addr10" >"$SMOKE/daemon10.log" 2>&1 &
+DPID=$!
+for i in $(seq 1 50); do
+	[ -s "$SMOKE/addr10" ] && break
+	sleep 0.1
+done
+DOCS=$(curl -sf "http://$(cat "$SMOKE/addr10")/v1/health" | sed 's/.*"docs":\([0-9]*\).*/\1/')
+kill -TERM "$DPID"
+wait "$DPID" || true
+[ "$DOCS" = "500" ] || { echo "verify: reopened tier daemon has $DOCS docs, want 500"; exit 1; }
+echo "tier smoke: idle partitions frozen, drained, and recounted through the cold tier"
 
 echo "verify: OK"

@@ -1,0 +1,232 @@
+package cinderella
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cinderella/internal/core"
+	"cinderella/internal/storage"
+	"cinderella/internal/table"
+)
+
+// Tiered storage, durable half. The table layer freezes cold partitions
+// into compressed read-only segments (see internal/table and
+// internal/storage); this file makes those transitions survive a crash.
+//
+// Layout: a WAL at <path> gets a sibling directory <path>.tier/ holding
+//
+//	manifest.json   — {"version":1,"frozen":[pids]}; the commit record
+//	cold-<pid>.seg  — one checksummed cold-segment image per frozen pid
+//
+// The WAL stays the row source of truth: freezing moves no rows and
+// appends no WAL record. The manifest only records *which* partitions
+// were frozen, and the images exist so recovery can verify the cold
+// tier's integrity end to end. On reopen, the WAL is replayed first,
+// every manifest-listed image is checksum-verified (a torn or corrupt
+// image refuses the open with storage.ErrColdCorrupt — never a silent
+// downgrade to hot), and the listed partitions are re-frozen from the
+// replayed rows, rewriting the images.
+//
+// Crash ordering: freeze writes the image before the manifest, thaw
+// rewrites the manifest before deleting the image. Either way a crash
+// between the two steps leaves at worst an orphan image with no
+// manifest entry, which recovery sweeps. A frozen partition can also be
+// thawed *implicitly* (any mutation reaching it thaws it inside the
+// table layer); the manifest then over-reports until the next explicit
+// freeze, thaw, or reopen reconciles it — over-reporting is safe
+// because recovery re-freezes from replayed rows, it never trusts the
+// image for content.
+
+// tierManifestVersion guards the on-disk tier layout.
+const tierManifestVersion = 1
+
+// tierManifest is the cold tier's commit record.
+type tierManifest struct {
+	Version int      `json:"version"`
+	Frozen  []uint64 `json:"frozen"`
+}
+
+// tierDir returns the cold-tier directory for a WAL at path.
+func tierDir(path string) string { return path + ".tier" }
+
+// coldFileName names the image file for one frozen partition.
+func coldFileName(pid uint64) string { return fmt.Sprintf("cold-%d.seg", pid) }
+
+// TierState re-exports the per-partition tier report row.
+type TierState = table.TierState
+
+// TierStates snapshots every partition's storage tier, ordered by id.
+func (t *Table) TierStates() []TierState { return t.inner.TierStates() }
+
+// TierCounters returns the cumulative freeze and thaw transition counts.
+func (t *Table) TierCounters() (freezes, thaws int64) { return t.inner.TierCounters() }
+
+// FrozenPartitions returns the ids of all frozen partitions, ascending.
+func (t *Table) FrozenPartitions() []uint64 {
+	pids := t.inner.FrozenPartitions()
+	out := make([]uint64, len(pids))
+	for i, pid := range pids {
+		out[i] = uint64(pid)
+	}
+	return out
+}
+
+// FreezePartition moves one partition into the compressed cold tier (see
+// table.Table.FreezePartition). In-memory only; DurableTable overrides
+// this with the persistent variant.
+func (t *Table) FreezePartition(pid uint64) bool {
+	return t.inner.FreezePartition(core.PartitionID(pid))
+}
+
+// ThawPartition moves one frozen partition back to the hot tier.
+func (t *Table) ThawPartition(pid uint64) bool {
+	return t.inner.ThawPartition(core.PartitionID(pid))
+}
+
+// FreezePartition freezes pid into the cold tier and persists the
+// transition: the compressed image is written under <path>.tier/ first,
+// then the manifest commits it. Returns (false, nil) when pid has no
+// hot rows to freeze. A persistence failure rolls the partition back to
+// the hot tier so memory and disk agree.
+func (d *DurableTable) FreezePartition(pid uint64) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false, ErrClosed
+	}
+	if !d.inner.FreezePartition(core.PartitionID(pid)) {
+		return false, nil
+	}
+	if err := d.persistTier(pid); err != nil {
+		d.inner.ThawPartition(core.PartitionID(pid))
+		return false, err
+	}
+	return true, nil
+}
+
+// ThawPartition thaws pid back into the hot tier and persists the
+// transition (manifest first, then the image is swept). Returns
+// (false, nil) when pid is not frozen. The thaw itself is never rolled
+// back on a persistence failure: a stale manifest entry only makes
+// recovery re-freeze the partition, it cannot lose rows.
+func (d *DurableTable) ThawPartition(pid uint64) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false, ErrClosed
+	}
+	if !d.inner.ThawPartition(core.PartitionID(pid)) {
+		return false, nil
+	}
+	if err := d.persistTier(); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// persistTier reconciles <path>.tier/ with the table's current frozen
+// set: images for the given pids are (re)written tmp+rename, the
+// manifest is rewritten from the live frozen set, and image files for
+// no-longer-frozen partitions are swept. With an empty frozen set the
+// whole directory is removed. Callers hold d.mu.
+func (d *DurableTable) persistTier(write ...uint64) error {
+	frozen := d.inner.FrozenPartitions()
+	dir := tierDir(d.path)
+	if len(frozen) == 0 {
+		return os.RemoveAll(dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, pid := range write {
+		img := d.inner.FrozenImage(core.PartitionID(pid))
+		if img == nil {
+			continue
+		}
+		if err := atomicWrite(filepath.Join(dir, coldFileName(pid)), img); err != nil {
+			return err
+		}
+	}
+	m := tierManifest{Version: tierManifestVersion, Frozen: make([]uint64, len(frozen))}
+	live := make(map[string]bool, len(frozen))
+	for i, pid := range frozen {
+		m.Frozen[i] = uint64(pid)
+		live[coldFileName(uint64(pid))] = true
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(filepath.Join(dir, "manifest.json"), append(data, '\n')); err != nil {
+		return err
+	}
+	// Sweep images the manifest no longer references (thawed partitions,
+	// leftovers from a crash between image write and manifest commit).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "cold-") || !strings.HasSuffix(name, ".seg") || live[name] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// atomicWrite writes data to path via tmp+rename so readers (and
+// recovery) never observe a half-written file.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// recoverTier restores the cold tier after the WAL replay: every
+// manifest-listed image is checksum-verified (corruption refuses the
+// open — the operator decides, the database never silently drops a
+// tier), then the listed partitions are re-frozen from the replayed
+// rows and the images rewritten. Partitions the replay no longer
+// produces (all rows deleted, or a checkpointed log re-placed them) are
+// dropped from the manifest. A tier directory without a manifest is a
+// crash before the first freeze committed: swept.
+func (d *DurableTable) recoverTier() error {
+	dir := tierDir(d.path)
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if errors.Is(err, os.ErrNotExist) {
+		return os.RemoveAll(dir)
+	}
+	if err != nil {
+		return err
+	}
+	var m tierManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("cinderella: %s/manifest.json is torn or corrupt: %w", dir, err)
+	}
+	if m.Version != tierManifestVersion {
+		return fmt.Errorf("cinderella: %s has tier version %d, this binary supports %d", dir, m.Version, tierManifestVersion)
+	}
+	var refrozen []uint64
+	for _, pid := range m.Frozen {
+		// Integrity gate: the image must decode and checksum end to end
+		// even though the rows come from the WAL — a torn cold file is
+		// data-loss evidence, not something to paper over.
+		if _, err := storage.OpenColdSegmentFile(filepath.Join(dir, coldFileName(pid)), nil); err != nil {
+			return fmt.Errorf("cinderella: cold tier of %s: %w", d.path, err)
+		}
+		if d.inner.FreezePartition(core.PartitionID(pid)) {
+			refrozen = append(refrozen, pid)
+		}
+	}
+	return d.persistTier(refrozen...)
+}

@@ -1,0 +1,348 @@
+package cinderella
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"cinderella/internal/storage"
+	"cinderella/internal/synopsis"
+)
+
+// tierCfg keeps the fixtures' partitioning deterministic and small.
+var tierCfg = Config{Weight: 0.3, PartitionSizeLimit: 200}
+
+// seedTierTable inserts two well-separated attribute families and
+// returns the partition id of the {"cold_a","cold_b"} family.
+func seedTierTable(t *testing.T, d *DurableTable, n int) uint64 {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := d.Insert(Doc{"hot_a": i, "hot_b": i}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Insert(Doc{"cold_a": i, "cold_b": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aid := d.Dict().ID("cold_a")
+	for _, pv := range d.inner.Partitions() {
+		if synopsis.Intersects(pv.Synopsis, synopsis.Of(aid)) {
+			return uint64(pv.ID)
+		}
+	}
+	t.Fatal("no partition holds cold_a")
+	return 0
+}
+
+// copyTree copies the WAL file and its .tier sibling directory to a new
+// path — the freeze-then-kill(-9) simulation: whatever was durable on
+// disk at the copy instant is exactly what recovery sees.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	copyFile(t, src, dst)
+	entries, err := os.ReadDir(tierDir(src))
+	if errors.Is(err, os.ErrNotExist) {
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(tierDir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		copyFile(t, filepath.Join(tierDir(src), e.Name()), filepath.Join(tierDir(dst), e.Name()))
+	}
+}
+
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sortedDocs canonicalizes a full scan for equality checks.
+func sortedDocs(recs []Record) []Record {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs
+}
+
+// TestDurableTierFreezeKillReopen is the tier's crash-safety
+// centerpiece: freeze a partition, kill the process without a clean
+// close, and recover with the exact row count, one partition still
+// frozen, and one still hot.
+func TestDurableTierFreezeKillReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.wal")
+	d := openDurable(t, path, tierCfg)
+	coldPID := seedTierTable(t, d, 60)
+
+	ok, err := d.FreezePartition(coldPID)
+	if err != nil || !ok {
+		t.Fatalf("freeze = %v, %v", ok, err)
+	}
+	if _, err := os.Stat(filepath.Join(tierDir(path), coldFileName(coldPID))); err != nil {
+		t.Fatalf("cold image not on disk: %v", err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before := sortedDocs(d.ScanAll())
+
+	// Kill -9: copy the durable state aside while the table is still
+	// open (no Close, no final flush beyond the explicit Sync above).
+	crash := filepath.Join(dir, "crash.wal")
+	copyTree(t, path, crash)
+	d.Close()
+
+	d2 := openDurable(t, crash, tierCfg)
+	defer d2.Close()
+	if got := d2.Len(); got != 120 {
+		t.Fatalf("recovered %d rows, want 120", got)
+	}
+	if got := sortedDocs(d2.ScanAll()); len(got) != len(before) {
+		t.Fatalf("recovered scan %d rows, want %d", len(got), len(before))
+	}
+	frozen := d2.FrozenPartitions()
+	if len(frozen) != 1 || frozen[0] != coldPID {
+		t.Fatalf("recovered frozen set %v, want [%d]", frozen, coldPID)
+	}
+	var hot, cold int
+	for _, ts := range d2.TierStates() {
+		if ts.Frozen {
+			cold++
+			if ts.ResidentBytes >= ts.RawBytes {
+				t.Fatalf("recovered cold partition not compressed: %d >= %d", ts.ResidentBytes, ts.RawBytes)
+			}
+		} else {
+			hot++
+		}
+	}
+	if hot == 0 || cold == 0 {
+		t.Fatalf("recovered tiers hot=%d cold=%d, want both nonzero", hot, cold)
+	}
+	// The frozen partition still answers queries.
+	if got := d2.Query("cold_a"); len(got) != 60 {
+		t.Fatalf("recovered cold query %d hits, want 60", len(got))
+	}
+}
+
+// TestDurableTierCorruptColdRefuses: a flipped byte anywhere in a cold
+// image makes recovery refuse the open with storage.ErrColdCorrupt —
+// never a silent downgrade of the frozen partition to hot.
+func TestDurableTierCorruptColdRefuses(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.wal")
+	d := openDurable(t, path, tierCfg)
+	coldPID := seedTierTable(t, d, 40)
+	if ok, err := d.FreezePartition(coldPID); err != nil || !ok {
+		t.Fatalf("freeze = %v, %v", ok, err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	img := filepath.Join(tierDir(path), coldFileName(coldPID))
+	data, err := os.ReadFile(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(img, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenFile(path, tierCfg); !errors.Is(err, storage.ErrColdCorrupt) {
+		t.Fatalf("open with corrupt cold image: %v, want ErrColdCorrupt", err)
+	}
+}
+
+// TestDurableTierThawPersists: an explicit thaw commits the manifest
+// change, and the last thaw removes the tier directory entirely.
+func TestDurableTierThawPersists(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.wal")
+	d := openDurable(t, path, tierCfg)
+	coldPID := seedTierTable(t, d, 40)
+	if ok, err := d.FreezePartition(coldPID); err != nil || !ok {
+		t.Fatalf("freeze = %v, %v", ok, err)
+	}
+	if ok, err := d.ThawPartition(coldPID); err != nil || !ok {
+		t.Fatalf("thaw = %v, %v", ok, err)
+	}
+	if _, err := os.Stat(tierDir(path)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("tier dir survives last thaw: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := openDurable(t, path, tierCfg)
+	defer d2.Close()
+	if got := d2.FrozenPartitions(); len(got) != 0 {
+		t.Fatalf("recovered frozen set %v, want empty", got)
+	}
+	if got := d2.Len(); got != 80 {
+		t.Fatalf("recovered %d rows, want 80", got)
+	}
+}
+
+// TestDurableTierImplicitThawRecovers: a mutation reaching a frozen
+// partition thaws it inside the table layer without telling the durable
+// layer; the manifest over-reports until the next reconcile. Recovery
+// must still produce exact rows — the stale manifest entry only makes
+// it re-freeze the (now mutated) partition from the replayed rows.
+func TestDurableTierImplicitThawRecovers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.wal")
+	d := openDurable(t, path, tierCfg)
+	coldPID := seedTierTable(t, d, 40)
+	if ok, err := d.FreezePartition(coldPID); err != nil || !ok {
+		t.Fatalf("freeze = %v, %v", ok, err)
+	}
+	victim := d.Query("cold_a")[0].ID
+	if ok, err := d.Delete(victim); err != nil || !ok {
+		t.Fatalf("delete through frozen partition = %v, %v", ok, err)
+	}
+	if got := d.FrozenPartitions(); len(got) != 0 {
+		t.Fatalf("frozen set after implicit thaw %v, want empty", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := openDurable(t, path, tierCfg)
+	defer d2.Close()
+	if got := d2.Len(); got != 79 {
+		t.Fatalf("recovered %d rows, want 79", got)
+	}
+	if _, ok := d2.Get(victim); ok {
+		t.Fatal("deleted row resurrected by tier recovery")
+	}
+	if got := d2.Query("cold_a"); len(got) != 39 {
+		t.Fatalf("recovered cold query %d hits, want 39", len(got))
+	}
+}
+
+// TestDurableTierOrphanImagesSwept: cold images without a manifest are
+// a crash before the first freeze committed — recovery sweeps them and
+// opens clean.
+func TestDurableTierOrphanImagesSwept(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.wal")
+	d := openDurable(t, path, tierCfg)
+	seedTierTable(t, d, 10)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(tierDir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tierDir(path), coldFileName(7)), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2 := openDurable(t, path, tierCfg)
+	defer d2.Close()
+	if got := d2.FrozenPartitions(); len(got) != 0 {
+		t.Fatalf("frozen set %v from orphan images, want empty", got)
+	}
+	if _, err := os.Stat(tierDir(path)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphan tier dir not swept: %v", err)
+	}
+}
+
+// TestDurableTierCheckpointKeepsTier: checkpointing rewrites the log
+// and refreshes the tier images; the frozen set survives the reopen.
+func TestDurableTierCheckpointKeepsTier(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.wal")
+	d := openDurable(t, path, tierCfg)
+	coldPID := seedTierTable(t, d, 40)
+	if ok, err := d.FreezePartition(coldPID); err != nil || !ok {
+		t.Fatalf("freeze = %v, %v", ok, err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := openDurable(t, path, tierCfg)
+	defer d2.Close()
+	if got := d2.Len(); got != 80 {
+		t.Fatalf("recovered %d rows, want 80", got)
+	}
+	if got := d2.Query("cold_a"); len(got) != 40 {
+		t.Fatalf("recovered cold query %d hits, want 40", len(got))
+	}
+}
+
+// TestDurableTierFreezeReopenProperty drives three deterministic
+// workload shapes through insert/delete/freeze/kill/reopen and checks
+// the recovered scan is bit-identical to the pre-crash one.
+func TestDurableTierFreezeReopenProperty(t *testing.T) {
+	for seed := 1; seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "t.wal")
+			d := openDurable(t, path, tierCfg)
+			// Three attribute families, sized by seed.
+			for i := 0; i < 30*seed; i++ {
+				fam := (i*seed + i) % 3
+				if _, err := d.Insert(Doc{
+					fmt.Sprintf("fam%d_a", fam): i,
+					fmt.Sprintf("fam%d_b", fam): i * seed,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Delete a seed-dependent slice.
+			all := d.ScanAll()
+			for i := 0; i < len(all); i += 7 + seed {
+				if _, err := d.Delete(all[i].ID); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Freeze every other freezable partition.
+			for i, ts := range d.TierStates() {
+				if i%2 == 0 && ts.Entities > 0 {
+					if _, err := d.FreezePartition(uint64(ts.Partition)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := d.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			before := sortedDocs(d.ScanAll())
+			frozenBefore := d.FrozenPartitions()
+
+			crash := filepath.Join(dir, "crash.wal")
+			copyTree(t, path, crash)
+			d.Close()
+
+			d2 := openDurable(t, crash, tierCfg)
+			defer d2.Close()
+			after := sortedDocs(d2.ScanAll())
+			if len(after) != len(before) {
+				t.Fatalf("recovered %d rows, want %d", len(after), len(before))
+			}
+			for i := range before {
+				if before[i].ID != after[i].ID {
+					t.Fatalf("row %d: id %d != %d", i, after[i].ID, before[i].ID)
+				}
+			}
+			frozenAfter := d2.FrozenPartitions()
+			if len(frozenAfter) != len(frozenBefore) {
+				t.Fatalf("recovered frozen set %v, want %v", frozenAfter, frozenBefore)
+			}
+		})
+	}
+}
