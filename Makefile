@@ -5,7 +5,7 @@ OBS_PORT ?= 8080
 ADDR ?= 127.0.0.1:8263
 WAL ?= /tmp/cinderella.wal
 
-.PHONY: verify build vet test race bench-hotpath bench-obs bench-server bench-shard bench-read bench-wire bench-trace bench-recluster bench-tier run-server obs-demo
+.PHONY: verify build vet test race bench-hotpath bench-obs bench-server bench-shard bench-read bench-wire bench-scan bench-trace bench-recluster bench-tier run-server obs-demo
 
 # verify is the tier-1 gate: build everything, vet, full test suite under
 # the race detector.
@@ -67,6 +67,16 @@ bench-read:
 bench-wire:
 	$(GO) test -run - -bench BenchmarkWireDecode -benchmem ./internal/wire
 	$(GO) run ./cmd/cinderella-bench -exp server -json BENCH_server.json
+
+# bench-scan measures the word-parallel bitmap scan kernel against the
+# per-record sidecar baseline — selective query throughput on the
+# coarse-partitioned Fig. 5 arm, the bitmap-vs-sidecar equivalence
+# sweep, and the frozen-partition zero-cold-byte prune probe — and
+# regenerates BENCH_scan.json (see cmd/cinderella-bench -exp scan). The
+# tracked result must show within_budget=true (speedup >= 3x) with
+# equivalence_ok=true and prune_zero_cold_ok=true.
+bench-scan:
+	$(GO) run ./cmd/cinderella-bench -exp scan -entities 100000 -json BENCH_scan.json
 
 # bench-trace measures the query-tracing subsystem's overhead — 1-in-64
 # span sampling plus the always-on partition heat map, against a

@@ -467,6 +467,13 @@ func (t *Table) ScanAllSpanned(sp *obs.QuerySpan) []Record {
 // baseline for benchmarks (cinderella-bench -exp read).
 func (t *Table) SetLockedReads(locked bool) { t.inner.SetLockedReads(locked) }
 
+// SetBitmapScans switches snapshot Query/QueryWhere scans between the
+// word-parallel bitmap kernel (default, on) and the per-record sidecar
+// path. Results and reports are identical in both modes; the sidecar
+// path exists as the comparison baseline for benchmarks
+// (cinderella-bench -exp scan) and the equivalence tests.
+func (t *Table) SetBitmapScans(on bool) { t.inner.SetBitmapScans(on) }
+
 // PartitionStat describes one partition. The json tags are the
 // service-layer wire format (GET /v1/partitions).
 type PartitionStat struct {

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	cinderella-bench [-exp all|fig4|fig5|fig6|fig7|fig8|tab1|efficiency|hotpath|obs|server|shard|read|trace|recluster|tier]
+//	cinderella-bench [-exp all|fig4|fig5|fig6|fig7|fig8|tab1|efficiency|hotpath|obs|server|shard|read|scan|trace|recluster|tier]
 //	                 [-entities N] [-sf F] [-seed S] [-json FILE] [-obs :PORT]
-//	                 [-allow-serial]
+//	                 [-allow-serial] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The defaults reproduce the paper's scale (100 000 DBpedia-like
 // entities); use -entities to run faster at smaller scale.
@@ -25,9 +25,13 @@
 // 8-writer/8-reader workload to compare writer tail latency between
 // lock-free snapshot reads and the historical RWMutex read path, and
 // reports the fraction of record decodes the synopsis sidecar avoids
-// (the repo tracks BENCH_read.json). With -obs :PORT the process serves the
+// (the repo tracks BENCH_read.json). The scan experiment measures the
+// word-parallel bitmap scan kernel against the per-record sidecar
+// baseline on the selective query bucket, checks result equivalence,
+// and verifies a fully pruned frozen partition charges zero cold bytes
+// (the repo tracks BENCH_scan.json). With -obs :PORT the process serves the
 // ops endpoint (/metrics, /debug/vars, /debug/pprof) while experiments
-// run.
+// run. -cpuprofile and -memprofile write pprof profiles of the run.
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"cinderella/internal/experiments"
@@ -45,17 +50,19 @@ import (
 var knownExps = []string{
 	"all", "fig4", "fig5", "fig6", "fig7", "fig8", "tab1",
 	"efficiency", "cache", "churn", "hotpath", "obs", "server", "shard",
-	"read", "trace", "recluster", "tier",
+	"read", "scan", "trace", "recluster", "tier",
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath, obs, server, shard, read, trace, recluster, tier")
+	exp := flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, tab1, efficiency, cache, churn, hotpath, obs, server, shard, read, scan, trace, recluster, tier")
 	entities := flag.Int("entities", 100000, "DBpedia-like entity count")
 	sf := flag.Float64("sf", 0.02, "TPC-H-style scale factor for tab1")
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	jsonPath := flag.String("json", "", "write the hotpath/obs/server result as JSON to this file")
 	obsAddr := flag.String("obs", "", "serve the ops endpoint on this address (e.g. :8080) while running")
 	allowSerial := flag.Bool("allow-serial", false, "let hotpath run with GOMAXPROCS < 2 (its serial-vs-parallel comparison degenerates to 1.0x)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the experiments finish) to this file")
 	flag.Parse()
 
 	// Validate up front: a typo'd -exp must fail before minutes of data
@@ -87,6 +94,42 @@ func main() {
 				"hotpath: GOMAXPROCS=%d < 2 — the serial-vs-parallel comparison is degenerate; rerun with -allow-serial to record anyway\n", procs)
 			os.Exit(2)
 		}
+	}
+
+	// Profiling covers the whole experiment run: the bitmap/sidecar scan
+	// phases are where -exp scan spends its time, so -cpuprofile on that
+	// experiment profiles the kernel directly.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			fmt.Printf("wrote %s\n", *memProfile)
+		}()
 	}
 
 	o := experiments.Options{Entities: *entities, Seed: *seed, TPCHSF: *sf}
@@ -185,6 +228,13 @@ func main() {
 	if want("read") {
 		run("read", func() {
 			r := experiments.ReadBench(o)
+			r.Print(os.Stdout)
+			writeJSON(r)
+		})
+	}
+	if want("scan") {
+		run("scan", func() {
+			r := experiments.ScanBench(o)
 			r.Print(os.Stdout)
 			writeJSON(r)
 		})

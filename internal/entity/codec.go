@@ -115,9 +115,15 @@ func UnmarshalInto(dst *Entity, src []byte) (int, error) {
 	}
 	// A field occupies at least 3 bytes (attr id, kind, empty-string
 	// length), so any larger count is corrupt; checking up front bounds
-	// the growth below against hostile headers.
+	// the allocation below against hostile headers.
 	if n > uint64(len(src)-off)/3 {
 		return 0, fmt.Errorf("entity: field count %d exceeds record size", n)
+	}
+	// The header names the exact arity: size the field slice once instead
+	// of letting append grow it a word at a time (scan decodes are the
+	// hottest allocation site in the system).
+	if uint64(cap(dst.fields)) < n {
+		dst.fields = make([]Field, 0, n)
 	}
 	const maxAttr = 1 << 31 // dictionary ids are small and dense
 	for i := uint64(0); i < n; i++ {

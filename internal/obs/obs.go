@@ -52,6 +52,8 @@ const (
 	CBytesRelevant     // live record bytes of returned (relevant) records
 	CScanDecoded       // records decoded by query scans
 	CScanDecodeSkipped // records skipped by the sidecar synopsis without decoding
+	CScanBitmapWords   // 64-bit word operations performed by the bitmap scan kernel
+	CScanBitmapHits    // candidate records yielded by the bitmap scan kernel
 
 	CWALAppends
 	CWALAppendBytes
@@ -119,6 +121,8 @@ var counterNames = [numCounters]string{
 	CBytesRelevant:     "cinderella_query_bytes_relevant_total",
 	CScanDecoded:       "cinderella_scan_records_decoded_total",
 	CScanDecodeSkipped: "cinderella_scan_decode_skipped_total",
+	CScanBitmapWords:   "cinderella_scan_bitmap_words_total",
+	CScanBitmapHits:    "cinderella_scan_bitmap_hits_total",
 	CWALAppends:        "cinderella_wal_appends_total",
 	CWALAppendBytes:    "cinderella_wal_append_bytes_total",
 	CWALSyncs:          "cinderella_wal_syncs_total",
@@ -172,6 +176,8 @@ var counterHelp = [numCounters]string{
 	CBytesRelevant:     "Live record bytes of records relevant to their query.",
 	CScanDecoded:       "Records decoded by query scans.",
 	CScanDecodeSkipped: "Records the record-synopsis sidecar pruned without decoding.",
+	CScanBitmapWords:   "64-bit word operations performed by the word-parallel bitmap scan kernel.",
+	CScanBitmapHits:    "Candidate records the bitmap scan kernel could not rule out (decoded).",
 	CWALAppends:        "Operations appended to the write-ahead log.",
 	CWALAppendBytes:    "Payload bytes appended to the write-ahead log.",
 	CWALSyncs:          "Write-ahead-log fsyncs.",

@@ -93,6 +93,12 @@ type PartSpan struct {
 	BytesRelevant int64  `json:"bytes_relevant"`
 	BytesSkipped  int64  `json:"bytes_skipped"`
 	ScanNs        int64  `json:"scan_ns,omitempty"`
+	// Bitmap-kernel attribution: set when the partition was scanned by
+	// the word-parallel bitmap path instead of the per-record sidecar
+	// loop (see internal/table bitmap.go).
+	Bitmap      bool  `json:"bitmap,omitempty"`
+	BitmapWords int64 `json:"bitmap_words,omitempty"`
+	BitmapHits  int64 `json:"bitmap_hits,omitempty"`
 }
 
 // QueryAgg is the aggregate side of one finished query, mirroring the

@@ -615,6 +615,15 @@ func (s *Sharded) SetLockedReads(locked bool) {
 	}
 }
 
+// SetBitmapScans switches every shard's snapshot scans between the
+// word-parallel bitmap kernel (default) and the per-record sidecar path
+// (see cinderella.Table).
+func (s *Sharded) SetBitmapScans(on bool) {
+	for _, d := range s.shards {
+		d.SetBitmapScans(on)
+	}
+}
+
 // Partitions concatenates the per-shard partition synopses in shard
 // order; each shard's slice is partition-id ordered, so the result is the
 // same deterministic (shard, pid) order queries merge in.

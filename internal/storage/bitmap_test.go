@@ -1,0 +1,286 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"cinderella/internal/synopsis"
+)
+
+// sidecarCands is the per-record oracle: the candidate set the sidecar
+// scan would decode for prog — every live record whose synopsis is
+// unknown or satisfies the program's combiner.
+func sidecarCands(v interface {
+	Scan(fn func(id RecordID, n int, syn *synopsis.Set) bool)
+}, prog BitmapProgram) []BitmapCand {
+	var out []BitmapCand
+	q := synopsis.Of(prog.Attrs...)
+	v.Scan(func(id RecordID, n int, syn *synopsis.Set) bool {
+		keep := syn == nil
+		if !keep {
+			if prog.Disjunction {
+				keep = synopsis.Intersects(syn, q)
+			} else {
+				keep = synopsis.Subset(q, syn)
+			}
+		}
+		if keep {
+			out = append(out, BitmapCand{ID: id, N: int32(n), Known: syn != nil})
+		}
+		return true
+	})
+	return out
+}
+
+func candsEqual(a, b []BitmapCand) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bitmapSeg builds a segment with a mixed population: several pages,
+// tagged and untagged records, a variety of attribute sets, and a
+// sprinkling of deletes.
+func bitmapSeg(t *testing.T, n int) *Segment {
+	t.Helper()
+	seg := NewSegment(nil)
+	for i := 0; i < n; i++ {
+		b := []byte(fmt.Sprintf("record-%04d-%s", i, "padding-padding-padding-padding"))
+		var err error
+		if i%11 == 10 {
+			_, err = seg.Insert(b) // untagged: unknown, always a candidate
+		} else {
+			_, err = seg.InsertTagged(b, synopsis.Of(i%7, 7+i%5, 12+i%3))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tombstone a spread of records.
+	for i := 0; i < n; i += 13 {
+		pi, slot := 0, i
+		for slot >= seg.pages[pi].NumSlots() {
+			slot -= seg.pages[pi].NumSlots()
+			pi++
+		}
+		if err := seg.Delete(RecordID{Page: pi, Slot: slot}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return seg
+}
+
+var bitmapProgs = []BitmapProgram{
+	{Attrs: []int{1}, Disjunction: true},
+	{Attrs: []int{0, 3, 9}, Disjunction: true},
+	{Attrs: []int{12}, Disjunction: false},
+	{Attrs: []int{2, 8}, Disjunction: false},
+	{Attrs: []int{2, 8, 13}, Disjunction: false},
+	{Attrs: []int{99}, Disjunction: true},  // never-seen attribute
+	{Attrs: []int{99}, Disjunction: false}, // conjunction over a never-seen attribute
+	{Attrs: nil, Disjunction: true},        // empty program: only unknowns survive
+}
+
+// TestBitmapKernelMatchesSidecar is the storage-level equivalence
+// property: for disjunctive and conjunctive programs alike, the kernel's
+// candidate list is exactly the records the per-record sidecar scan
+// would decode, in the same storage order, across inserts, deletes,
+// vacuum, and freeze/thaw cycles.
+func TestBitmapKernelMatchesSidecar(t *testing.T) {
+	seg := bitmapSeg(t, 700)
+
+	check := func(stage string) {
+		t.Helper()
+		v := seg.View()
+		var sc BitmapScratch
+		for _, prog := range bitmapProgs {
+			got, words, ok := v.ScanBitmap(prog, &sc)
+			if !ok {
+				t.Fatalf("%s: ScanBitmap not ok for %+v", stage, prog)
+			}
+			if words == 0 && v.NumRecords() > 0 {
+				t.Fatalf("%s: kernel reported zero word ops over %d records", stage, v.NumRecords())
+			}
+			want := sidecarCands(&v, prog)
+			if !candsEqual(got, want) {
+				t.Fatalf("%s: prog %+v: kernel yielded %d candidates, sidecar %d",
+					stage, prog, len(got), len(want))
+			}
+			// Candidate payloads must resolve.
+			for _, c := range got {
+				if rec := v.Record(c.ID); len(rec) != int(c.N) {
+					t.Fatalf("%s: candidate %v length %d, stored %d", stage, c.ID, c.N, len(rec))
+				}
+			}
+		}
+	}
+
+	check("initial")
+	seg.Vacuum()
+	check("after vacuum")
+
+	cold := FreezeSegment(seg)
+	cv := cold.View()
+	var sc BitmapScratch
+	for _, prog := range bitmapProgs {
+		got, _, ok := cv.ScanBitmap(prog, &sc)
+		if !ok {
+			t.Fatalf("cold: ScanBitmap not ok for %+v", prog)
+		}
+		want := sidecarCands(cv, prog)
+		if !candsEqual(got, want) {
+			t.Fatalf("cold: prog %+v: kernel %d candidates, sidecar %d", prog, len(got), len(want))
+		}
+	}
+
+	thawed := cold.Thaw()
+	tv := thawed.View()
+	for _, prog := range bitmapProgs {
+		got, _, ok := tv.ScanBitmap(prog, &sc)
+		if !ok {
+			t.Fatalf("thawed: ScanBitmap not ok for %+v", prog)
+		}
+		if want := sidecarCands(&tv, prog); !candsEqual(got, want) {
+			t.Fatalf("thawed: prog %+v: kernel %d candidates, sidecar %d", prog, len(got), len(want))
+		}
+	}
+}
+
+// TestBitmapChargesMatchScan pins the charging contract: a completed
+// per-record Scan and one ScanBitmap call charge identical Stats deltas
+// (pages, bytes, records) against the same view.
+func TestBitmapChargesMatchScan(t *testing.T) {
+	stats := &Stats{}
+	seg := NewSegment(stats)
+	for i := 0; i < 400; i++ {
+		syn := synopsis.Of(i % 5)
+		if _, err := seg.InsertTagged([]byte(fmt.Sprintf("rec-%04d-%s", i, "pad-pad-pad")), syn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := seg.View()
+
+	stats.Reset()
+	v.Scan(func(RecordID, int, *synopsis.Set) bool { return true })
+	sp, _, sb, _, sr := stats.Snapshot()
+
+	stats.Reset()
+	var sc BitmapScratch
+	if _, _, ok := v.ScanBitmap(BitmapProgram{Attrs: []int{1}, Disjunction: true}, &sc); !ok {
+		t.Fatal("ScanBitmap not ok")
+	}
+	bp, _, bb, _, br := stats.Snapshot()
+
+	if sp != bp || sb != bb || sr != br {
+		t.Fatalf("charges differ: scan (pages=%d bytes=%d recs=%d), bitmap (pages=%d bytes=%d recs=%d)",
+			sp, sb, sr, bp, bb, br)
+	}
+}
+
+// TestBitmapViewStableUnderMutation captures a view, keeps mutating the
+// segment, and verifies the kernel still yields exactly the captured
+// candidate set — the bitmap matrix obeys the same snapshot contract as
+// the pages and the sidecar.
+func TestBitmapViewStableUnderMutation(t *testing.T) {
+	seg := bitmapSeg(t, 500)
+	v := seg.View()
+	prog := BitmapProgram{Attrs: []int{2, 8}, Disjunction: false}
+	var sc BitmapScratch
+	before, _, ok := v.ScanBitmap(prog, &sc)
+	if !ok {
+		t.Fatal("ScanBitmap not ok")
+	}
+	want := append([]BitmapCand(nil), before...)
+
+	// Churn: deletes, fresh inserts (growing the word arrays and adding
+	// pages), a new attribute, then a vacuum.
+	for i := 0; i < 200; i += 7 {
+		pi, slot := 0, i
+		for pi < len(seg.pages) && slot >= seg.pages[pi].NumSlots() {
+			slot -= seg.pages[pi].NumSlots()
+			pi++
+		}
+		_ = seg.Delete(RecordID{Page: pi, Slot: slot})
+	}
+	for i := 0; i < 3000; i++ {
+		if _, err := seg.InsertTagged([]byte(fmt.Sprintf("late-%05d-%s", i, "padding")), synopsis.Of(500+i%9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg.Vacuum()
+
+	got, _, ok := v.ScanBitmap(prog, &sc)
+	if !ok {
+		t.Fatal("ScanBitmap not ok after churn")
+	}
+	if !candsEqual(got, want) {
+		t.Fatalf("captured view drifted: %d candidates, want %d", len(got), len(want))
+	}
+}
+
+// TestBitmapDecodedColdImageFallsBack pins the fallback contract: a cold
+// segment rebuilt from its wire encoding has neither the matrix nor the
+// length table, so ScanBitmap must decline (charging nothing) and leave
+// the caller on the per-record path.
+func TestBitmapDecodedColdImageFallsBack(t *testing.T) {
+	seg := bitmapSeg(t, 300)
+	cold := FreezeSegment(seg)
+	stats := &Stats{}
+	dec, err := DecodeColdSegment(cold.Encode(), stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc BitmapScratch
+	_, _, ok := dec.View().ScanBitmap(BitmapProgram{Attrs: []int{1}, Disjunction: true}, &sc)
+	if ok {
+		t.Fatal("decoded cold image accepted ScanBitmap; want fallback")
+	}
+	if p, b, r := statsTriple(stats); p != 0 || b != 0 || r != 0 {
+		t.Fatalf("declined ScanBitmap charged (pages=%d bytes=%d recs=%d); want nothing", p, b, r)
+	}
+}
+
+func statsTriple(s *Stats) (int64, int64, int64) {
+	p, _, b, _, r := s.Snapshot()
+	return p, b, r
+}
+
+// TestBitmapColdPruneReadsNoColdBytes is the cold-tier payoff: a frozen
+// partition scanned with a program matching nothing inflates no blocks
+// — the hot matrix and length table answer the scan with zero cold
+// bytes charged.
+func TestBitmapColdPruneReadsNoColdBytes(t *testing.T) {
+	stats := &Stats{}
+	seg := NewSegment(stats)
+	for i := 0; i < 400; i++ {
+		if _, err := seg.InsertTagged([]byte(fmt.Sprintf("rec-%04d-%s", i, "pad-pad-pad")), synopsis.Of(i%5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := FreezeSegment(seg)
+	stats.Reset()
+
+	var sc BitmapScratch
+	cands, _, ok := cold.View().ScanBitmap(BitmapProgram{Attrs: []int{42}, Disjunction: true}, &sc)
+	if !ok {
+		t.Fatal("ScanBitmap not ok on frozen segment")
+	}
+	if len(cands) != 0 {
+		t.Fatalf("program over an absent attribute yielded %d candidates", len(cands))
+	}
+	if cp, cb := stats.ColdSnapshot(); cp != 0 || cb != 0 {
+		t.Fatalf("pruned frozen scan inflated cold data: pages=%d bytes=%d; want 0", cp, cb)
+	}
+	// The ordinary visit charge still stands (simulated I/O is never
+	// skipped), matching the hot path.
+	if _, _, b, _, r := stats.Snapshot(); b != cold.LiveBytes() || r != int64(cold.NumRecords()) {
+		t.Fatalf("frozen bitmap scan charged bytes=%d recs=%d, want %d/%d",
+			b, r, cold.LiveBytes(), cold.NumRecords())
+	}
+}

@@ -75,8 +75,15 @@ type coldBlock struct {
 // plus its hot metadata. Safe for concurrent readers; it is never
 // mutated after construction (mutations thaw the partition first).
 type ColdSegment struct {
-	blocks    []coldBlock
-	sidecar   [][]*synopsis.Set // hot: one row per page, nil after Decode
+	blocks  []coldBlock
+	sidecar [][]*synopsis.Set // hot: one row per page, nil after Decode
+	// bm is the attribute-presence bitmap matrix carried over from the
+	// frozen segment, and lens the per-slot stored lengths — both hot,
+	// so the bitmap kernel and the sidecar scan can skip frozen records
+	// without inflating a single cold block. Zero/nil after Decode (the
+	// reopen path re-freezes from replayed rows, rebuilding both).
+	bm        bitmat
+	lens      [][]uint16
 	numPages  int
 	live      int
 	bytes     int64 // live payload bytes (raw)
@@ -100,6 +107,8 @@ type ColdSegment struct {
 func FreezeSegment(s *Segment) *ColdSegment {
 	c := &ColdSegment{
 		sidecar:  make([][]*synopsis.Set, len(s.sidecar)),
+		bm:       s.bm,
+		lens:     make([][]uint16, len(s.pages)),
 		numPages: len(s.pages),
 		live:     s.live,
 		bytes:    s.bytes,
@@ -109,6 +118,14 @@ func FreezeSegment(s *Segment) *ColdSegment {
 		resident: make(map[int][]*Page),
 	}
 	copy(c.sidecar, s.sidecar)
+	for pi, p := range s.pages {
+		ln := make([]uint16, p.NumSlots())
+		for slot := range ln {
+			_, n := p.slot(slot)
+			ln[slot] = uint16(n)
+		}
+		c.lens[pi] = ln
+	}
 	for first := 0; first < len(s.pages); first += coldBlockPages {
 		n := len(s.pages) - first
 		if n > coldBlockPages {
@@ -245,6 +262,7 @@ func (c *ColdSegment) Thaw() *Segment {
 	s := &Segment{
 		pages:   make([]*Page, c.numPages),
 		sidecar: make([][]*synopsis.Set, len(c.sidecar)),
+		bm:      c.bm,
 		stats:   c.stats,
 		live:    c.live,
 		bytes:   c.bytes,
@@ -288,8 +306,11 @@ func (v ColdView) LiveBytes() int64 { return v.c.bytes }
 // Scan iterates the frozen records in storage order with the same
 // callback contract and I/O accounting as SegView.Scan, plus the
 // cold-read charges for each block actually decompressed. The sidecar
-// synopsis passed to fn is the hot copy — fn can skip a record without
-// costing more than the page's share of its block decompression.
+// synopsis and stored length passed to fn come from the hot metadata
+// (sidecar + lens), so a record — or a whole page — of skips costs no
+// block decompression at all: cold bytes are charged only when fn
+// materializes a record through Record. Decoded cold images (nil lens)
+// fall back to inflating each visited page for its slot directory.
 func (v ColdView) Scan(fn func(id RecordID, n int, syn *synopsis.Set) bool) {
 	c := v.c
 	for pi := 0; pi < c.numPages; pi++ {
@@ -297,12 +318,25 @@ func (v ColdView) Scan(fn func(id RecordID, n int, syn *synopsis.Set) bool) {
 			c.cache.touch(c.cacheID, pi)
 		}
 		c.stats.addRead(1, 0, 0)
-		p := c.page(pi)
 		row := c.sidecar[pi]
+		if c.lens != nil {
+			for slot, n16 := range c.lens[pi] {
+				n := int(n16)
+				if n == 0 {
+					continue // tombstone (freeze vacuums, but stay defensive)
+				}
+				c.stats.addRead(0, int64(n), 1)
+				if !fn(RecordID{Page: pi, Slot: slot}, n, row[slot]) {
+					return
+				}
+			}
+			continue
+		}
+		p := c.page(pi)
 		for slot := range row {
 			_, n := p.slot(slot)
 			if n == 0 {
-				continue // tombstone (freeze vacuums, but stay defensive)
+				continue
 			}
 			c.stats.addRead(0, int64(n), 1)
 			if !fn(RecordID{Page: pi, Slot: slot}, n, row[slot]) {

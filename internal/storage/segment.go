@@ -105,6 +105,11 @@ func (s *Stats) addWrite(pages, bytes int64) {
 type Segment struct {
 	pages   []*Page
 	sidecar [][]*synopsis.Set // per page: one entry per slot, nil = unknown
+	// bm is the attribute-presence bitmap matrix (see bitmap.go): the
+	// sidecar transposed into attribute-major bitsets so snapshot scans
+	// can evaluate a query 64 records per word op. Maintained in
+	// lockstep with the sidecar by InsertTagged/Delete/Vacuum.
+	bm      bitmat
 	stats   *Stats
 	live    int   // live record count
 	bytes   int64 // live payload bytes
@@ -140,6 +145,7 @@ func (s *Segment) InsertTagged(rec []byte, syn *synopsis.Set) (RecordID, error) 
 	if n := len(s.pages); n > 0 {
 		if slot, err := s.pages[n-1].Insert(rec); err == nil {
 			s.sidecar[n-1] = append(s.sidecar[n-1], syn)
+			s.bm.noteInsert(syn)
 			s.noteInsert(rec)
 			return RecordID{Page: n - 1, Slot: slot}, nil
 		}
@@ -151,6 +157,8 @@ func (s *Segment) InsertTagged(rec []byte, syn *synopsis.Set) (RecordID, error) 
 	}
 	s.pages = append(s.pages, p)
 	s.sidecar = append(s.sidecar, append(make([]*synopsis.Set, 0, 8), syn))
+	s.bm.notePage()
+	s.bm.noteInsert(syn)
 	s.noteInsert(rec)
 	return RecordID{Page: len(s.pages) - 1, Slot: slot}, nil
 }
@@ -200,6 +208,7 @@ func (s *Segment) Delete(id RecordID) error {
 	}
 	s.pages[id.Page] = np
 	s.sidecar[id.Page] = nrow
+	s.bm.noteDelete(id.Page, id.Slot)
 	s.live--
 	s.bytes -= n
 	s.stats.addWrite(1, 0)
@@ -251,6 +260,7 @@ func (s *Segment) Vacuum() map[RecordID]RecordID {
 	oldSidecar := s.sidecar
 	s.pages = nil
 	s.sidecar = nil
+	s.bm = bitmat{} // rebuilt by the re-inserts below
 	s.live = 0
 	s.bytes = 0
 	s.DropFromCache()

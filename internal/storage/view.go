@@ -19,12 +19,18 @@ import (
 //
 // I/O accounting is identical to Segment.Scan: one page read per visited
 // page, and each live record's bytes — whether or not the caller decides
-// to materialize them. The sidecar skip avoids decode CPU, not simulated
-// I/O, which keeps QueryReport and EFFICIENCY byte-identical between the
-// locked and snapshot read paths.
+// to materialize them. Both skip paths honor that contract: the
+// per-record sidecar skip charges each visited record as it goes, and
+// the word-parallel bitmap kernel (ScanBitmap) charges the same totals
+// — every page, every live record, every live byte — in one bulk
+// operation before pruning. A skip of either kind avoids decode CPU
+// only, never simulated I/O, which keeps QueryReport and EFFICIENCY
+// byte-identical across the locked, snapshot-sidecar, and
+// snapshot-bitmap read paths.
 type SegView struct {
 	pages   []*Page
 	rows    [][]*synopsis.Set
+	bm      bmView
 	live    int
 	bytes   int64
 	stats   *Stats
@@ -43,6 +49,7 @@ func (s *Segment) View() SegView {
 	return SegView{
 		pages:   pages,
 		rows:    rows,
+		bm:      s.bm.view(),
 		live:    s.live,
 		bytes:   s.bytes,
 		stats:   s.stats,
@@ -61,11 +68,16 @@ func (v *SegView) NumRecords() int { return v.live }
 func (v *SegView) LiveBytes() int64 { return v.bytes }
 
 // Scan iterates the view's live records in storage order, charging reads
-// exactly like Segment.Scan. For each live record fn receives the record
-// id, the stored length, and the sidecar synopsis (nil = unknown); fn
-// fetches the payload via Record only when it decides to decode, so
-// sidecar-pruned records cost a slot-directory read and a word-AND
-// instead of a decode. Iteration stops early if fn returns false.
+// exactly like Segment.Scan: one page read per page, plus each live
+// record's bytes and a record-read at the moment it is visited. For each
+// live record fn receives the record id, the stored length, and the
+// sidecar synopsis (nil = unknown); fn fetches the payload via Record
+// only when it decides to decode, so sidecar-pruned records cost a
+// slot-directory read and a word-AND instead of a decode — the skip
+// saves decode CPU while the I/O charge for the visit stands. A scan
+// that runs to completion therefore charges exactly (NumPages,
+// LiveBytes, NumRecords), the same totals ScanBitmap charges up front.
+// Iteration stops early if fn returns false.
 func (v *SegView) Scan(fn func(id RecordID, n int, syn *synopsis.Set) bool) {
 	for pi, p := range v.pages {
 		if v.cache != nil {

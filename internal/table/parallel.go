@@ -80,11 +80,19 @@ type partScan struct {
 	hits      []Result
 	scanned   int
 	decoded   int   // records actually decoded
-	skipped   int   // records pruned by the sidecar without decoding
+	skipped   int   // records pruned (sidecar word-AND or bitmap kernel) without decoding
 	bytesRead int64 // live record bytes visited
 	bytesHit  int64 // live record bytes of hits (relevant to the query)
-	bytesSkip int64 // live record bytes of sidecar-skipped records
+	bytesSkip int64 // live record bytes of skipped records
 	ns        int64 // scan wall time; recorded only for sampled spans
+
+	// Bitmap-kernel attribution (see bitmap.go). scratch is the pooled
+	// buffer set backing hits; the query path releases it after the hits
+	// have been merged and the span published.
+	bitmap      bool
+	bitmapWords int64
+	bitmapHits  int64
+	scratch     *scanScratch
 }
 
 // scanPartition scans one partition's segment, decoding every live record

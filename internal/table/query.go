@@ -7,6 +7,7 @@ import (
 	"cinderella/internal/core"
 	"cinderella/internal/entity"
 	"cinderella/internal/obs"
+	"cinderella/internal/storage"
 	"cinderella/internal/synopsis"
 )
 
@@ -129,7 +130,17 @@ func (t *Table) selectSnap(q *synopsis.Set, sp *obs.QuerySpan) ([]Result, QueryR
 	rep.PartitionsTouched = len(survivors)
 
 	parts := make([]partScan, len(survivors))
+	useBitmap := t.bitmapScans.Load()
+	var prog storage.BitmapProgram
+	if useBitmap {
+		prog = selectProgram(q)
+	}
 	t.runTimedScans(parts, sp.TimeScans(), func(i int) partScan {
+		if useBitmap {
+			if sc, ok := scanSnapPartBitmap(survivors[i], q, prog); ok {
+				return sc
+			}
+		}
 		return scanSnapPart(survivors[i], q)
 	})
 	out := mergeScans(parts, &rep)
@@ -137,6 +148,7 @@ func (t *Table) selectSnap(q *synopsis.Set, sp *obs.QuerySpan) ([]Result, QueryR
 	ns := lapNs(start)
 	t.noteQuery(rep, ns)
 	t.noteScans(sp, parts, rep, ns)
+	releaseScanScratches(parts)
 	return out, rep
 }
 

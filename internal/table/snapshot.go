@@ -65,9 +65,15 @@ type partSnap struct {
 
 // recView is the scan surface shared by hot segment views and cold
 // partition views; the scan loops are tier-agnostic behind it.
+// ScanBitmap is the word-parallel kernel entry (see bitmap.go); views
+// that predate the presence matrix report ok=false and the scan falls
+// back to the per-record Scan.
 type recView interface {
 	Scan(fn func(id storage.RecordID, n int, syn *synopsis.Set) bool)
+	ScanBitmap(prog storage.BitmapProgram, sc *storage.BitmapScratch) ([]storage.BitmapCand, int64, bool)
 	Record(id storage.RecordID) []byte
+	NumRecords() int
+	LiveBytes() int64
 }
 
 // reader returns the snapshot's tier-appropriate scan handle.
@@ -222,7 +228,10 @@ func scanSnapPart(ps *partSnap, q *synopsis.Set) partScan {
 			panic("table: corrupt record during snapshot scan: " + err.Error())
 		}
 		sc.decoded++
-		if q == nil || synopsis.Intersects(e.Synopsis(), q) {
+		// A non-nil sidecar synopsis is the entity's exact attribute set
+		// and already passed the intersection test above, so only records
+		// without one need the post-decode check.
+		if q == nil || syn != nil || synopsis.Intersects(e.Synopsis(), q) {
 			sc.hits = append(sc.hits, Result{ID: eid, Entity: e})
 			sc.bytesHit += int64(n)
 		}
@@ -270,13 +279,19 @@ func (t *Table) noteScans(sp *obs.QuerySpan, parts []partScan, rep QueryReport, 
 	if r == nil {
 		return
 	}
-	var dec, skip int64
+	var dec, skip, bmWords, bmHits int64
 	for i := range parts {
 		dec += int64(parts[i].decoded)
 		skip += int64(parts[i].skipped)
+		bmWords += parts[i].bitmapWords
+		bmHits += parts[i].bitmapHits
 	}
 	r.Add(obs.CScanDecoded, dec)
 	r.Add(obs.CScanDecodeSkipped, skip)
+	if bmWords > 0 || bmHits > 0 {
+		r.Add(obs.CScanBitmapWords, bmWords)
+		r.Add(obs.CScanBitmapHits, bmHits)
+	}
 
 	var spans []obs.PartSpan
 	if len(parts) > 0 {
@@ -293,6 +308,9 @@ func (t *Table) noteScans(sp *obs.QuerySpan, parts []partScan, rep QueryReport, 
 				BytesRelevant: p.bytesHit,
 				BytesSkipped:  p.bytesSkip,
 				ScanNs:        p.ns,
+				Bitmap:        p.bitmap,
+				BitmapWords:   p.bitmapWords,
+				BitmapHits:    p.bitmapHits,
 			}
 		}
 	}

@@ -158,6 +158,10 @@ type Table struct {
 	// SetLockedReads).
 	lockedReads atomic.Bool
 
+	// bitmapScans selects the word-parallel bitmap kernel for snapshot
+	// scans (default true; see bitmap.go and SetBitmapScans).
+	bitmapScans atomic.Bool
+
 	nextID core.EntityID
 
 	// in-flight insert/update state consumed by the move listener
@@ -224,6 +228,7 @@ func New(cfg Config) *Table {
 	}
 	t.dir.Store(&partDir{})
 	t.parallelism.Store(int32(par))
+	t.bitmapScans.Store(true)
 	t.assigner.SetMoveListener(t.onPlacement)
 	if cfg.Obs != nil {
 		t.setObserverLocked(cfg.Obs)

@@ -369,7 +369,17 @@ func (t *Table) selectWhereSnap(preds []Pred, sp *obs.QuerySpan) ([]Result, Quer
 	rep.PartitionsTouched = len(survivors)
 
 	parts := make([]partScan, len(survivors))
+	useBitmap := t.bitmapScans.Load()
+	var prog storage.BitmapProgram
+	if useBitmap {
+		prog = whereProgram(need)
+	}
 	t.runTimedScans(parts, sp.TimeScans(), func(i int) partScan {
+		if useBitmap {
+			if sc, ok := scanSnapPartWhereBitmap(survivors[i], preds, prog); ok {
+				return sc
+			}
+		}
 		return scanSnapPartWhere(survivors[i], preds, need)
 	})
 	out := mergeScans(parts, &rep)
@@ -377,6 +387,7 @@ func (t *Table) selectWhereSnap(preds []Pred, sp *obs.QuerySpan) ([]Result, Quer
 	ns := lapNs(start)
 	t.noteQuery(rep, ns)
 	t.noteScans(sp, parts, rep, ns)
+	releaseScanScratches(parts)
 	return out, rep
 }
 

@@ -65,6 +65,31 @@ go test -race \
 	-run 'TestSnapshot|TestView|TestSidecar|TestShardedConcurrentWritersScanAll|TestServerReadsServedDuringDrain' \
 	./internal/table ./internal/storage ./internal/shard ./internal/server
 
+# Bitmap scan-kernel pass: the word-parallel kernel's equivalence
+# contract — candidate sets, results, QueryReport counters, and Stats
+# deltas bit-identical to the per-record sidecar path (and the locked
+# full-decode baseline) across both tiers, under concurrent churn, with
+# the captured-view stability and zero-allocation guarantees — must
+# hold under the race detector.
+echo "== go test -race bitmap scan suite"
+go test -race -run 'TestBitmap' ./internal/storage ./internal/table
+
+# Scan bench gate: the kernel must beat the per-record sidecar baseline
+# by >= 3x on the selective bucket of the coarse-partitioned arm, with
+# the bitmap-vs-sidecar equivalence sweep green and a fully pruned
+# frozen partition charging zero cold bytes (BENCH_scan.json tracks the
+# full-scale run; this re-measures at smoke scale).
+echo "== scan kernel gate"
+SCAN_JSON=$(mktemp)
+go run ./cmd/cinderella-bench -exp scan -entities 20000 -json "$SCAN_JSON"
+grep -q '"within_budget": true' "$SCAN_JSON" \
+	|| { echo "verify: bitmap kernel speedup under 3x"; cat "$SCAN_JSON"; exit 1; }
+grep -q '"equivalence_ok": true' "$SCAN_JSON" \
+	|| { echo "verify: bitmap and sidecar scans disagree"; cat "$SCAN_JSON"; exit 1; }
+grep -q '"prune_zero_cold_ok": true' "$SCAN_JSON" \
+	|| { echo "verify: pruned frozen scan charged cold bytes"; cat "$SCAN_JSON"; exit 1; }
+rm -f "$SCAN_JSON"
+
 # Recluster pass: the background reclusterer's integrity contract — no
 # entity lost or duplicated under concurrent writers/readers (including
 # a full reopen recount), locked-vs-snapshot equivalence mid-migration,
